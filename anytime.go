@@ -1,0 +1,347 @@
+// Package anytime is the public API of the anytime-anywhere dynamic-graph
+// centrality library, a from-scratch reproduction of "Efficient Anytime
+// Anywhere Algorithms for Vertex Additions in Large and Dynamic Graphs"
+// (Santos, Korah, Murugappan, Subramanian; IPDPS Workshops 2017).
+//
+// The library computes closeness centrality on large graphs over a
+// simulated distributed machine of P processors and absorbs dynamic vertex
+// additions mid-computation without restarting:
+//
+//	g, _ := anytime.ScaleFreeGraph(2000, 3, 1)
+//	e, _ := anytime.NewEngine(g, anytime.DefaultOptions())
+//	e.Run()                         // converge (anytime: call Step instead)
+//	batch, _ := anytime.CommunityBatch(g, 100, 1.5, 1)
+//	e.QueueBatch(batch)             // anywhere: absorb new vertices
+//	e.Run()
+//	snap := e.Snapshot()            // exact closeness for every vertex
+//
+// The three processor-assignment strategies of the paper are selected via
+// Options.Strategy: RoundRobinPS, CutEdgePS, and RepartitionS; the
+// BaselineRestart comparator recomputes from scratch on every change.
+package anytime
+
+import (
+	"io"
+
+	"anytime/internal/centrality"
+	"anytime/internal/change"
+	"anytime/internal/clique"
+	"anytime/internal/community"
+	"anytime/internal/core"
+	"anytime/internal/gen"
+	"anytime/internal/graph"
+	"anytime/internal/logp"
+	"anytime/internal/partition"
+	"anytime/internal/stream"
+)
+
+// Graph is a weighted undirected graph over dense vertex IDs [0, N).
+type Graph = graph.Graph
+
+// Weight is a positive edge weight.
+type Weight = graph.Weight
+
+// Dist is a shortest-path distance; InfDist marks "no known path".
+type Dist = graph.Dist
+
+// InfDist is the unreachable-distance sentinel.
+const InfDist = graph.InfDist
+
+// NewGraph returns an empty graph with n vertices.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// Engine is the anytime-anywhere closeness-centrality engine (see
+// NewEngine).
+type Engine = core.Engine
+
+// Options configures an Engine; see DefaultOptions for the paper-faithful
+// defaults.
+type Options = core.Options
+
+// Strategy selects the dynamic vertex-addition processor-assignment
+// strategy.
+type Strategy = core.Strategy
+
+// The paper's three vertex-addition strategies.
+const (
+	// RoundRobinPS assigns new vertices to processors in circular order.
+	RoundRobinPS = core.RoundRobinPS
+	// CutEdgePS partitions the batch graph to minimize new cut edges.
+	CutEdgePS = core.CutEdgePS
+	// RepartitionS repartitions the whole grown graph, reusing partial
+	// results by migrating them.
+	RepartitionS = core.RepartitionS
+	// AutoPS switches between CutEdgePS and RepartitionS by batch size
+	// (Options.AutoThreshold).
+	AutoPS = core.AutoPS
+)
+
+// Snapshot is an anytime view of the centrality computation.
+type Snapshot = core.Snapshot
+
+// Metrics aggregates cost counters (RC steps, LogP virtual time, messages,
+// new cut edges, ...).
+type Metrics = core.Metrics
+
+// Batch describes one dynamic vertex-addition event.
+type Batch = change.VertexBatch
+
+// EdgeAdd, EdgeDel, EdgeWeightChange and VertexDel are the other dynamic
+// change kinds.
+type (
+	EdgeAdd          = change.EdgeAdd
+	EdgeDel          = change.EdgeDel
+	EdgeWeightChange = change.EdgeWeight
+	VertexDel        = change.VertexDel
+)
+
+// BaselineRestart is the paper's comparator: full recomputation on every
+// dynamic change.
+type BaselineRestart = core.Restart
+
+// Partitioner splits a graph into k balanced parts (Domain Decomposition).
+type Partitioner = partition.Partitioner
+
+// LogPModel holds the simulated cluster's LogP parameters.
+type LogPModel = logp.Model
+
+// DefaultOptions returns the paper-faithful engine configuration: 8
+// processors, multilevel k-way DD, dirty-only boundary shipping, local
+// refinement on, serialized flood-avoiding all-to-all.
+func DefaultOptions() Options { return core.NewOptions() }
+
+// NewEngine builds an engine over a snapshot of g: runs Domain
+// Decomposition and Initial Approximation. Call Run (or Step, for anytime
+// interruption) afterwards.
+func NewEngine(g *Graph, opts Options) (*Engine, error) { return core.New(g, opts) }
+
+// NewBaselineRestart builds the restart comparator and runs the first full
+// computation.
+func NewBaselineRestart(g *Graph, opts Options) (*BaselineRestart, error) {
+	return core.NewRestart(g, opts)
+}
+
+// MultilevelPartitioner returns the METIS-family multilevel k-way
+// partitioner (the default for Domain Decomposition and Repartition-S).
+func MultilevelPartitioner(seed int64) Partitioner { return partition.Multilevel{Seed: seed} }
+
+// RoundRobinPartitioner returns the edge-oblivious round-robin partitioner.
+func RoundRobinPartitioner() Partitioner { return partition.RoundRobin{} }
+
+// GreedyPartitioner returns the BFS greedy-growing partitioner.
+func GreedyPartitioner(seed int64) Partitioner { return partition.Greedy{Seed: seed} }
+
+// GigabitClusterModel returns LogP parameters resembling the paper's
+// testbed (1 Gb/s Ethernet cluster) for p processors.
+func GigabitClusterModel(p int) LogPModel { return logp.GigabitCluster(p) }
+
+// ScaleFreeGraph generates a connected Barabási–Albert scale-free graph
+// with n vertices, m attachment edges per vertex, and unit weights — the
+// regime of the paper's Pajek-generated inputs.
+func ScaleFreeGraph(n, m int, seed int64) (*Graph, error) {
+	g, err := gen.BarabasiAlbert(n, m, gen.Weights{}, seed)
+	if err != nil {
+		return nil, err
+	}
+	gen.Connectify(g, seed)
+	return g, nil
+}
+
+// WeightedScaleFreeGraph is ScaleFreeGraph with integer edge weights drawn
+// uniformly from [minW, maxW].
+func WeightedScaleFreeGraph(n, m int, minW, maxW Weight, seed int64) (*Graph, error) {
+	g, err := gen.BarabasiAlbert(n, m, gen.Weights{Min: minW, Max: maxW}, seed)
+	if err != nil {
+		return nil, err
+	}
+	gen.Connectify(g, seed)
+	return g, nil
+}
+
+// CommunityGraph generates a planted-partition graph of n vertices in c
+// communities (intra/inter edge probabilities pin/pout), returning the
+// ground-truth community labels.
+func CommunityGraph(n, c int, pin, pout float64, seed int64) (*Graph, []int32, error) {
+	return gen.PlantedPartition(n, c, pin, pout, gen.Weights{}, seed)
+}
+
+// PreferentialBatch generates a batch of k new vertices attaching to g
+// preferentially by degree (organic growth; the Fig. 4/8 workload). Each
+// new vertex receives mExt edges into the existing graph and up to mInt
+// edges to earlier batch vertices.
+func PreferentialBatch(g *Graph, k, mExt, mInt int, seed int64) (*Batch, error) {
+	return gen.PreferentialBatch(g, k, mExt, mInt, gen.Weights{}, seed)
+}
+
+// CommunityBatch generates a batch of k new vertices with community
+// structure, extracted from a scale-free reservoir via Louvain — the
+// paper's Fig. 5-7 workload. extAvg is the average number of anchor edges
+// per new vertex into the existing graph.
+func CommunityBatch(g *Graph, k int, extAvg float64, seed int64) (*Batch, error) {
+	return gen.CommunityBatch(g, k, extAvg, gen.Weights{}, seed)
+}
+
+// SplitBatch divides a batch into `steps` sub-batches applied at
+// consecutive RC steps (the incremental-additions scenario, Fig. 8).
+func SplitBatch(b *Batch, steps int) []*Batch { return gen.SplitBatch(b, steps) }
+
+// Closeness computes exact closeness centrality sequentially (the
+// verification oracle; use the Engine for the parallel dynamic version).
+func Closeness(g *Graph) []float64 { return centrality.Closeness(g) }
+
+// Harmonic computes exact harmonic closeness sequentially.
+func Harmonic(g *Graph) []float64 { return centrality.Harmonic(g) }
+
+// Betweenness computes exact Brandes betweenness sequentially.
+func Betweenness(g *Graph) []float64 { return centrality.Betweenness(g) }
+
+// DegreeCentrality computes degree centrality normalized by n-1.
+func DegreeCentrality(g *Graph) []float64 { return centrality.Degree(g) }
+
+// TopK returns the indices of the k largest scores in descending order.
+func TopK(scores []float64, k int) []int { return centrality.TopK(scores, k) }
+
+// Communities runs Louvain community detection and returns the per-vertex
+// labels, the community count, and the modularity.
+func Communities(g *Graph, seed int64) ([]int32, int, float64) {
+	res := community.Louvain(g, seed)
+	return res.Label, res.K, res.Modularity
+}
+
+// EdgeCut returns the number of cut edges of a partition produced by a
+// Partitioner.
+func EdgeCut(g *Graph, p *graph.Partition) int { return graph.EdgeCut(g, p) }
+
+// ReadPajek parses a Pajek .net file (the format of the paper's generator
+// tooling).
+func ReadPajek(r io.Reader) (*Graph, error) { return graph.ReadPajek(r) }
+
+// WritePajek writes the graph in Pajek .net format.
+func WritePajek(w io.Writer, g *Graph) error { return graph.WritePajek(w, g) }
+
+// ReadEdgeList parses the plain "n m" + "u v w" edge-list format.
+func ReadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// WriteEdgeList writes the plain edge-list format.
+func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// WriteCheckpoint serializes an engine's complete state (graph, partition,
+// distance vectors, counters) at an RC-step boundary — the fault-tolerance
+// extension (the paper's stated future work). Restore with
+// RestoreEngine.
+func WriteCheckpoint(w io.Writer, e *Engine) error { return e.WriteCheckpoint(w) }
+
+// RestoreEngine reconstructs an engine from a checkpoint written by
+// WriteCheckpoint. opts must use the same P as the checkpointed engine.
+func RestoreEngine(r io.Reader, opts Options) (*Engine, error) { return core.Restore(r, opts) }
+
+// ReadMETIS parses the METIS/Chaco graph format used across the
+// graph-partitioning ecosystem.
+func ReadMETIS(r io.Reader) (*Graph, error) { return graph.ReadMETIS(r) }
+
+// WriteMETIS writes the METIS graph format (with edge weights).
+func WriteMETIS(w io.Writer, g *Graph) error { return graph.WriteMETIS(w, g) }
+
+// MaximalCliques streams every maximal clique of g to visit (sorted
+// ascending; the slice is reused between calls). Returning false from the
+// visitor stops the enumeration — the anytime interrupt of the
+// methodology's maximal-clique lineage. It returns the number of cliques
+// reported and whether the enumeration completed.
+func MaximalCliques(g *Graph, visit func(clique []int32) bool) (int, bool) {
+	return clique.EnumerateMaximal(g, visit)
+}
+
+// MaxClique returns one maximum clique of g by full enumeration.
+func MaxClique(g *Graph) []int32 { return clique.MaxClique(g) }
+
+// Degeneracy returns the graph degeneracy (a sparsity measure of social
+// networks that bounds the clique-enumeration recursion).
+func Degeneracy(g *Graph) int { return clique.Degeneracy(g) }
+
+// TraceEvent is one entry of the engine's execution trace (see
+// Options.Trace).
+type TraceEvent = core.TraceEvent
+
+// Tracer receives engine trace events.
+type Tracer = core.Tracer
+
+// Eigenvector computes eigenvector centrality by power iteration
+// (maxIter/tol 0 = defaults).
+func Eigenvector(g *Graph, maxIter int, tol float64) []float64 {
+	return centrality.Eigenvector(g, maxIter, tol)
+}
+
+// PageRank computes PageRank with damping d (0 = 0.85).
+func PageRank(g *Graph, d float64, maxIter int, tol float64) []float64 {
+	return centrality.PageRank(g, d, maxIter, tol)
+}
+
+// Lin computes Lin's index (component-size-corrected closeness), robust on
+// disconnected graphs.
+func Lin(g *Graph) []float64 { return centrality.Lin(g) }
+
+// Katz computes Katz centrality x = αAx + 1 (alpha 0 = safe default).
+func Katz(g *Graph, alpha float64, maxIter int, tol float64) []float64 {
+	return centrality.Katz(g, alpha, maxIter, tol)
+}
+
+// ApproxCloseness estimates closeness by pivot sampling (the scheme behind
+// the closeness-ranking work the paper cites); cost O(samples·(E+n log n)).
+func ApproxCloseness(g *Graph, samples int, seed int64) []float64 {
+	return centrality.ApproxCloseness(g, samples, seed)
+}
+
+// TopKCloseness returns the k highest-closeness vertices via pivot
+// sampling plus exact verification of a candidate set.
+func TopKCloseness(g *Graph, k, samples int, seed int64) []int {
+	return centrality.TopKCloseness(g, k, samples, seed)
+}
+
+// Stream is a replayable, timestamped dynamic-graph event stream.
+type Stream = stream.Stream
+
+// StreamEvent is one timestamped change in a Stream.
+type StreamEvent = stream.Event
+
+// StreamConfig parameterizes synthetic stream generation.
+type StreamConfig = stream.GenConfig
+
+// GenerateStream produces a synthetic growth-with-churn stream over base.
+func GenerateStream(base *Graph, cfg StreamConfig) (*Stream, error) {
+	return stream.Generate(base, cfg)
+}
+
+// ReadStream parses a stream from its text format; WriteStream writes it.
+func ReadStream(r io.Reader) (*Stream, error) { return stream.Read(r) }
+
+// WriteStream serializes a stream as text.
+func WriteStream(w io.Writer, s *Stream) error { return stream.Write(w, s) }
+
+// ReplayStream drives an engine from a stream in time windows of the given
+// width (one recombination step per window), then converges it. Returns
+// the number of windows replayed.
+func ReplayStream(e *Engine, s *Stream, window int64) (int, error) {
+	return stream.Replay(e, s, window)
+}
+
+// StepStats records what one recombination step did (see Engine.History).
+type StepStats = core.StepStats
+
+// ApproxBetweenness estimates betweenness by source sampling (the
+// adaptive-sampling family the paper cites); cost O(samples·(E+n log n)).
+func ApproxBetweenness(g *Graph, samples int, seed int64) []float64 {
+	return centrality.ApproxBetweenness(g, samples, seed)
+}
+
+// GeometricGraph generates a random geometric graph: n points in the unit
+// square connected within the given radius — the sensor-network workload
+// of the paper's introduction. The result may be disconnected; pick the
+// radius for the density you need.
+func GeometricGraph(n int, radius float64, seed int64) (*Graph, error) {
+	g, err := gen.RandomGeometric(n, radius, gen.Weights{}, seed)
+	if err != nil {
+		return nil, err
+	}
+	gen.Connectify(g, seed)
+	return g, nil
+}

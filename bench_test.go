@@ -1,0 +1,376 @@
+// Benchmarks regenerating the paper's evaluation, one target per
+// table/figure (Figs. 4-8 and the analysis-bounds table), plus ablation
+// benches for the design choices called out in DESIGN.md and micro-benches
+// of the engine phases.
+//
+// Wall time is what testing.B measures; every figure bench additionally
+// reports the simulated-cluster LogP time as "virt-ms/op" (the unit the
+// paper plots, scaled), and Fig. 7 reports "new-cut-edges".
+//
+// Run with: go test -bench=. -benchmem
+package anytime_test
+
+import (
+	"testing"
+
+	"anytime"
+	"anytime/internal/change"
+	"anytime/internal/core"
+	"anytime/internal/gen"
+	"anytime/internal/graph"
+	"anytime/internal/partition"
+)
+
+const (
+	benchN    = 400
+	benchP    = 4
+	benchSeed = 1
+)
+
+func benchGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	g, err := gen.BarabasiAlbert(benchN, 3, gen.Weights{}, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen.Connectify(g, benchSeed)
+	return g
+}
+
+func benchOptions(strat core.Strategy) core.Options {
+	o := core.NewOptions()
+	o.P = benchP
+	o.Seed = benchSeed
+	o.Strategy = strat
+	o.Workers = 2
+	return o
+}
+
+func benchBatch(b *testing.B, g *graph.Graph, k int) *change.VertexBatch {
+	b.Helper()
+	batch, err := gen.CommunityBatch(g, k, 1.5, gen.Weights{}, benchSeed+int64(k))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return batch
+}
+
+// absorbBench measures absorbing one batch injected at the given RC step.
+func absorbBench(b *testing.B, strat core.Strategy, injectStep, batchSize int, opts core.Options) {
+	g := benchGraph(b)
+	batch := benchBatch(b, g, batchSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var virt, cuts float64
+	for i := 0; i < b.N; i++ {
+		e, err := core.New(g, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for s := 0; s < injectStep && e.Step(); s++ {
+		}
+		if err := e.QueueBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+		e.Run()
+		if !e.Converged() {
+			b.Fatal("did not converge")
+		}
+		m := e.Metrics()
+		virt += m.VirtualTime.Seconds() * 1000
+		cuts += float64(m.NewCutEdges)
+	}
+	b.ReportMetric(virt/float64(b.N), "virt-ms/op")
+	b.ReportMetric(cuts/float64(b.N), "new-cut-edges")
+}
+
+// --- Fig. 4: baseline restart vs anytime anywhere ---
+
+func BenchmarkFig4_AnytimeRC0(b *testing.B) {
+	absorbBench(b, core.RoundRobinPS, 0, 16, benchOptions(core.RoundRobinPS))
+}
+
+func BenchmarkFig4_AnytimeRC4(b *testing.B) {
+	absorbBench(b, core.RoundRobinPS, 4, 16, benchOptions(core.RoundRobinPS))
+}
+
+func BenchmarkFig4_AnytimeRC8(b *testing.B) {
+	absorbBench(b, core.RoundRobinPS, 8, 16, benchOptions(core.RoundRobinPS))
+}
+
+func BenchmarkFig4_BaselineRestart(b *testing.B) {
+	g := benchGraph(b)
+	batch := benchBatch(b, g, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var virt float64
+	for i := 0; i < b.N; i++ {
+		r, err := core.NewRestart(g, benchOptions(core.RoundRobinPS))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := r.ApplyBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+		virt += r.Metrics().VirtualTime.Seconds() * 1000
+	}
+	b.ReportMetric(virt/float64(b.N), "virt-ms/op")
+}
+
+// --- Figs. 5/7: strategy sweep at RC0 (Fig. 7 = the new-cut-edges metric
+// these benches report) ---
+
+func BenchmarkFig5_RoundRobinPS(b *testing.B) {
+	absorbBench(b, core.RoundRobinPS, 0, 48, benchOptions(core.RoundRobinPS))
+}
+
+func BenchmarkFig5_CutEdgePS(b *testing.B) {
+	absorbBench(b, core.CutEdgePS, 0, 48, benchOptions(core.CutEdgePS))
+}
+
+func BenchmarkFig5_RepartitionS(b *testing.B) {
+	absorbBench(b, core.RepartitionS, 0, 48, benchOptions(core.RepartitionS))
+}
+
+// Fig. 7 at the largest sweep point, where the cut-edge gap is widest.
+func BenchmarkFig7_RoundRobinPS_LargeBatch(b *testing.B) {
+	absorbBench(b, core.RoundRobinPS, 0, 96, benchOptions(core.RoundRobinPS))
+}
+
+func BenchmarkFig7_CutEdgePS_LargeBatch(b *testing.B) {
+	absorbBench(b, core.CutEdgePS, 0, 96, benchOptions(core.CutEdgePS))
+}
+
+func BenchmarkFig7_RepartitionS_LargeBatch(b *testing.B) {
+	absorbBench(b, core.RepartitionS, 0, 96, benchOptions(core.RepartitionS))
+}
+
+// --- Fig. 6: strategy sweep with late injection (RC8) ---
+
+func BenchmarkFig6_RoundRobinPS(b *testing.B) {
+	absorbBench(b, core.RoundRobinPS, 8, 48, benchOptions(core.RoundRobinPS))
+}
+
+func BenchmarkFig6_CutEdgePS(b *testing.B) {
+	absorbBench(b, core.CutEdgePS, 8, 48, benchOptions(core.CutEdgePS))
+}
+
+func BenchmarkFig6_RepartitionS(b *testing.B) {
+	absorbBench(b, core.RepartitionS, 8, 48, benchOptions(core.RepartitionS))
+}
+
+// --- Fig. 8: incremental additions over 10 RC steps ---
+
+func incrementalBench(b *testing.B, strat core.Strategy) {
+	g := benchGraph(b)
+	full := benchBatch(b, g, 60)
+	parts := gen.SplitBatch(full, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var virt float64
+	for i := 0; i < b.N; i++ {
+		e, err := core.New(g, benchOptions(strat))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range parts {
+			if err := e.QueueBatch(p); err != nil {
+				b.Fatal(err)
+			}
+			e.Step()
+		}
+		e.Run()
+		virt += e.Metrics().VirtualTime.Seconds() * 1000
+	}
+	b.ReportMetric(virt/float64(b.N), "virt-ms/op")
+}
+
+func BenchmarkFig8_RoundRobinPS(b *testing.B) { incrementalBench(b, core.RoundRobinPS) }
+func BenchmarkFig8_CutEdgePS(b *testing.B)    { incrementalBench(b, core.CutEdgePS) }
+func BenchmarkFig8_RepartitionS(b *testing.B) { incrementalBench(b, core.RepartitionS) }
+
+func BenchmarkFig8_BaselineRestart(b *testing.B) {
+	g := benchGraph(b)
+	full := benchBatch(b, g, 60)
+	parts := gen.SplitBatch(full, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var virt float64
+	for i := 0; i < b.N; i++ {
+		r, err := core.NewRestart(g, benchOptions(core.RoundRobinPS))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range parts {
+			if err := r.ApplyBatch(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+		virt += r.Metrics().VirtualTime.Seconds() * 1000
+	}
+	b.ReportMetric(virt/float64(b.N), "virt-ms/op")
+}
+
+// --- Analysis-bounds table: a full static run, reporting the measured
+// counters the LogP analysis bounds ---
+
+func BenchmarkAnalysisBounds(b *testing.B) {
+	g := benchGraph(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var ia, rc, bytes float64
+	for i := 0; i < b.N; i++ {
+		e, err := core.New(g, benchOptions(core.RoundRobinPS))
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.Run()
+		m := e.Metrics()
+		ia += float64(m.IAOps)
+		rc += float64(m.RCOps)
+		bytes += float64(m.Comm.Bytes)
+	}
+	b.ReportMetric(ia/float64(b.N), "IA-ops")
+	b.ReportMetric(rc/float64(b.N), "RC-ops")
+	b.ReportMetric(bytes/float64(b.N), "RC-bytes")
+}
+
+// --- Ablation benches (DESIGN.md section 6) ---
+
+func BenchmarkAblation_LocalRefineOn(b *testing.B) {
+	absorbBench(b, core.RoundRobinPS, 0, 48, benchOptions(core.RoundRobinPS))
+}
+
+func BenchmarkAblation_LocalRefineOff(b *testing.B) {
+	o := benchOptions(core.RoundRobinPS)
+	o.NoLocalRefine = true
+	absorbBench(b, core.RoundRobinPS, 0, 48, o)
+}
+
+func BenchmarkAblation_DirtyOnlyShipping(b *testing.B) {
+	absorbBench(b, core.RoundRobinPS, 4, 48, benchOptions(core.RoundRobinPS))
+}
+
+func BenchmarkAblation_ShipAllBoundary(b *testing.B) {
+	o := benchOptions(core.RoundRobinPS)
+	o.ShipAllBoundary = true
+	absorbBench(b, core.RoundRobinPS, 4, 48, o)
+}
+
+func BenchmarkAblation_SerializedComm(b *testing.B) {
+	absorbBench(b, core.RoundRobinPS, 0, 48, benchOptions(core.RoundRobinPS))
+}
+
+func BenchmarkAblation_ParallelComm(b *testing.B) {
+	o := benchOptions(core.RoundRobinPS)
+	o.ParallelComm = true
+	absorbBench(b, core.RoundRobinPS, 0, 48, o)
+}
+
+func BenchmarkAblation_MsgCap4K(b *testing.B) {
+	o := benchOptions(core.RoundRobinPS)
+	o.MaxMsgBytes = 4 << 10
+	absorbBench(b, core.RoundRobinPS, 0, 48, o)
+}
+
+func BenchmarkAblation_MsgCap1M(b *testing.B) {
+	o := benchOptions(core.RoundRobinPS)
+	o.MaxMsgBytes = 1 << 20
+	absorbBench(b, core.RoundRobinPS, 0, 48, o)
+}
+
+func BenchmarkAblation_DDMultilevel(b *testing.B) {
+	absorbBench(b, core.RoundRobinPS, 0, 48, benchOptions(core.RoundRobinPS))
+}
+
+func BenchmarkAblation_DDGreedy(b *testing.B) {
+	o := benchOptions(core.RoundRobinPS)
+	o.Partitioner = partition.Greedy{Seed: benchSeed}
+	absorbBench(b, core.RoundRobinPS, 0, 48, o)
+}
+
+func BenchmarkAblation_DDRoundRobin(b *testing.B) {
+	o := benchOptions(core.RoundRobinPS)
+	o.Partitioner = partition.RoundRobin{}
+	absorbBench(b, core.RoundRobinPS, 0, 48, o)
+}
+
+func BenchmarkAblation_CutEdgeGreedyMapping(b *testing.B) {
+	absorbBench(b, core.CutEdgePS, 0, 48, benchOptions(core.CutEdgePS))
+}
+
+func BenchmarkAblation_CutEdgeNaiveMapping(b *testing.B) {
+	o := benchOptions(core.CutEdgePS)
+	o.NaiveBatchMapping = true
+	absorbBench(b, core.CutEdgePS, 0, 48, o)
+}
+
+// --- Engine-phase micro-benches ---
+
+func BenchmarkPhaseDDandIA(b *testing.B) {
+	g := benchGraph(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.New(g, benchOptions(core.RoundRobinPS)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPhaseRCStep(b *testing.B) {
+	g := benchGraph(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e, err := core.New(g, benchOptions(core.RoundRobinPS))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		e.Step() // the first (heaviest) recombination step
+	}
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	g := benchGraph(b)
+	e, err := core.New(g, benchOptions(core.RoundRobinPS))
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.Snapshot()
+	}
+}
+
+// Public-API end-to-end bench: the quickstart flow.
+func BenchmarkPublicAPIEndToEnd(b *testing.B) {
+	g, err := anytime.ScaleFreeGraph(benchN, 3, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := anytime.DefaultOptions()
+	opts.P = benchP
+	opts.Seed = benchSeed
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := anytime.NewEngine(g, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		batch, err := anytime.PreferentialBatch(g, 16, 2, 1, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := e.QueueBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+		e.Run()
+		_ = e.Snapshot()
+	}
+}

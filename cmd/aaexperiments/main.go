@@ -1,0 +1,63 @@
+// Command aaexperiments regenerates the paper's evaluation tables/figures
+// (Figs. 4-8 and the LogP analysis-bounds check) as text tables.
+//
+// Usage:
+//
+//	aaexperiments [-n 1200] [-p 8] [-seed 1] [-quick] [-fig fig5]
+//
+// Without -fig, every experiment runs in paper order. Scales default to a
+// laptop-size shrink of the paper's n=50,000 / P=16 testbed; batch sizes
+// scale proportionally, so the comparative shapes are preserved.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"anytime/internal/harness"
+)
+
+func main() {
+	var (
+		n     = flag.Int("n", 1200, "base graph size (paper: 50000)")
+		p     = flag.Int("p", 8, "processors (paper: 16)")
+		m     = flag.Int("m", 3, "scale-free attachment degree")
+		seed  = flag.Int64("seed", 1, "random seed")
+		quick = flag.Bool("quick", false, "smaller sweeps")
+		fig   = flag.String("fig", "", "run one experiment: fig4..fig8, analysis, ablations, or scaling")
+	)
+	flag.Parse()
+	cfg := harness.Config{N: *n, P: *p, M: *m, Seed: *seed, Quick: *quick}
+
+	run := func(f func(harness.Config) (*harness.Result, error)) {
+		start := time.Now()
+		r, err := f(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aaexperiments: %v\n", err)
+			os.Exit(1)
+		}
+		if err := r.Format(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "aaexperiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("(completed in %v wall time)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	if *fig != "" {
+		f := harness.ByID(*fig)
+		if f == nil {
+			fmt.Fprintf(os.Stderr, "aaexperiments: unknown figure %q (want fig4..fig8 or analysis)\n", *fig)
+			os.Exit(2)
+		}
+		run(f)
+		return
+	}
+	for _, id := range []string{"fig4", "fig5", "fig6", "fig7", "fig8", "analysis", "ablations", "scaling"} {
+		run(harness.ByID(id))
+	}
+	fmt.Println(strings.Repeat("-", 72))
+	fmt.Println("all experiments complete; see EXPERIMENTS.md for paper-vs-measured notes")
+}

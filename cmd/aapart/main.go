@@ -1,0 +1,85 @@
+// Command aapart partitions a graph (edge-list or Pajek on stdin) and
+// reports cut/balance quality for one or all partitioners.
+//
+// Usage:
+//
+//	aagen -kind sbm -n 2000 | aapart -k 8 -algo all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"anytime/internal/graph"
+	"anytime/internal/partition"
+)
+
+func main() {
+	var (
+		k      = flag.Int("k", 8, "number of parts")
+		algo   = flag.String("algo", "multilevel", "multilevel | greedy | roundrobin | blocked | random | all")
+		seed   = flag.Int64("seed", 1, "random seed")
+		format = flag.String("format", "edgelist", "input: edgelist | pajek | metis")
+	)
+	flag.Parse()
+
+	var g *graph.Graph
+	var err error
+	switch *format {
+	case "edgelist":
+		g, err = graph.ReadEdgeList(os.Stdin)
+	case "pajek":
+		g, err = graph.ReadPajek(os.Stdin)
+	case "metis":
+		g, err = graph.ReadMETIS(os.Stdin)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aapart: %v\n", err)
+		os.Exit(1)
+	}
+
+	byName := map[string]partition.Partitioner{
+		"multilevel": partition.Multilevel{Seed: *seed},
+		"greedy":     partition.Greedy{Seed: *seed},
+		"roundrobin": partition.RoundRobin{},
+		"blocked":    partition.Blocked{},
+		"random":     partition.Random{Seed: *seed},
+	}
+	var algos []partition.Partitioner
+	if *algo == "all" {
+		for _, name := range []string{"multilevel", "greedy", "roundrobin", "blocked", "random"} {
+			algos = append(algos, byName[name])
+		}
+	} else if pt, ok := byName[*algo]; ok {
+		algos = append(algos, pt)
+	} else {
+		fmt.Fprintf(os.Stderr, "aapart: unknown algorithm %q\n", *algo)
+		os.Exit(2)
+	}
+
+	fmt.Printf("%-18s %10s %12s %10s   %s\n", "algorithm", "edge-cut", "imbalance", "max-cutsz", "part sizes")
+	for _, pt := range algos {
+		p, err := pt.Partition(g, *k)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aapart: %s: %v\n", pt.Name(), err)
+			os.Exit(1)
+		}
+		q := partition.Evaluate(g, p)
+		maxCut := 0
+		for _, c := range q.CutSizes {
+			if c > maxCut {
+				maxCut = c
+			}
+		}
+		sizes := make([]string, len(q.Sizes))
+		for i, s := range q.Sizes {
+			sizes[i] = fmt.Sprint(s)
+		}
+		fmt.Printf("%-18s %10d %12.3f %10d   [%s]\n",
+			pt.Name(), q.EdgeCut, q.Imbalance, maxCut, strings.Join(sizes, " "))
+	}
+}

@@ -1,0 +1,3 @@
+module anytime
+
+go 1.22

@@ -1,0 +1,165 @@
+package centrality
+
+import (
+	"math"
+	"testing"
+
+	"anytime/internal/gen"
+	"anytime/internal/graph"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func starGraph(n int) *graph.Graph {
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(0, v, 1)
+	}
+	return g
+}
+
+func pathGraph(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(i, i+1, 1)
+	}
+	return g
+}
+
+func TestClosenessStar(t *testing.T) {
+	c := Closeness(starGraph(5))
+	if !approx(c[0], 1.0/4) {
+		t.Fatalf("hub closeness = %g", c[0])
+	}
+	// leaf: 1 + 2+2+2 = 7
+	if !approx(c[1], 1.0/7) {
+		t.Fatalf("leaf closeness = %g", c[1])
+	}
+}
+
+func TestClosenessDisconnected(t *testing.T) {
+	g := graph.New(3)
+	g.MustAddEdge(0, 1, 2)
+	c := Closeness(g)
+	if !approx(c[0], 0.5) || !approx(c[2], 0) {
+		t.Fatalf("closeness = %v", c)
+	}
+}
+
+func TestHarmonicPath(t *testing.T) {
+	h := Harmonic(pathGraph(3))
+	if !approx(h[0], 1+0.5) || !approx(h[1], 2) {
+		t.Fatalf("harmonic = %v", h)
+	}
+}
+
+func TestLinIndexConnectedMatchesScaledCloseness(t *testing.T) {
+	g := starGraph(5)
+	lin := Lin(g)
+	c := Closeness(g)
+	// connected graph: Lin = (n-1)^2/(n-1) / sum = (n-1) * closeness
+	for v := range lin {
+		if !approx(lin[v], 4*c[v]) {
+			t.Fatalf("lin[%d] = %g, closeness = %g", v, lin[v], c[v])
+		}
+	}
+}
+
+func TestDegreeCentrality(t *testing.T) {
+	d := Degree(starGraph(5))
+	if !approx(d[0], 1) || !approx(d[3], 0.25) {
+		t.Fatalf("degree = %v", d)
+	}
+	if len(Degree(graph.New(1))) != 1 {
+		t.Fatal("single vertex should work")
+	}
+}
+
+func TestBetweennessStar(t *testing.T) {
+	bc := Betweenness(starGraph(5))
+	// hub lies on all C(4,2)=6 leaf pairs
+	if !approx(bc[0], 6) {
+		t.Fatalf("hub betweenness = %g", bc[0])
+	}
+	for v := 1; v < 5; v++ {
+		if !approx(bc[v], 0) {
+			t.Fatalf("leaf %d betweenness = %g", v, bc[v])
+		}
+	}
+}
+
+func TestBetweennessPath(t *testing.T) {
+	bc := Betweenness(pathGraph(4))
+	// path 0-1-2-3: inner vertices carry 2 pairs each
+	if !approx(bc[1], 2) || !approx(bc[2], 2) || !approx(bc[0], 0) {
+		t.Fatalf("betweenness = %v", bc)
+	}
+}
+
+func TestBetweennessCountsMultiplicities(t *testing.T) {
+	// diamond: 0-1, 0-2, 1-3, 2-3; two shortest 0→3 paths
+	g := graph.New(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(0, 2, 1)
+	g.MustAddEdge(1, 3, 1)
+	g.MustAddEdge(2, 3, 1)
+	bc := Betweenness(g)
+	if !approx(bc[1], 0.5) || !approx(bc[2], 0.5) {
+		t.Fatalf("betweenness = %v", bc)
+	}
+}
+
+func TestBetweennessWeighted(t *testing.T) {
+	// triangle where the direct edge 0-2 is longer than the detour via 1
+	g := graph.New(3)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(0, 2, 5)
+	bc := Betweenness(g)
+	if !approx(bc[1], 1) {
+		t.Fatalf("betweenness = %v", bc)
+	}
+}
+
+func TestClosenessMatchesEngineScaleFree(t *testing.T) {
+	g, err := gen.BarabasiAlbert(120, 2, gen.Weights{Min: 1, Max: 3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Closeness(g)
+	for v, cv := range c {
+		if cv <= 0 {
+			t.Fatalf("closeness[%d] = %g on a connected graph", v, cv)
+		}
+	}
+	// hubs (max degree) should rank above the median closeness
+	hub := 0
+	for v := 1; v < 120; v++ {
+		if g.Degree(v) > g.Degree(hub) {
+			hub = v
+		}
+	}
+	above := 0
+	for _, cv := range c {
+		if c[hub] >= cv {
+			above++
+		}
+	}
+	if above < 100 {
+		t.Fatalf("hub closeness rank too low: above %d/120", above)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	scores := []float64{0.3, 0.9, 0.1, 0.9, 0.5}
+	top := TopK(scores, 3)
+	want := []int{1, 3, 4}
+	for i := range want {
+		if top[i] != want[i] {
+			t.Fatalf("TopK = %v, want %v", top, want)
+		}
+	}
+	if len(TopK(scores, 99)) != 5 {
+		t.Fatal("k > n should clamp")
+	}
+}

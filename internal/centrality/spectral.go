@@ -1,0 +1,124 @@
+package centrality
+
+import (
+	"math"
+
+	"anytime/internal/graph"
+)
+
+// Eigenvector computes eigenvector centrality by power iteration on the
+// shifted weighted adjacency matrix A+I (same eigenvectors as A; the
+// shift guarantees convergence on bipartite graphs, whose spectrum is
+// symmetric). The paper's §IV lists eigenvector centrality among the key
+// measures. Scores are normalized to unit Euclidean norm. Iteration stops
+// at maxIter (0 = 200) or when the L1 change falls below tol (0 = 1e-10).
+func Eigenvector(g *graph.Graph, maxIter int, tol float64) []float64 {
+	n := g.NumVertices()
+	if maxIter <= 0 {
+		maxIter = 200
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1 / math.Sqrt(float64(n))
+	}
+	next := make([]float64, n)
+	for iter := 0; iter < maxIter; iter++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for v := 0; v < n; v++ {
+			xv := x[v]
+			if xv == 0 {
+				continue
+			}
+			next[v] += xv // the +I shift
+			for _, a := range g.Neighbors(v) {
+				next[a.To] += xv * float64(a.Weight)
+			}
+		}
+		var norm float64
+		for _, t := range next {
+			norm += t * t
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			return x // edgeless graph: initial uniform vector
+		}
+		var delta float64
+		for i := range next {
+			next[i] /= norm
+			delta += math.Abs(next[i] - x[i])
+		}
+		x, next = next, x
+		if delta < tol {
+			break
+		}
+	}
+	return x
+}
+
+// PageRank computes PageRank with damping factor d (0 = 0.85) by power
+// iteration over the weighted transition matrix (weights act as transition
+// propensities; note this is the opposite sense of the shortest-path
+// interpretation, as is conventional for random-walk measures). Dangling
+// vertices redistribute uniformly. Scores sum to 1.
+func PageRank(g *graph.Graph, d float64, maxIter int, tol float64) []float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return nil
+	}
+	if d <= 0 || d >= 1 {
+		d = 0.85
+	}
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	wdeg := make([]float64, n)
+	for v := 0; v < n; v++ {
+		for _, a := range g.Neighbors(v) {
+			wdeg[v] += float64(a.Weight)
+		}
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1 / float64(n)
+	}
+	next := make([]float64, n)
+	for iter := 0; iter < maxIter; iter++ {
+		base := (1 - d) / float64(n)
+		var dangling float64
+		for v := 0; v < n; v++ {
+			if wdeg[v] == 0 {
+				dangling += x[v]
+			}
+		}
+		base += d * dangling / float64(n)
+		for i := range next {
+			next[i] = base
+		}
+		for v := 0; v < n; v++ {
+			if wdeg[v] == 0 {
+				continue
+			}
+			share := d * x[v] / wdeg[v]
+			for _, a := range g.Neighbors(v) {
+				next[a.To] += share * float64(a.Weight)
+			}
+		}
+		var delta float64
+		for i := range next {
+			delta += math.Abs(next[i] - x[i])
+		}
+		x, next = next, x
+		if delta < tol {
+			break
+		}
+	}
+	return x
+}

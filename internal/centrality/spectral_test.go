@@ -1,0 +1,127 @@
+package centrality
+
+import (
+	"math"
+	"testing"
+
+	"anytime/internal/gen"
+	"anytime/internal/graph"
+)
+
+func TestEigenvectorStar(t *testing.T) {
+	g := starGraph(5)
+	x := Eigenvector(g, 0, 0)
+	// hub must dominate; leaves equal by symmetry
+	if x[0] <= x[1] {
+		t.Fatalf("hub %g not above leaf %g", x[0], x[1])
+	}
+	for v := 2; v < 5; v++ {
+		if math.Abs(x[v]-x[1]) > 1e-8 {
+			t.Fatalf("leaves differ: %v", x)
+		}
+	}
+	// analytically, hub/leaf ratio is sqrt(4) = 2 for a star K_{1,4}
+	if r := x[0] / x[1]; math.Abs(r-2) > 1e-6 {
+		t.Fatalf("hub/leaf ratio = %g, want 2", r)
+	}
+	var norm float64
+	for _, xi := range x {
+		norm += xi * xi
+	}
+	if math.Abs(norm-1) > 1e-9 {
+		t.Fatalf("norm = %g", norm)
+	}
+}
+
+func TestEigenvectorEdgeless(t *testing.T) {
+	x := Eigenvector(graph.New(4), 0, 0)
+	for _, xi := range x {
+		if math.Abs(xi-0.5) > 1e-12 {
+			t.Fatalf("edgeless eigenvector = %v", x)
+		}
+	}
+}
+
+func TestEigenvectorSymmetricCycle(t *testing.T) {
+	g := graph.New(6)
+	for i := 0; i < 6; i++ {
+		g.MustAddEdge(i, (i+1)%6, 1)
+	}
+	x := Eigenvector(g, 0, 0)
+	for v := 1; v < 6; v++ {
+		if math.Abs(x[v]-x[0]) > 1e-7 {
+			t.Fatalf("cycle should be uniform: %v", x)
+		}
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	g, err := gen.BarabasiAlbert(200, 2, gen.Weights{Min: 1, Max: 3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := PageRank(g, 0, 0, 0)
+	var sum float64
+	for _, p := range pr {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("sum = %g", sum)
+	}
+}
+
+func TestPageRankDangling(t *testing.T) {
+	// one isolated vertex: must still receive the teleport share and the
+	// scores must sum to 1
+	g := graph.New(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	pr := PageRank(g, 0.85, 0, 0)
+	var sum float64
+	for _, p := range pr {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("sum = %g", sum)
+	}
+	if pr[3] <= 0 {
+		t.Fatal("isolated vertex got no rank")
+	}
+	if pr[1] <= pr[0] {
+		t.Fatalf("middle vertex should outrank endpoint: %v", pr)
+	}
+}
+
+func TestPageRankHubDominates(t *testing.T) {
+	g := starGraph(9)
+	pr := PageRank(g, 0.85, 0, 0)
+	for v := 1; v < 9; v++ {
+		if pr[0] <= pr[v] {
+			t.Fatalf("hub rank %g not above leaf %g", pr[0], pr[v])
+		}
+	}
+}
+
+func TestEigenvectorAndPageRankAgreeOnHubs(t *testing.T) {
+	g, err := gen.BarabasiAlbert(300, 2, gen.Weights{}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := Eigenvector(g, 0, 0)
+	pr := PageRank(g, 0, 0, 0)
+	// the top-10 sets of both measures should overlap substantially on a
+	// scale-free graph
+	topEV := map[int]bool{}
+	for _, v := range TopK(ev, 10) {
+		topEV[v] = true
+	}
+	overlap := 0
+	for _, v := range TopK(pr, 10) {
+		if topEV[v] {
+			overlap++
+		}
+	}
+	if overlap < 5 {
+		t.Fatalf("top-10 overlap only %d", overlap)
+	}
+}

@@ -1,0 +1,235 @@
+// Package clique implements anytime maximal clique enumeration, the other
+// SNA analysis of the anytime-anywhere methodology's lineage (Pan &
+// Santos, SMC 2008): Bron–Kerbosch with pivoting and degeneracy ordering,
+// streaming each maximal clique to a callback as soon as it is found —
+// interrupt at any point and the cliques reported so far form a valid
+// partial enumeration.
+package clique
+
+import (
+	"sort"
+
+	"anytime/internal/graph"
+)
+
+// Visitor receives one maximal clique (sorted ascending; the slice is
+// reused — copy it to retain). Returning false stops the enumeration (the
+// anytime interrupt).
+type Visitor func(clique []int32) bool
+
+// EnumerateMaximal streams every maximal clique of g to visit, using
+// Bron–Kerbosch with pivoting over a degeneracy vertex ordering (the
+// standard output-efficient variant). It returns the number of cliques
+// reported and whether the enumeration ran to completion (false if the
+// visitor stopped it).
+func EnumerateMaximal(g *graph.Graph, visit Visitor) (int, bool) {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0, true
+	}
+	adj := buildAdjSets(g)
+	order := DegeneracyOrder(g)
+	pos := make([]int, n)
+	for i, v := range order {
+		pos[v] = i
+	}
+	e := &enum{g: g, adj: adj, visit: visit}
+	for _, v := range order {
+		// P = later neighbors, X = earlier neighbors (w.r.t. the ordering)
+		var p, x []int32
+		for _, a := range g.Neighbors(int(v)) {
+			if pos[a.To] > pos[v] {
+				p = append(p, a.To)
+			} else {
+				x = append(x, a.To)
+			}
+		}
+		e.r = append(e.r[:0], v)
+		if !e.expand(p, x) {
+			return e.count, false
+		}
+	}
+	return e.count, true
+}
+
+type enum struct {
+	g     *graph.Graph
+	adj   []map[int32]bool
+	visit Visitor
+	r     []int32
+	count int
+	out   []int32 // scratch for the sorted clique handed to the visitor
+}
+
+// expand is the recursive Bron–Kerbosch step with pivoting. Returns false
+// if the visitor stopped the enumeration.
+func (e *enum) expand(p, x []int32) bool {
+	if len(p) == 0 && len(x) == 0 {
+		e.count++
+		e.out = append(e.out[:0], e.r...)
+		sort.Slice(e.out, func(i, j int) bool { return e.out[i] < e.out[j] })
+		return e.visit(e.out)
+	}
+	// pivot: vertex of P ∪ X with the most neighbors in P
+	pivot, best := int32(-1), -1
+	consider := func(u int32) {
+		cnt := 0
+		for _, w := range p {
+			if e.adj[u][w] {
+				cnt++
+			}
+		}
+		if cnt > best {
+			pivot, best = u, cnt
+		}
+	}
+	for _, u := range p {
+		consider(u)
+	}
+	for _, u := range x {
+		consider(u)
+	}
+	// candidates: P minus neighbors of the pivot
+	var cands []int32
+	for _, u := range p {
+		if !e.adj[pivot][u] {
+			cands = append(cands, u)
+		}
+	}
+	pSet := append([]int32(nil), p...)
+	xSet := append([]int32(nil), x...)
+	for _, u := range cands {
+		var np, nx []int32
+		for _, w := range pSet {
+			if e.adj[u][w] {
+				np = append(np, w)
+			}
+		}
+		for _, w := range xSet {
+			if e.adj[u][w] {
+				nx = append(nx, w)
+			}
+		}
+		e.r = append(e.r, u)
+		ok := e.expand(np, nx)
+		e.r = e.r[:len(e.r)-1]
+		if !ok {
+			return false
+		}
+		// move u from P to X
+		for i, w := range pSet {
+			if w == u {
+				pSet = append(pSet[:i], pSet[i+1:]...)
+				break
+			}
+		}
+		xSet = append(xSet, u)
+	}
+	return true
+}
+
+func buildAdjSets(g *graph.Graph) []map[int32]bool {
+	adj := make([]map[int32]bool, g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		m := make(map[int32]bool, g.Degree(v))
+		for _, a := range g.Neighbors(v) {
+			m[a.To] = true
+		}
+		adj[v] = m
+	}
+	return adj
+}
+
+// DegeneracyOrder returns a vertex ordering by repeated minimum-degree
+// removal (the degeneracy ordering), which bounds the Bron–Kerbosch
+// recursion width by the graph's degeneracy.
+func DegeneracyOrder(g *graph.Graph) []int32 {
+	n := g.NumVertices()
+	deg := make([]int, n)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(v)
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	buckets := make([][]int32, maxDeg+1)
+	for v := 0; v < n; v++ {
+		buckets[deg[v]] = append(buckets[deg[v]], int32(v))
+	}
+	removed := make([]bool, n)
+	order := make([]int32, 0, n)
+	cur := 0
+	for len(order) < n {
+		for cur < len(buckets) && len(buckets[cur]) == 0 {
+			cur++
+		}
+		if cur >= len(buckets) {
+			break
+		}
+		v := buckets[cur][len(buckets[cur])-1]
+		buckets[cur] = buckets[cur][:len(buckets[cur])-1]
+		if removed[v] || deg[v] != cur {
+			continue // stale bucket entry
+		}
+		removed[v] = true
+		order = append(order, v)
+		for _, a := range g.Neighbors(int(v)) {
+			if !removed[a.To] {
+				deg[a.To]--
+				buckets[deg[a.To]] = append(buckets[deg[a.To]], a.To)
+				if deg[a.To] < cur {
+					cur = deg[a.To]
+				}
+			}
+		}
+	}
+	return order
+}
+
+// Degeneracy returns the graph degeneracy (the largest minimum degree of
+// any subgraph), a standard sparsity measure for social networks.
+func Degeneracy(g *graph.Graph) int {
+	n := g.NumVertices()
+	deg := make([]int, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(v)
+	}
+	removed := make([]bool, n)
+	degeneracy := 0
+	for k := 0; k < n; k++ {
+		min, minV := -1, -1
+		for v := 0; v < n; v++ {
+			if !removed[v] && (min == -1 || deg[v] < min) {
+				min, minV = deg[v], v
+			}
+		}
+		if minV == -1 {
+			break
+		}
+		if min > degeneracy {
+			degeneracy = min
+		}
+		removed[minV] = true
+		for _, a := range g.Neighbors(minV) {
+			if !removed[a.To] {
+				deg[a.To]--
+			}
+		}
+	}
+	return degeneracy
+}
+
+// MaxClique returns one maximum clique (largest size) by full enumeration.
+// Exponential in the worst case; intended for the moderate, sparse social
+// graphs this library targets.
+func MaxClique(g *graph.Graph) []int32 {
+	var best []int32
+	EnumerateMaximal(g, func(c []int32) bool {
+		if len(c) > len(best) {
+			best = append(best[:0], c...)
+		}
+		return true
+	})
+	return best
+}

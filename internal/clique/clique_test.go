@@ -1,0 +1,235 @@
+package clique
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"anytime/internal/gen"
+	"anytime/internal/graph"
+)
+
+func collect(g *graph.Graph) [][]int32 {
+	var out [][]int32
+	EnumerateMaximal(g, func(c []int32) bool {
+		out = append(out, append([]int32(nil), c...))
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+	return out
+}
+
+func TestEnumerateTrianglePlusTail(t *testing.T) {
+	// triangle 0-1-2 with tail 2-3
+	g := graph.New(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(0, 2, 1)
+	g.MustAddEdge(2, 3, 1)
+	got := collect(g)
+	want := [][]int32{{0, 1, 2}, {2, 3}}
+	if len(got) != len(want) {
+		t.Fatalf("cliques = %v", got)
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("cliques = %v, want %v", got, want)
+			}
+		}
+	}
+}
+
+func TestEnumerateCompleteGraph(t *testing.T) {
+	g := graph.New(6)
+	for u := 0; u < 6; u++ {
+		for v := u + 1; v < 6; v++ {
+			g.MustAddEdge(u, v, 1)
+		}
+	}
+	count, done := EnumerateMaximal(g, func([]int32) bool { return true })
+	if !done || count != 1 {
+		t.Fatalf("K6 should have exactly 1 maximal clique, got %d", count)
+	}
+	mc := MaxClique(g)
+	if len(mc) != 6 {
+		t.Fatalf("max clique size = %d", len(mc))
+	}
+}
+
+func TestEnumerateEdgeless(t *testing.T) {
+	g := graph.New(3)
+	got := collect(g)
+	// each isolated vertex is a maximal clique of size 1
+	if len(got) != 3 {
+		t.Fatalf("cliques = %v", got)
+	}
+	if n, done := EnumerateMaximal(graph.New(0), func([]int32) bool { return true }); n != 0 || !done {
+		t.Fatal("empty graph should yield nothing")
+	}
+}
+
+// Every reported clique must actually be a clique and maximal; the count
+// must match a brute-force enumeration on small random graphs.
+func TestEnumerateAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(8)
+		g := graph.New(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Intn(3) != 0 {
+					g.MustAddEdge(u, v, 1)
+				}
+			}
+		}
+		adj := make([][]bool, n)
+		for u := 0; u < n; u++ {
+			adj[u] = make([]bool, n)
+			for _, a := range g.Neighbors(u) {
+				adj[u][a.To] = true
+			}
+		}
+		isClique := func(set []int) bool {
+			for i := 0; i < len(set); i++ {
+				for j := i + 1; j < len(set); j++ {
+					if !adj[set[i]][set[j]] {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		// brute force over all subsets
+		brute := 0
+		for mask := 1; mask < 1<<n; mask++ {
+			var set []int
+			for v := 0; v < n; v++ {
+				if mask&(1<<v) != 0 {
+					set = append(set, v)
+				}
+			}
+			if !isClique(set) {
+				continue
+			}
+			maximal := true
+			for v := 0; v < n && maximal; v++ {
+				if mask&(1<<v) != 0 {
+					continue
+				}
+				ok := true
+				for _, u := range set {
+					if !adj[v][u] {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					maximal = false
+				}
+			}
+			if maximal {
+				brute++
+			}
+		}
+		count := 0
+		EnumerateMaximal(g, func(c []int32) bool {
+			set := make([]int, len(c))
+			for i, v := range c {
+				set[i] = int(v)
+			}
+			if !isClique(set) {
+				t.Fatalf("trial %d: reported non-clique %v", trial, c)
+			}
+			count++
+			return true
+		})
+		if count != brute {
+			t.Fatalf("trial %d: enumerated %d cliques, brute force %d", trial, count, brute)
+		}
+	}
+}
+
+// The anytime property: the visitor can stop the enumeration early and
+// the count reflects exactly what was delivered.
+func TestEnumerateInterrupt(t *testing.T) {
+	g, err := gen.BarabasiAlbert(100, 3, gen.Weights{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, done := EnumerateMaximal(g, func([]int32) bool { return true })
+	if !done || total < 10 {
+		t.Fatalf("expected many cliques, got %d", total)
+	}
+	limit := total / 2
+	seen := 0
+	n, done := EnumerateMaximal(g, func([]int32) bool {
+		seen++
+		return seen < limit
+	})
+	if done {
+		t.Fatal("enumeration should have been interrupted")
+	}
+	if n != limit || seen != limit {
+		t.Fatalf("interrupted at %d, reported %d, want %d", seen, n, limit)
+	}
+}
+
+func TestDegeneracy(t *testing.T) {
+	// a tree has degeneracy 1
+	tree := graph.New(6)
+	for v := 1; v < 6; v++ {
+		tree.MustAddEdge(v, (v-1)/2, 1)
+	}
+	if d := Degeneracy(tree); d != 1 {
+		t.Fatalf("tree degeneracy = %d", d)
+	}
+	// K5 has degeneracy 4
+	k5 := graph.New(5)
+	for u := 0; u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			k5.MustAddEdge(u, v, 1)
+		}
+	}
+	if d := Degeneracy(k5); d != 4 {
+		t.Fatalf("K5 degeneracy = %d", d)
+	}
+}
+
+func TestDegeneracyOrderIsPermutation(t *testing.T) {
+	g, err := gen.BarabasiAlbert(200, 2, gen.Weights{}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := DegeneracyOrder(g)
+	if len(order) != 200 {
+		t.Fatalf("order covers %d vertices", len(order))
+	}
+	seen := make([]bool, 200)
+	for _, v := range order {
+		if seen[v] {
+			t.Fatalf("vertex %d repeated", v)
+		}
+		seen[v] = true
+	}
+}
+
+// BA graphs with attachment m contain K_{m+1}: MaxClique must find at
+// least that.
+func TestMaxCliqueOnScaleFree(t *testing.T) {
+	g, err := gen.BarabasiAlbert(150, 3, gen.Weights{}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc := MaxClique(g); len(mc) < 4 {
+		t.Fatalf("max clique %v smaller than the seed clique", mc)
+	}
+}

@@ -1,0 +1,320 @@
+// Package cluster simulates the paper's distributed-memory testbed inside
+// one process. Each of the P "processors" runs as a goroutine over its own
+// private state; messages move between per-processor mailboxes through the
+// paper's flood-avoiding personalized all-to-all schedule and a binomial
+// tree broadcast; and every message and unit of work is charged to a LogP
+// virtual clock so cluster-scale runtimes can be reported alongside real
+// wall-clock measurements.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"anytime/internal/logp"
+)
+
+// Tag distinguishes message kinds in the mailboxes.
+type Tag uint8
+
+const (
+	// TagBoundaryDV carries updated boundary distance vectors (RC phase).
+	TagBoundaryDV Tag = iota
+	// TagNewVertexRow carries a new vertex's distance vector (vertex addition).
+	TagNewVertexRow
+	// TagMigrateRows carries rows of vertices relocated by repartitioning.
+	TagMigrateRows
+	// TagControl carries small control/termination information.
+	TagControl
+)
+
+// Message is one logical message between processors. Payload stays
+// in-process (no serialization); Bytes is the accounted on-wire size and is
+// what the LogP clock charges.
+type Message struct {
+	From, To int
+	Tag      Tag
+	Bytes    int
+	Payload  interface{}
+}
+
+// TagStats are per-message-kind counters.
+type TagStats struct {
+	Messages int64
+	Bytes    int64
+}
+
+// NumTags is the number of message kinds tracked in Stats.ByTag.
+const NumTags = int(TagControl) + 1
+
+// Stats aggregates communication counters for reports and the analysis
+// benches. ByTag breaks traffic down by message kind (boundary DVs,
+// vertex-addition row broadcasts, migration, control).
+type Stats struct {
+	Messages   int64 // logical messages
+	Chunks     int64 // wire messages after MaxMsgBytes splitting
+	Bytes      int64
+	Broadcasts int64
+	Barriers   int64
+	Steps      int64
+	ByTag      [NumTags]TagStats
+}
+
+// Config configures a Machine.
+type Config struct {
+	Model logp.Model
+	// MaxMsgBytes is the paper's bounded message size m: larger payloads
+	// are accounted as multiple wire messages. 0 = unbounded.
+	MaxMsgBytes int
+	// Serialized, when true (the paper's schedule), charges the all-to-all
+	// exchange as if only one message traverses the network at a time
+	// (O(P^2) message slots). When false, the P-1 disjoint-pair rounds are
+	// charged in parallel per round.
+	Serialized bool
+	// Workers bounds the real goroutines used by Parallel (0 = P).
+	Workers int
+}
+
+// Machine is the simulated cluster.
+type Machine struct {
+	cfg    Config
+	clocks []*logp.Clock
+	stats  Stats
+	mu     sync.Mutex
+}
+
+// New creates a machine with the given configuration.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxMsgBytes < 0 {
+		return nil, fmt.Errorf("cluster: negative MaxMsgBytes")
+	}
+	m := &Machine{cfg: cfg, clocks: make([]*logp.Clock, cfg.Model.P)}
+	for i := range m.clocks {
+		m.clocks[i] = &logp.Clock{}
+	}
+	return m, nil
+}
+
+// P returns the processor count.
+func (m *Machine) P() int { return m.cfg.Model.P }
+
+// Model returns the LogP parameters.
+func (m *Machine) Model() logp.Model { return m.cfg.Model }
+
+// Stats returns a snapshot of the counters.
+func (m *Machine) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// VirtualTime returns the maximum processor clock: the simulated elapsed
+// time of the computation so far.
+func (m *Machine) VirtualTime() time.Duration {
+	var max time.Duration
+	for _, c := range m.clocks {
+		if c.Now() > max {
+			max = c.Now()
+		}
+	}
+	return max
+}
+
+// Charge adds `ops` abstract work units to processor p's clock. Safe for
+// concurrent use from Parallel bodies (each p owns its clock).
+func (m *Machine) Charge(p int, ops int64) {
+	m.clocks[p].Advance(m.cfg.Model.Work(ops))
+}
+
+// ChargeDuration adds an explicit virtual duration to processor p's clock.
+func (m *Machine) ChargeDuration(p int, d time.Duration) {
+	m.clocks[p].Advance(d)
+}
+
+// Barrier synchronizes all clocks to the maximum (bulk-synchronous step
+// boundary).
+func (m *Machine) Barrier() time.Duration {
+	m.mu.Lock()
+	m.stats.Barriers++
+	m.mu.Unlock()
+	return logp.Barrier(m.clocks)
+}
+
+// Parallel runs body(p) for every processor concurrently and waits for all
+// of them (a compute super-step). Bodies own disjoint state; they may call
+// Charge(p, ...) for their own p only.
+func (m *Machine) Parallel(body func(p int)) {
+	m.mu.Lock()
+	m.stats.Steps++
+	m.mu.Unlock()
+	workers := m.cfg.Workers
+	if workers <= 0 || workers > m.P() {
+		workers = m.P()
+	}
+	if workers == 1 {
+		for p := 0; p < m.P(); p++ {
+			body(p)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for p := 0; p < m.P(); p++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(p int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			body(p)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// chunks returns the wire-message count for a payload size under the
+// bounded-message-size schedule.
+func (m *Machine) chunks(bytes int) int64 {
+	if m.cfg.MaxMsgBytes <= 0 || bytes <= m.cfg.MaxMsgBytes {
+		return 1
+	}
+	return int64((bytes + m.cfg.MaxMsgBytes - 1) / m.cfg.MaxMsgBytes)
+}
+
+// msgCost is the endpoint-to-endpoint virtual cost of one logical message:
+// per chunk, sender overhead + wire latency + receiver overhead, plus the
+// per-byte serialization gap.
+func (m *Machine) msgCost(bytes int) time.Duration {
+	md := m.cfg.Model
+	ch := m.chunks(bytes)
+	return time.Duration(ch)*(md.O+md.L+md.O) + time.Duration(bytes)*md.G
+}
+
+// Exchange performs the personalized all-to-all of one recombination step:
+// outbox[p] holds processor p's outgoing messages (To must be a valid
+// processor, From is overwritten). It returns inbox[q], the messages
+// delivered to each processor, in deterministic (round, sender) order, and
+// advances the virtual clocks according to the configured schedule.
+//
+// The schedule runs P-1 rounds; in round r, processor p sends its messages
+// addressed to (p+r) mod P. With Serialized accounting (the paper's
+// "only one message traverses the network at any time"), message slots are
+// charged one after another globally; otherwise each round is charged as P
+// concurrent pairwise transfers.
+func (m *Machine) Exchange(outbox [][]Message) [][]Message {
+	P := m.P()
+	inbox := make([][]Message, P)
+	// index outgoing by (from, to)
+	byDest := make([][][]Message, P)
+	for p := 0; p < P; p++ {
+		byDest[p] = make([][]Message, P)
+		for i := range outbox[p] {
+			msg := outbox[p][i]
+			msg.From = p
+			if msg.To < 0 || msg.To >= P {
+				panic(fmt.Sprintf("cluster: message to invalid processor %d", msg.To))
+			}
+			if msg.To == p {
+				// local delivery, no network cost
+				inbox[p] = append(inbox[p], msg)
+				continue
+			}
+			byDest[p][msg.To] = append(byDest[p][msg.To], msg)
+		}
+	}
+	start := m.Barrier() // exchange begins when every processor arrives
+	var serialClock time.Duration
+	for r := 1; r < P; r++ {
+		var roundMax time.Duration
+		for p := 0; p < P; p++ {
+			q := (p + r) % P
+			msgs := byDest[p][q]
+			if len(msgs) == 0 {
+				continue
+			}
+			var cost time.Duration
+			var bytes int64
+			for _, msg := range msgs {
+				cost += m.msgCost(msg.Bytes)
+				bytes += int64(msg.Bytes)
+				m.mu.Lock()
+				m.stats.Messages++
+				m.stats.Chunks += m.chunks(msg.Bytes)
+				m.stats.Bytes += int64(msg.Bytes)
+				m.stats.ByTag[msg.Tag].Messages++
+				m.stats.ByTag[msg.Tag].Bytes += int64(msg.Bytes)
+				m.mu.Unlock()
+				inbox[q] = append(inbox[q], msg)
+			}
+			if m.cfg.Serialized {
+				serialClock += cost
+			} else if cost > roundMax {
+				roundMax = cost
+			}
+		}
+		if !m.cfg.Serialized {
+			serialClock += roundMax
+		}
+	}
+	for _, c := range m.clocks {
+		c.AdvanceTo(start + serialClock)
+	}
+	return inbox
+}
+
+// Broadcast charges a binomial-tree broadcast of a payload of the given
+// size from root to all other processors and returns the per-processor
+// copies of the message. ceil(log2 P) rounds, each a point-to-point
+// message cost.
+func (m *Machine) Broadcast(root int, msg Message) [][]Message {
+	P := m.P()
+	out := make([][]Message, P)
+	msg.From = root
+	for q := 0; q < P; q++ {
+		if q != root {
+			mq := msg
+			mq.To = q
+			out[q] = append(out[q], mq)
+		}
+	}
+	rounds := 0
+	for 1<<rounds < P {
+		rounds++
+	}
+	start := m.Barrier()
+	cost := time.Duration(rounds) * m.msgCost(msg.Bytes)
+	for _, c := range m.clocks {
+		c.AdvanceTo(start + cost)
+	}
+	m.mu.Lock()
+	m.stats.Broadcasts++
+	m.stats.Messages += int64(P - 1)
+	m.stats.Chunks += int64(P-1) * m.chunks(msg.Bytes)
+	m.stats.Bytes += int64(P-1) * int64(msg.Bytes)
+	m.stats.ByTag[msg.Tag].Messages += int64(P - 1)
+	m.stats.ByTag[msg.Tag].Bytes += int64(P-1) * int64(msg.Bytes)
+	m.mu.Unlock()
+	return out
+}
+
+// ResetClocks zeroes all virtual clocks (used by the baseline-restart
+// comparator between runs while keeping cumulative stats).
+func (m *Machine) ResetClocks() {
+	for i := range m.clocks {
+		m.clocks[i] = &logp.Clock{}
+	}
+}
+
+// Restore sets every clock to the given virtual time and replaces the
+// counters — used when resuming from a checkpoint.
+func (m *Machine) Restore(virtual time.Duration, st Stats) {
+	for _, c := range m.clocks {
+		c.AdvanceTo(virtual)
+	}
+	m.mu.Lock()
+	m.stats = st
+	m.mu.Unlock()
+}

@@ -1,0 +1,242 @@
+package cluster
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"anytime/internal/logp"
+)
+
+func testMachine(t *testing.T, p int, serialized bool, maxMsg int) *Machine {
+	t.Helper()
+	m, err := New(Config{
+		Model:       logp.Model{L: 100, O: 10, G: 1, P: p, Compute: 1},
+		Serialized:  serialized,
+		MaxMsgBytes: maxMsg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Model: logp.Model{P: 0}}); err == nil {
+		t.Fatal("P=0 should fail")
+	}
+	if _, err := New(Config{Model: logp.GigabitCluster(2), MaxMsgBytes: -1}); err == nil {
+		t.Fatal("negative MaxMsgBytes should fail")
+	}
+}
+
+func TestParallelRunsEveryProcessor(t *testing.T) {
+	m := testMachine(t, 8, true, 0)
+	var mask int64
+	m.Parallel(func(p int) {
+		atomic.AddInt64(&mask, 1<<uint(p))
+	})
+	if mask != (1<<8)-1 {
+		t.Fatalf("mask = %b", mask)
+	}
+	if m.Stats().Steps != 1 {
+		t.Fatalf("steps = %d", m.Stats().Steps)
+	}
+}
+
+func TestChargeAndBarrier(t *testing.T) {
+	m := testMachine(t, 3, true, 0)
+	m.Charge(0, 100)
+	m.Charge(1, 250)
+	if m.VirtualTime() != 250 {
+		t.Fatalf("virtual = %v", m.VirtualTime())
+	}
+	max := m.Barrier()
+	if max != 250 {
+		t.Fatalf("barrier = %v", max)
+	}
+	m.ChargeDuration(2, 5*time.Nanosecond)
+	if m.VirtualTime() != 255 {
+		t.Fatalf("after barrier+charge = %v", m.VirtualTime())
+	}
+}
+
+// The personalized all-to-all must deliver every message exactly once and
+// keep local messages free.
+func TestExchangeDelivery(t *testing.T) {
+	P := 4
+	m := testMachine(t, P, true, 0)
+	outbox := make([][]Message, P)
+	for p := 0; p < P; p++ {
+		for q := 0; q < P; q++ {
+			outbox[p] = append(outbox[p], Message{
+				To: q, Tag: TagControl, Bytes: 4, Payload: p*10 + q,
+			})
+		}
+	}
+	inbox := m.Exchange(outbox)
+	for q := 0; q < P; q++ {
+		if len(inbox[q]) != P {
+			t.Fatalf("processor %d received %d messages", q, len(inbox[q]))
+		}
+		seen := map[int]bool{}
+		for _, msg := range inbox[q] {
+			if msg.To != q {
+				t.Fatalf("misrouted message %+v", msg)
+			}
+			if msg.Payload.(int) != msg.From*10+q {
+				t.Fatalf("payload corrupted: %+v", msg)
+			}
+			if seen[msg.From] {
+				t.Fatalf("duplicate from %d", msg.From)
+			}
+			seen[msg.From] = true
+		}
+	}
+	st := m.Stats()
+	// P*(P-1) remote messages; local ones are free
+	if st.Messages != int64(P*(P-1)) {
+		t.Fatalf("messages = %d", st.Messages)
+	}
+	if st.Bytes != int64(P*(P-1)*4) {
+		t.Fatalf("bytes = %d", st.Bytes)
+	}
+}
+
+func TestExchangeDeterministicOrder(t *testing.T) {
+	P := 5
+	run := func() []int {
+		m := testMachine(t, P, true, 0)
+		outbox := make([][]Message, P)
+		for p := 0; p < P; p++ {
+			for q := 0; q < P; q++ {
+				if q != p {
+					outbox[p] = append(outbox[p], Message{To: q, Bytes: 1, Payload: p})
+				}
+			}
+		}
+		inbox := m.Exchange(outbox)
+		var order []int
+		for _, msg := range inbox[0] {
+			order = append(order, msg.From)
+		}
+		return order
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("order differs: %v vs %v", a, b)
+		}
+	}
+}
+
+// Serialized accounting must charge strictly more virtual time than
+// round-parallel accounting for the same traffic.
+func TestSerializedCostsMore(t *testing.T) {
+	traffic := func(m *Machine) time.Duration {
+		P := m.P()
+		outbox := make([][]Message, P)
+		for p := 0; p < P; p++ {
+			for q := 0; q < P; q++ {
+				if q != p {
+					outbox[p] = append(outbox[p], Message{To: q, Bytes: 1000})
+				}
+			}
+		}
+		m.Exchange(outbox)
+		return m.VirtualTime()
+	}
+	ser := traffic(testMachine(t, 6, true, 0))
+	par := traffic(testMachine(t, 6, false, 0))
+	if ser <= par {
+		t.Fatalf("serialized %v not above parallel %v", ser, par)
+	}
+}
+
+// Bounded message size must increase the accounted chunk count but not the
+// logical message count.
+func TestMaxMsgBytesChunking(t *testing.T) {
+	m := testMachine(t, 2, true, 100)
+	outbox := make([][]Message, 2)
+	outbox[0] = []Message{{To: 1, Bytes: 950}}
+	m.Exchange(outbox)
+	st := m.Stats()
+	if st.Messages != 1 {
+		t.Fatalf("messages = %d", st.Messages)
+	}
+	if st.Chunks != 10 {
+		t.Fatalf("chunks = %d, want 10", st.Chunks)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	m := testMachine(t, 8, true, 0)
+	out := m.Broadcast(3, Message{Tag: TagNewVertexRow, Bytes: 64, Payload: "row"})
+	for q := 0; q < 8; q++ {
+		if q == 3 {
+			if len(out[q]) != 0 {
+				t.Fatal("root should not receive its own broadcast")
+			}
+			continue
+		}
+		if len(out[q]) != 1 || out[q][0].From != 3 || out[q][0].Payload.(string) != "row" {
+			t.Fatalf("broadcast to %d wrong: %+v", q, out[q])
+		}
+	}
+	st := m.Stats()
+	if st.Broadcasts != 1 || st.Messages != 7 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// binomial tree over 8 procs: 3 rounds
+	wantRound := time.Duration(1)*(10+100+10) + 64*1
+	if m.VirtualTime() != 3*wantRound {
+		t.Fatalf("virtual = %v, want %v", m.VirtualTime(), 3*wantRound)
+	}
+}
+
+func TestResetClocks(t *testing.T) {
+	m := testMachine(t, 2, true, 0)
+	m.Charge(0, 1000)
+	m.ResetClocks()
+	if m.VirtualTime() != 0 {
+		t.Fatalf("virtual = %v after reset", m.VirtualTime())
+	}
+}
+
+func TestExchangePanicsOnBadDestination(t *testing.T) {
+	m := testMachine(t, 2, true, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Exchange([][]Message{{{To: 5}}, nil})
+}
+
+func TestPerTagAccounting(t *testing.T) {
+	m := testMachine(t, 3, true, 0)
+	outbox := make([][]Message, 3)
+	outbox[0] = []Message{
+		{To: 1, Tag: TagBoundaryDV, Bytes: 100},
+		{To: 2, Tag: TagMigrateRows, Bytes: 50},
+	}
+	m.Exchange(outbox)
+	m.Broadcast(1, Message{Tag: TagNewVertexRow, Bytes: 10})
+	st := m.Stats()
+	if st.ByTag[TagBoundaryDV].Bytes != 100 || st.ByTag[TagBoundaryDV].Messages != 1 {
+		t.Fatalf("boundary tag stats = %+v", st.ByTag[TagBoundaryDV])
+	}
+	if st.ByTag[TagMigrateRows].Bytes != 50 {
+		t.Fatalf("migrate tag stats = %+v", st.ByTag[TagMigrateRows])
+	}
+	if st.ByTag[TagNewVertexRow].Messages != 2 || st.ByTag[TagNewVertexRow].Bytes != 20 {
+		t.Fatalf("broadcast tag stats = %+v", st.ByTag[TagNewVertexRow])
+	}
+	total := int64(0)
+	for _, ts := range st.ByTag {
+		total += ts.Bytes
+	}
+	if total != st.Bytes {
+		t.Fatalf("tag bytes %d != total %d", total, st.Bytes)
+	}
+}

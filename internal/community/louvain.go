@@ -1,0 +1,196 @@
+// Package community implements Louvain modularity-based community detection.
+// The paper extracts the community-structured vertex batches for its
+// CutEdge-PS experiments with Pajek's Louvain method; this package plays
+// that role for the workload generator, and is exercised directly by the
+// examples.
+package community
+
+import (
+	"math/rand"
+	"sort"
+
+	"anytime/internal/graph"
+)
+
+// Modularity returns the Newman modularity Q of the labeling over the
+// weighted graph: Q = sum_c (in_c/(2W) - (tot_c/(2W))^2), where in_c is
+// twice the intra-community weight and tot_c the total degree-weight of c.
+func Modularity(g *graph.Graph, label []int32) float64 {
+	twoW := 2 * float64(g.TotalWeight())
+	if twoW == 0 {
+		return 0
+	}
+	in := map[int32]float64{}  // 2 * intra-community edge weight
+	tot := map[int32]float64{} // sum of weighted degrees
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, a := range g.Neighbors(v) {
+			tot[label[v]] += float64(a.Weight)
+			if label[v] == label[a.To] {
+				in[label[v]] += float64(a.Weight)
+			}
+		}
+	}
+	q := 0.0
+	for c, t := range tot {
+		q += in[c]/twoW - (t/twoW)*(t/twoW)
+	}
+	return q
+}
+
+// Result holds the outcome of a Louvain run.
+type Result struct {
+	Label      []int32 // community of every vertex, dense IDs [0, K)
+	K          int     // number of communities
+	Modularity float64
+	Levels     int // number of aggregation levels performed
+}
+
+// Louvain runs the Louvain method (local moving + graph aggregation) until
+// modularity stops improving. Deterministic for a fixed seed.
+func Louvain(g *graph.Graph, seed int64) *Result {
+	rng := rand.New(rand.NewSource(seed))
+	n := g.NumVertices()
+	// mapping from original vertices to current communities across levels
+	assign := make([]int32, n)
+	for i := range assign {
+		assign[i] = int32(i)
+	}
+	work := g
+	levels := 0
+	for {
+		moved, label, k := localMove(work, rng)
+		levels++
+		// Project this level's labels onto the original vertices.
+		for v := range assign {
+			assign[v] = label[assign[v]]
+		}
+		if !moved || k == work.NumVertices() {
+			break
+		}
+		work = aggregate(work, label, k)
+	}
+	// densify labels
+	dense := make(map[int32]int32)
+	for v, c := range assign {
+		d, ok := dense[c]
+		if !ok {
+			d = int32(len(dense))
+			dense[c] = d
+		}
+		assign[v] = d
+	}
+	return &Result{
+		Label:      assign,
+		K:          len(dense),
+		Modularity: Modularity(g, assign),
+		Levels:     levels,
+	}
+}
+
+// localMove performs the Louvain phase-1 sweep: repeatedly move vertices to
+// the neighboring community with the best modularity gain until no move
+// improves. Returns whether anything moved, the labels, and the community
+// count.
+func localMove(g *graph.Graph, rng *rand.Rand) (bool, []int32, int) {
+	n := g.NumVertices()
+	label := make([]int32, n)
+	for i := range label {
+		label[i] = int32(i)
+	}
+	twoW := 2 * float64(g.TotalWeight())
+	if twoW == 0 {
+		return false, label, n
+	}
+	wdeg := make([]float64, n) // weighted degree of each vertex
+	for v := 0; v < n; v++ {
+		for _, a := range g.Neighbors(v) {
+			wdeg[v] += float64(a.Weight)
+		}
+	}
+	tot := append([]float64(nil), wdeg...) // per-community degree sums
+
+	order := rng.Perm(n)
+	movedAny := false
+	neigh := map[int32]float64{} // weight from v to each neighboring community
+	var keys []int32             // neighbor communities in encounter order (determinism)
+	for pass := 0; pass < 32; pass++ {
+		movedPass := false
+		for _, v := range order {
+			cur := label[v]
+			for _, k := range keys {
+				delete(neigh, k)
+			}
+			keys = keys[:0]
+			for _, a := range g.Neighbors(v) {
+				c := label[a.To]
+				if _, ok := neigh[c]; !ok {
+					keys = append(keys, c)
+				}
+				neigh[c] += float64(a.Weight)
+			}
+			tot[cur] -= wdeg[v]
+			bestC, bestGain := cur, 0.0
+			for _, c := range keys {
+				// Delta-Q of moving v into c (relative to isolation):
+				gain := neigh[c]/twoW - tot[c]*wdeg[v]/(twoW*twoW)*2
+				if gain > bestGain ||
+					(gain == bestGain && bestC != cur && (c == cur || c < bestC)) {
+					bestC, bestGain = c, gain
+				}
+			}
+			tot[bestC] += wdeg[v]
+			if bestC != cur {
+				label[v] = bestC
+				movedPass, movedAny = true, true
+			}
+		}
+		if !movedPass {
+			break
+		}
+	}
+	// densify community IDs for aggregation
+	dense := make(map[int32]int32)
+	for v := range label {
+		d, ok := dense[label[v]]
+		if !ok {
+			d = int32(len(dense))
+			dense[label[v]] = d
+		}
+		label[v] = d
+	}
+	return movedAny, label, len(dense)
+}
+
+// aggregate builds the community super-graph: one vertex per community,
+// edge weights summed over inter-community edges. Intra-community weight is
+// dropped (self-loops are not representable in graph.Graph); Modularity is
+// always re-evaluated against the original graph, so this only biases the
+// move heuristic slightly, not the reported result.
+func aggregate(g *graph.Graph, label []int32, k int) *graph.Graph {
+	super := graph.New(k)
+	acc := make(map[int64]int64)
+	g.ForEachEdge(func(u, v int, w graph.Weight) {
+		cu, cv := label[u], label[v]
+		if cu == cv {
+			return
+		}
+		if cu > cv {
+			cu, cv = cv, cu
+		}
+		acc[int64(cu)<<32|int64(cv)] += int64(w)
+	})
+	keys := make([]int64, 0, len(acc))
+	for key := range acc {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, key := range keys {
+		w := acc[key]
+		cu, cv := int(key>>32), int(key&0xffffffff)
+		if w > int64(^uint32(0)>>1) {
+			w = int64(^uint32(0) >> 1)
+		}
+		super.MustAddEdge(cu, cv, graph.Weight(w))
+	}
+	return super
+}

@@ -1,0 +1,128 @@
+package community_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"anytime/internal/community"
+	"anytime/internal/gen"
+	"anytime/internal/graph"
+)
+
+func TestModularityKnownValues(t *testing.T) {
+	// two triangles joined by one edge
+	g := graph.New(6)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(0, 2, 1)
+	g.MustAddEdge(3, 4, 1)
+	g.MustAddEdge(4, 5, 1)
+	g.MustAddEdge(3, 5, 1)
+	g.MustAddEdge(2, 3, 1)
+	perfect := []int32{0, 0, 0, 1, 1, 1}
+	q := community.Modularity(g, perfect)
+	// Q = 2*(3/7 - (7/14)^2) = 0.357142...
+	if q < 0.35 || q > 0.36 {
+		t.Fatalf("modularity = %g", q)
+	}
+	allOne := []int32{0, 0, 0, 0, 0, 0}
+	if q1 := community.Modularity(g, allOne); q1 > 1e-9 || q1 < -1e-9 {
+		t.Fatalf("single community modularity = %g, want 0", q1)
+	}
+}
+
+func TestModularityEmptyGraph(t *testing.T) {
+	if q := community.Modularity(graph.New(3), []int32{0, 1, 2}); q != 0 {
+		t.Fatalf("edgeless modularity = %g", q)
+	}
+}
+
+func TestLouvainRecoversPlantedCommunities(t *testing.T) {
+	g, truth, err := gen.PlantedPartition(240, 4, 0.25, 0.005, gen.Weights{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := community.Louvain(g, 3)
+	if res.Modularity < 0.5 {
+		t.Fatalf("modularity %g too low for a strongly clustered graph", res.Modularity)
+	}
+	// agreement: most pairs of same-truth vertices share a Louvain label
+	agree, total := 0, 0
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 4000; i++ {
+		u, v := rng.Intn(240), rng.Intn(240)
+		if u == v || truth[u] != truth[v] {
+			continue
+		}
+		total++
+		if res.Label[u] == res.Label[v] {
+			agree++
+		}
+	}
+	if total == 0 || float64(agree)/float64(total) < 0.9 {
+		t.Fatalf("pair agreement %d/%d too low", agree, total)
+	}
+}
+
+func TestLouvainLabelsDenseAndValid(t *testing.T) {
+	g, err := gen.BarabasiAlbert(300, 3, gen.Weights{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := community.Louvain(g, 5)
+	if len(res.Label) != 300 {
+		t.Fatalf("labels = %d", len(res.Label))
+	}
+	seen := map[int32]bool{}
+	for _, c := range res.Label {
+		if int(c) < 0 || int(c) >= res.K {
+			t.Fatalf("label %d outside [0,%d)", c, res.K)
+		}
+		seen[c] = true
+	}
+	if len(seen) != res.K {
+		t.Fatalf("K=%d but %d labels used", res.K, len(seen))
+	}
+	if res.K <= 1 || res.K >= 300 {
+		t.Fatalf("implausible community count %d", res.K)
+	}
+	if res.Levels < 1 {
+		t.Fatal("no levels recorded")
+	}
+}
+
+func TestLouvainBeatsSingletonModularity(t *testing.T) {
+	g, err := gen.BarabasiAlbert(200, 2, gen.Weights{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := community.Louvain(g, 7)
+	singleton := make([]int32, 200)
+	for i := range singleton {
+		singleton[i] = int32(i)
+	}
+	if res.Modularity <= community.Modularity(g, singleton) {
+		t.Fatalf("Louvain modularity %g not above singleton baseline", res.Modularity)
+	}
+}
+
+func TestLouvainDeterministic(t *testing.T) {
+	g, err := gen.BarabasiAlbert(150, 2, gen.Weights{}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := community.Louvain(g, 11)
+	b := community.Louvain(g, 11)
+	for v := range a.Label {
+		if a.Label[v] != b.Label[v] {
+			t.Fatalf("nondeterministic at %d", v)
+		}
+	}
+}
+
+func TestLouvainEdgelessGraph(t *testing.T) {
+	res := community.Louvain(graph.New(5), 1)
+	if res.K != 5 {
+		t.Fatalf("edgeless graph should give singleton communities, K=%d", res.K)
+	}
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"sort"
+
+	"anytime/internal/change"
+	"anytime/internal/graph"
+)
+
+// applyBatch incorporates one dynamic vertex-addition batch using the
+// configured processor-assignment strategy (the paper's Fig. 2/3
+// recombination strategy: read changes → processor placement → vertex
+// addition).
+func (e *Engine) applyBatch(b *change.VertexBatch) {
+	strat := e.opts.Strategy
+	if strat == AutoPS {
+		// the paper's Fig. 5/6 insight as a policy: incremental updates for
+		// small batches, repartition-with-result-reuse for large ones
+		if float64(b.NumVertices) >= e.opts.AutoThreshold*float64(e.g.NumVertices()) {
+			strat = RepartitionS
+		} else {
+			strat = CutEdgePS
+		}
+	}
+	if strat == RepartitionS {
+		e.applyRepartition(b)
+		return
+	}
+	assign := e.assignProcessors(b, strat)
+	first := e.growGraph(b, assign)
+	// Owner processors create rows for their new vertices (D[v]=0, rest ∞).
+	for i := 0; i < b.NumVertices; i++ {
+		v := int32(first + i)
+		e.procs[assign[i]].table.AddRow(v)
+	}
+	// Edge additions: each new edge broadcasts its endpoint rows and
+	// relaxes every processor's local rows against them (the anytime
+	// anywhere edge-addition algorithm the vertex addition builds on).
+	for _, ed := range e.resolveEdges(b, first) {
+		e.applyEdgeAdd(ed.u, ed.v, ed.w, true)
+	}
+	e.afterTopologyChange()
+	e.metrics.VerticesAdded += b.NumVertices
+}
+
+type resolvedEdge struct {
+	u, v int
+	w    graph.Weight
+}
+
+// resolveEdges converts a batch's edge lists to global vertex IDs, given
+// the first global ID assigned to the batch. Pending edges resolve through
+// the stream map.
+func (e *Engine) resolveEdges(b *change.VertexBatch, first int) []resolvedEdge {
+	out := make([]resolvedEdge, 0, b.NumEdges())
+	for _, ed := range b.Internal {
+		out = append(out, resolvedEdge{first + int(ed.A), first + int(ed.B), ed.Weight})
+	}
+	for _, ed := range b.External {
+		out = append(out, resolvedEdge{first + int(ed.New), int(ed.Existing), ed.Weight})
+	}
+	for _, ed := range b.Pending {
+		out = append(out, resolvedEdge{first + int(ed.New), int(e.streamMap[ed.EarlierBatchVertex]), ed.Weight})
+	}
+	return out
+}
+
+// growGraph adds the batch's vertices to the graph, the partition, the
+// per-processor masks and DV tables (column extension with amortized
+// doubling), and the stream map. Edges are NOT added here.
+func (e *Engine) growGraph(b *change.VertexBatch, assign []int32) int {
+	first := e.g.AddVertices(b.NumVertices)
+	e.part.Extend(assign)
+	for i := 0; i < b.NumVertices; i++ {
+		e.alive = append(e.alive, true)
+		e.streamMap = append(e.streamMap, int32(first+i))
+	}
+	for _, p := range e.procs {
+		// extend the local mask; membership is set by rebuildSubs later,
+		// but IsLocal must be sized for immediate use
+		mask := make([]bool, e.g.NumVertices())
+		copy(mask, p.sub.IsLocal)
+		p.sub.IsLocal = mask
+		p.table.ExtendCols(b.NumVertices)
+	}
+	for i := 0; i < b.NumVertices; i++ {
+		e.procs[assign[i]].sub.IsLocal[first+i] = true
+	}
+	return first
+}
+
+// assignProcessors runs the resolved processor-assignment strategy over a
+// batch and returns the processor of each new vertex.
+func (e *Engine) assignProcessors(b *change.VertexBatch, strat Strategy) []int32 {
+	switch strat {
+	case CutEdgePS:
+		return e.assignCutEdge(b)
+	default:
+		return e.assignRoundRobin(b)
+	}
+}
+
+// assignRoundRobin is RoundRobin-PS: new vertices go to processors in a
+// circular fashion. O(k) work, no communication.
+func (e *Engine) assignRoundRobin(b *change.VertexBatch) []int32 {
+	assign := make([]int32, b.NumVertices)
+	for i := range assign {
+		assign[i] = int32((e.rrNext + i) % e.opts.P)
+	}
+	e.rrNext = (e.rrNext + b.NumVertices) % e.opts.P
+	e.metrics.ChangeOps += int64(b.NumVertices)
+	e.chargeAll(int64(b.NumVertices) / int64(e.opts.P))
+	return assign
+}
+
+// assignCutEdge is CutEdge-PS: the new vertices and the edges among them
+// form an independent graph that is partitioned with the serial
+// cut-optimizing partitioner (the METIS stand-in); the resulting parts are
+// then mapped onto distinct processors to maximize affinity with the
+// existing endpoints of the batch's external edges (minimizing the new cut
+// edges), with processor load as the tie-breaker.
+func (e *Engine) assignCutEdge(b *change.VertexBatch) []int32 {
+	P := e.opts.P
+	bg := b.BatchGraph()
+	k := P
+	if k > bg.NumVertices() {
+		k = bg.NumVertices()
+	}
+	part, err := e.opts.BatchPartitioner.Partition(bg, k)
+	if err != nil {
+		// degenerate batch: fall back to round robin
+		return e.assignRoundRobin(b)
+	}
+	// In the paper every processor computes the batch partition redundantly
+	// and the best one is kept, so each processor is charged the full
+	// serial partitioning cost.
+	ops := partitionOps(bg.NumVertices(), bg.NumEdges())
+	e.metrics.ChangeOps += ops
+	e.chargeAll(ops)
+
+	// affinity[j][p]: external+pending edges from part j into processor p
+	aff := make([][]int64, k)
+	for j := range aff {
+		aff[j] = make([]int64, P)
+	}
+	for _, ed := range b.External {
+		aff[part.Part[ed.New]][e.part.Part[ed.Existing]]++
+	}
+	for _, ed := range b.Pending {
+		g := e.streamMap[ed.EarlierBatchVertex]
+		aff[part.Part[ed.New]][e.part.Part[g]]++
+	}
+	var procOf []int32
+	if e.opts.NaiveBatchMapping {
+		procOf = make([]int32, k)
+		for j := range procOf {
+			procOf[j] = int32(j % P)
+		}
+	} else {
+		procOf = e.mapPartsToProcs(aff)
+	}
+
+	assign := make([]int32, b.NumVertices)
+	for i := range assign {
+		assign[i] = procOf[part.Part[i]]
+	}
+	return assign
+}
+
+// mapPartsToProcs greedily matches batch parts to distinct processors in
+// decreasing affinity order; leftovers go to the least-loaded processors.
+func (e *Engine) mapPartsToProcs(aff [][]int64) []int32 {
+	P := e.opts.P
+	k := len(aff)
+	type cand struct {
+		part, proc int
+		score      int64
+	}
+	var cands []cand
+	for j := 0; j < k; j++ {
+		for p := 0; p < P; p++ {
+			if aff[j][p] > 0 {
+				cands = append(cands, cand{j, p, aff[j][p]})
+			}
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].score != cands[b].score {
+			return cands[a].score > cands[b].score
+		}
+		if cands[a].part != cands[b].part {
+			return cands[a].part < cands[b].part
+		}
+		return cands[a].proc < cands[b].proc
+	})
+	procOf := make([]int32, k)
+	for j := range procOf {
+		procOf[j] = -1
+	}
+	usedProc := make([]bool, P)
+	for _, c := range cands {
+		if procOf[c.part] != -1 || usedProc[c.proc] {
+			continue
+		}
+		procOf[c.part] = int32(c.proc)
+		usedProc[c.proc] = true
+	}
+	// parts with no (remaining) affinity: least-loaded unused processor
+	// first, then least-loaded overall
+	load := e.part.Sizes()
+	for j := range procOf {
+		if procOf[j] != -1 {
+			continue
+		}
+		best, bestLoad, bestUnused := -1, 0, false
+		for p := 0; p < P; p++ {
+			unused := !usedProc[p]
+			if best == -1 || (unused && !bestUnused) ||
+				(unused == bestUnused && load[p] < bestLoad) {
+				best, bestLoad, bestUnused = p, load[p], unused
+			}
+		}
+		procOf[j] = int32(best)
+		usedProc[best] = true
+	}
+	return procOf
+}

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"anytime/internal/cluster"
+	"anytime/internal/dv"
+	"anytime/internal/graph"
+)
+
+// Checkpointing addresses the paper's stated future work on fault
+// tolerance: the complete engine state — graph, partition, every
+// processor's distance vectors, dirty marks, and cost counters — can be
+// written at any RC-step boundary and restored into a fresh engine, which
+// then continues exactly where the checkpoint was taken (bit-identical
+// distances and deterministic continuation for the same Options).
+//
+// The format is a versioned little-endian binary stream; it is
+// self-contained except for the Options (function values and interfaces
+// are not serializable), which the caller supplies again at Restore and
+// which must use the same P.
+
+const checkpointMagic = "AACKPT02"
+
+// WriteCheckpoint serializes the engine state. It fails if dynamic change
+// events are still queued (checkpoint at event boundaries: call after
+// Step/Run, before queueing more changes).
+func (e *Engine) WriteCheckpoint(w io.Writer) error {
+	if len(e.queue) > 0 {
+		return fmt.Errorf("core: checkpoint with %d queued events; drain the queue first", len(e.queue))
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(checkpointMagic); err != nil {
+		return err
+	}
+	enc := &binWriter{w: bw}
+	n := e.g.NumVertices()
+	enc.i64(int64(n))
+	enc.i64(int64(e.g.NumEdges()))
+	e.g.ForEachEdge(func(u, v int, wt graph.Weight) {
+		enc.i32(int32(u))
+		enc.i32(int32(v))
+		enc.i32(wt)
+	})
+	for _, a := range e.alive {
+		enc.bool(a)
+	}
+	enc.i64(int64(e.opts.P))
+	enc.i64(int64(e.step))
+	enc.bool(e.converged)
+	enc.bool(e.forceRefine)
+	enc.i64(int64(e.rrNext))
+	for _, p := range e.part.Part {
+		enc.i32(p)
+	}
+	enc.i64(int64(len(e.streamMap)))
+	for _, v := range e.streamMap {
+		enc.i32(v)
+	}
+	for _, p := range e.procs {
+		rows := p.table.Rows()
+		enc.i64(int64(len(rows)))
+		for _, r := range rows {
+			enc.i32(r.Owner)
+			enc.bool(r.Dirty)
+			for _, d := range r.D[:n] {
+				enc.i32(d)
+			}
+			for _, h := range r.NH[:n] {
+				enc.i32(h)
+			}
+		}
+		enc.i64(p.table.ResizeCopies)
+	}
+	e.writeMetrics(enc)
+	if enc.err != nil {
+		return enc.err
+	}
+	return bw.Flush()
+}
+
+func (e *Engine) writeMetrics(enc *binWriter) {
+	m := e.metrics
+	st := e.mach.Stats()
+	vals := []int64{
+		int64(e.mach.VirtualTime()), int64(m.WallTime),
+		st.Messages, st.Chunks, st.Bytes, st.Broadcasts, st.Barriers, st.Steps,
+		m.DDOps, m.IAOps, m.RCOps, m.ChangeOps,
+		int64(m.VerticesAdded), int64(m.EdgesAdded), int64(m.NewCutEdges),
+		int64(m.Repartitions), int64(m.RowsMigrated),
+	}
+	for _, v := range vals {
+		enc.i64(v)
+	}
+	for _, ts := range st.ByTag {
+		enc.i64(ts.Messages)
+		enc.i64(ts.Bytes)
+	}
+}
+
+// Restore reconstructs an engine from a checkpoint. opts must use the same
+// P as the checkpointed engine; the partitioners and LogP model may differ
+// (they affect only future events and accounting).
+func Restore(r io.Reader, opts Options) (*Engine, error) {
+	opts = opts.withDefaults()
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(checkpointMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("core: reading checkpoint magic: %w", err)
+	}
+	if string(magic) != checkpointMagic {
+		return nil, fmt.Errorf("core: not an engine checkpoint (magic %q)", magic)
+	}
+	dec := &binReader{r: br}
+	n := int(dec.i64())
+	m := int(dec.i64())
+	if dec.err != nil || n < 0 || m < 0 || n > graph.MaxParseVertices ||
+		int64(m) > int64(n)*int64(n-1)/2 {
+		return nil, fmt.Errorf("core: corrupt checkpoint header")
+	}
+	g := graph.New(n)
+	for i := 0; i < m; i++ {
+		u, v, wt := dec.i32(), dec.i32(), dec.i32()
+		if dec.err != nil {
+			return nil, fmt.Errorf("core: corrupt checkpoint edges: %w", dec.err)
+		}
+		if err := g.AddEdge(int(u), int(v), wt); err != nil {
+			return nil, fmt.Errorf("core: corrupt checkpoint edge: %w", err)
+		}
+	}
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = dec.bool()
+	}
+	p := int(dec.i64())
+	if p != opts.P {
+		return nil, fmt.Errorf("core: checkpoint has P=%d, options have P=%d", p, opts.P)
+	}
+	mach, err := cluster.New(opts.clusterConfig())
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{opts: opts, g: g, mach: mach, alive: alive}
+	e.step = int(dec.i64())
+	e.converged = dec.bool()
+	e.forceRefine = dec.bool()
+	e.rrNext = int(dec.i64())
+	part := &graph.Partition{Part: make([]int32, n), K: p}
+	for i := range part.Part {
+		part.Part[i] = dec.i32()
+	}
+	if dec.err != nil {
+		return nil, fmt.Errorf("core: corrupt checkpoint partition: %w", dec.err)
+	}
+	if err := part.Validate(g); err != nil {
+		return nil, fmt.Errorf("core: corrupt checkpoint partition: %w", err)
+	}
+	e.part = part
+	sm := int(dec.i64())
+	if dec.err != nil || sm < 0 || sm > n {
+		return nil, fmt.Errorf("core: corrupt checkpoint stream map")
+	}
+	e.streamMap = make([]int32, sm)
+	for i := range e.streamMap {
+		e.streamMap[i] = dec.i32()
+	}
+	e.procs = make([]*proc, p)
+	for pid := 0; pid < p; pid++ {
+		sub := graph.ExtractSub(g, part, int32(pid))
+		t := dv.NewTable(n)
+		rows := int(dec.i64())
+		if dec.err != nil || rows < 0 || rows > n {
+			return nil, fmt.Errorf("core: corrupt checkpoint table %d", pid)
+		}
+		for i := 0; i < rows; i++ {
+			owner := dec.i32()
+			dirty := dec.bool()
+			if dec.err != nil || owner < 0 || int(owner) >= n {
+				return nil, fmt.Errorf("core: corrupt checkpoint row in table %d", pid)
+			}
+			if part.Part[owner] != int32(pid) {
+				return nil, fmt.Errorf("core: checkpoint row %d not owned by processor %d", owner, pid)
+			}
+			row := t.AddRow(owner)
+			for j := 0; j < n; j++ {
+				row.D[j] = dec.i32()
+			}
+			for j := 0; j < n; j++ {
+				row.NH[j] = dec.i32()
+			}
+			if row.D[owner] != 0 {
+				return nil, fmt.Errorf("core: checkpoint row %d has nonzero self distance", owner)
+			}
+			row.Dirty = dirty
+		}
+		t.ResizeCopies = dec.i64()
+		e.procs[pid] = &proc{id: pid, sub: sub, table: t}
+	}
+	e.readMetrics(dec)
+	if dec.err != nil {
+		return nil, fmt.Errorf("core: corrupt checkpoint: %w", dec.err)
+	}
+	// sanity: every alive vertex has exactly one row
+	seen := 0
+	for _, pr := range e.procs {
+		seen += pr.table.Len()
+	}
+	want := 0
+	for _, a := range alive {
+		if a {
+			want++
+		}
+	}
+	if seen != want {
+		return nil, fmt.Errorf("core: checkpoint has %d rows for %d alive vertices", seen, want)
+	}
+	e.refreshLoadMetrics()
+	return e, nil
+}
+
+func (e *Engine) readMetrics(dec *binReader) {
+	virtual := dec.i64()
+	e.metrics.WallTime = time.Duration(dec.i64())
+	restored := cluster.Stats{
+		Messages: dec.i64(), Chunks: dec.i64(), Bytes: dec.i64(),
+		Broadcasts: dec.i64(), Barriers: dec.i64(), Steps: dec.i64(),
+	}
+	e.metrics.DDOps = dec.i64()
+	e.metrics.IAOps = dec.i64()
+	e.metrics.RCOps = dec.i64()
+	e.metrics.ChangeOps = dec.i64()
+	e.metrics.VerticesAdded = int(dec.i64())
+	e.metrics.EdgesAdded = int(dec.i64())
+	e.metrics.NewCutEdges = int(dec.i64())
+	e.metrics.Repartitions = int(dec.i64())
+	e.metrics.RowsMigrated = int(dec.i64())
+	for i := range restored.ByTag {
+		restored.ByTag[i].Messages = dec.i64()
+		restored.ByTag[i].Bytes = dec.i64()
+	}
+	if dec.err == nil {
+		e.mach.Restore(time.Duration(virtual), restored)
+	}
+}
+
+// binWriter/binReader are little-endian encoders with sticky errors.
+type binWriter struct {
+	w   io.Writer
+	buf [8]byte
+	err error
+}
+
+func (b *binWriter) i32(v int32) {
+	if b.err != nil {
+		return
+	}
+	binary.LittleEndian.PutUint32(b.buf[:4], uint32(v))
+	_, b.err = b.w.Write(b.buf[:4])
+}
+
+func (b *binWriter) i64(v int64) {
+	if b.err != nil {
+		return
+	}
+	binary.LittleEndian.PutUint64(b.buf[:8], uint64(v))
+	_, b.err = b.w.Write(b.buf[:8])
+}
+
+func (b *binWriter) bool(v bool) {
+	if v {
+		b.i32(1)
+	} else {
+		b.i32(0)
+	}
+}
+
+type binReader struct {
+	r   io.Reader
+	buf [8]byte
+	err error
+}
+
+func (b *binReader) i32() int32 {
+	if b.err != nil {
+		return 0
+	}
+	if _, b.err = io.ReadFull(b.r, b.buf[:4]); b.err != nil {
+		return 0
+	}
+	return int32(binary.LittleEndian.Uint32(b.buf[:4]))
+}
+
+func (b *binReader) i64() int64 {
+	if b.err != nil {
+		return 0
+	}
+	if _, b.err = io.ReadFull(b.r, b.buf[:8]); b.err != nil {
+		return 0
+	}
+	return int64(binary.LittleEndian.Uint64(b.buf[:8]))
+}
+
+func (b *binReader) bool() bool { return b.i32() != 0 }

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"anytime/internal/gen"
+)
+
+// Checkpoint mid-run, restore, continue: the resumed engine must follow
+// the identical trajectory (distances, steps, metrics) as the original.
+func TestCheckpointResumeMatchesUninterrupted(t *testing.T) {
+	g := testGraph(t, 120, 101)
+	o := defaultTestOptions(4, 101)
+	o.Strategy = CutEdgePS
+
+	// reference run, uninterrupted
+	ref, err := New(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := gen.CommunityBatch(g, 20, 1.5, gen.Weights{Min: 1, Max: 3}, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Step()
+	ref.Step()
+	if err := ref.QueueBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	ref.Run()
+
+	// interrupted run: checkpoint after two steps, restore, continue
+	e1, err := New(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1.Step()
+	e1.Step()
+	var buf bytes.Buffer
+	if err := e1.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Restore(&buf, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.StepsTaken() != 2 {
+		t.Fatalf("restored step count = %d", e2.StepsTaken())
+	}
+	if err := e2.QueueBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	e2.Run()
+
+	requireExact(t, e2)
+	rd, ed := ref.Distances(), e2.Distances()
+	for v := range rd {
+		for u := range rd[v] {
+			if rd[v][u] != ed[v][u] {
+				t.Fatalf("resumed run diverged at [%d][%d]", v, u)
+			}
+		}
+	}
+	rm, em := ref.Metrics(), e2.Metrics()
+	if rm.RCSteps != em.RCSteps || rm.VirtualTime != em.VirtualTime ||
+		rm.Comm.Messages != em.Comm.Messages {
+		t.Fatalf("resumed metrics diverged: %+v vs %+v", rm, em)
+	}
+}
+
+func TestCheckpointAfterDynamicChanges(t *testing.T) {
+	g := testGraph(t, 90, 103)
+	o := defaultTestOptions(3, 103)
+	o.Strategy = RepartitionS
+	e, err := New(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := gen.PreferentialBatch(g, 12, 2, 1, gen.Weights{}, 103)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.QueueBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	var buf bytes.Buffer
+	if err := e.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore(&buf, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireExact(t, r)
+	if r.Graph().NumVertices() != 102 {
+		t.Fatalf("restored graph has %d vertices", r.Graph().NumVertices())
+	}
+	m := r.Metrics()
+	if m.VerticesAdded != 12 || m.Repartitions != 1 {
+		t.Fatalf("restored metrics lost history: %+v", m)
+	}
+	// the restored engine keeps absorbing changes
+	b2, err := gen.PreferentialBatch(r.Graph(), 8, 2, 1, gen.Weights{}, 104)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.QueueBatch(b2); err != nil {
+		t.Fatal(err)
+	}
+	r.Run()
+	requireExact(t, r)
+}
+
+func TestCheckpointRejectsQueuedEvents(t *testing.T) {
+	g := testGraph(t, 60, 107)
+	e, err := New(g, defaultTestOptions(3, 107))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := gen.PreferentialBatch(g, 5, 2, 0, gen.Weights{}, 107)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.QueueBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.WriteCheckpoint(&buf); err == nil {
+		t.Fatal("checkpoint with queued events should fail")
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	o := defaultTestOptions(2, 1)
+	cases := [][]byte{
+		nil,
+		[]byte("not a checkpoint"),
+		[]byte(checkpointMagic), // truncated after magic
+	}
+	for i, c := range cases {
+		if _, err := Restore(bytes.NewReader(c), o); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+	// valid checkpoint, wrong P
+	g := testGraph(t, 40, 109)
+	e, err := New(g, defaultTestOptions(2, 109))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wrongP := defaultTestOptions(3, 109)
+	if _, err := Restore(bytes.NewReader(buf.Bytes()), wrongP); err == nil {
+		t.Fatal("P mismatch accepted")
+	}
+	// corrupt a byte in the middle
+	data := append([]byte(nil), buf.Bytes()...)
+	data[len(data)/3] ^= 0xff
+	if _, err := Restore(bytes.NewReader(data), defaultTestOptions(2, 109)); err == nil {
+		t.Log("bit flip not detected structurally (acceptable if it hit a distance value)")
+	}
+}
+
+func TestCheckpointWithDeletedVertex(t *testing.T) {
+	g := testGraph(t, 70, 113)
+	o := defaultTestOptions(3, 113)
+	e, err := New(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if err := e.QueueVertexDel(5); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	var buf bytes.Buffer
+	if err := e.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore(&buf, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Alive(5) {
+		t.Fatal("restored engine resurrected deleted vertex")
+	}
+	requireExact(t, r)
+}

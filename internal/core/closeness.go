@@ -1,0 +1,120 @@
+package core
+
+import "anytime/internal/graph"
+
+// Snapshot is the engine's current (anytime) view of the centrality
+// computation. Before convergence the distances are upper bounds, so
+// Closeness entries are lower bounds that improve monotonically with every
+// RC step; after convergence they are exact.
+type Snapshot struct {
+	// Step is the RC step count at capture time.
+	Step int
+	// Converged reports whether the snapshot is exact.
+	Converged bool
+	// Closeness[v] = 1 / Σ_t d(v,t) over reachable t ≠ v (the paper's
+	// definition); 0 for vertices with no known finite distance and for
+	// deleted vertices.
+	Closeness []float64
+	// Harmonic[v] = Σ_t 1/d(v,t): the harmonic variant, whose estimates
+	// are monotonically non-decreasing across RC steps.
+	Harmonic []float64
+	// Reachable[v] is the number of vertices with a known finite distance
+	// from v (excluding v).
+	Reachable []int
+	// Eccentricity[v] is the largest known finite distance from v
+	// (InfDist for isolated/deleted vertices). Before convergence this is
+	// a lower bound on the true eccentricity restricted to currently
+	// reachable targets.
+	Eccentricity []graph.Dist
+}
+
+// Radius returns the minimum finite eccentricity (InfDist if none).
+func (s Snapshot) Radius() graph.Dist {
+	r := graph.InfDist
+	for _, e := range s.Eccentricity {
+		if e != graph.InfDist && e < r {
+			r = e
+		}
+	}
+	return r
+}
+
+// Diameter returns the maximum finite eccentricity (InfDist if none). At
+// convergence on a connected graph this is the exact graph diameter.
+func (s Snapshot) Diameter() graph.Dist {
+	d := graph.Dist(-1)
+	for _, e := range s.Eccentricity {
+		if e != graph.InfDist && e > d {
+			d = e
+		}
+	}
+	if d < 0 {
+		return graph.InfDist
+	}
+	return d
+}
+
+// Snapshot gathers the current closeness estimates from all processors
+// (the anytime interrupt point).
+func (e *Engine) Snapshot() Snapshot {
+	n := e.g.NumVertices()
+	s := Snapshot{
+		Step:         e.step,
+		Converged:    e.Converged(),
+		Closeness:    make([]float64, n),
+		Harmonic:     make([]float64, n),
+		Reachable:    make([]int, n),
+		Eccentricity: make([]graph.Dist, n),
+	}
+	for i := range s.Eccentricity {
+		s.Eccentricity[i] = graph.InfDist
+	}
+	for _, p := range e.procs {
+		for _, r := range p.table.Rows() {
+			var sum int64
+			var harm float64
+			cnt := 0
+			ecc := graph.Dist(-1)
+			for t, d := range r.D {
+				if d == graph.InfDist || int32(t) == r.Owner {
+					continue
+				}
+				sum += int64(d)
+				harm += 1 / float64(d)
+				cnt++
+				if d > ecc {
+					ecc = d
+				}
+			}
+			v := r.Owner
+			if sum > 0 {
+				s.Closeness[v] = 1 / float64(sum)
+			}
+			s.Harmonic[v] = harm
+			s.Reachable[v] = cnt
+			if ecc >= 0 {
+				s.Eccentricity[v] = ecc
+			}
+		}
+	}
+	return s
+}
+
+// Distances gathers the full distance matrix from all processors: row v is
+// vertex v's DV (nil for deleted vertices). Intended for verification and
+// small-scale inspection; the matrix is Θ(n²).
+func (e *Engine) Distances() [][]graph.Dist {
+	out := make([][]graph.Dist, e.g.NumVertices())
+	for _, p := range e.procs {
+		for _, r := range p.table.Rows() {
+			out[r.Owner] = append([]graph.Dist(nil), r.D...)
+		}
+	}
+	return out
+}
+
+// Alive reports whether vertex v is currently part of the analysis (false
+// after dynamic deletion).
+func (e *Engine) Alive(v int32) bool {
+	return int(v) < len(e.alive) && e.alive[v]
+}

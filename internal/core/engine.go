@@ -1,0 +1,621 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+	"time"
+
+	"anytime/internal/change"
+	"anytime/internal/cluster"
+	"anytime/internal/dv"
+	"anytime/internal/graph"
+	"anytime/internal/sssp"
+)
+
+// proc is the per-processor private state: the local sub-graph membership,
+// the DV table for locally owned vertices, and per-step scratch.
+type proc struct {
+	id    int
+	sub   *graph.Sub
+	table *dv.Table
+
+	// per-step scratch, owned by this processor's goroutine
+	changed    []bool // parallel to table.Rows(): row improved this step
+	pivot      []bool // rows dirty at step start: un-propagated content
+	startDirty []bool
+	stepOps    int64
+	hasUpdate  bool // a local-boundary row is dirty after this step
+}
+
+// Engine is the anytime-anywhere closeness-centrality engine.
+//
+// Typical use:
+//
+//	e, _ := core.New(g, core.NewOptions())
+//	e.Run()                    // RC steps to convergence (anytime: Step())
+//	e.QueueBatch(batch)        // dynamic vertex additions, anywhere
+//	e.Run()                    // absorb and re-converge
+//	snap := e.Snapshot()       // closeness estimates at any point
+type Engine struct {
+	opts Options
+	g    *graph.Graph
+	part *graph.Partition
+	mach *cluster.Machine
+
+	procs []*proc
+	alive []bool // false for dynamically deleted vertices
+
+	queue     []change.Event
+	streamMap []int32 // stream-local new-vertex index -> global ID
+	rrNext    int     // RoundRobin-PS cursor
+
+	step        int
+	converged   bool
+	forceRefine bool // set once a change requires local pivoting for exactness
+
+	metrics Metrics
+	history []StepStats
+}
+
+// New builds the engine over a snapshot of g: runs the DD phase
+// (partitioning) and the IA phase (local APSP). The input graph is cloned;
+// later mutations of g are not observed.
+func New(g *graph.Graph, opts Options) (*Engine, error) {
+	opts = opts.withDefaults()
+	if g.NumVertices() < opts.P {
+		return nil, fmt.Errorf("core: %d vertices < P=%d", g.NumVertices(), opts.P)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid input graph: %w", err)
+	}
+	mach, err := cluster.New(opts.clusterConfig())
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		opts:  opts,
+		g:     g.Clone(),
+		mach:  mach,
+		alive: make([]bool, g.NumVertices()),
+	}
+	for i := range e.alive {
+		e.alive[i] = true
+	}
+	// Repartition-S relies on local-refinement pivoting for exactness
+	// after partial-result migration (see applyRepartition), so it is
+	// forced on for the strategies that may repartition, regardless of the
+	// ablation flag.
+	e.forceRefine = opts.Strategy == RepartitionS || opts.Strategy == AutoPS
+	start := time.Now()
+	if err := e.domainDecomposition(); err != nil {
+		return nil, err
+	}
+	e.initialApproximation()
+	e.metrics.WallTime += time.Since(start)
+	e.metrics.VirtualTime = e.mach.VirtualTime()
+	e.refreshLoadMetrics()
+	return e, nil
+}
+
+// domainDecomposition runs the DD phase: partition the graph and build the
+// per-processor sub-graph state.
+func (e *Engine) domainDecomposition() error {
+	part, err := e.opts.Partitioner.Partition(e.g, e.opts.P)
+	if err != nil {
+		return fmt.Errorf("core: DD partitioning: %w", err)
+	}
+	if err := part.Validate(e.g); err != nil {
+		return fmt.Errorf("core: DD partition invalid: %w", err)
+	}
+	e.part = part
+	ops := partitionOps(e.g.NumVertices(), e.g.NumEdges())
+	e.metrics.DDOps += ops
+	// ParMETIS-style parallel partitioning: the work divides over P.
+	e.chargeAll(ops / int64(e.opts.P))
+	e.buildProcs()
+	e.trace("dd", fmt.Sprintf("%s: cut=%d imbalance=%.3f",
+		e.opts.Partitioner.Name(), graph.EdgeCut(e.g, e.part), graph.Imbalance(e.g, e.part)))
+	return nil
+}
+
+// buildProcs (re)creates the per-processor sub-graph state and fresh DV
+// tables with one row per local vertex.
+func (e *Engine) buildProcs() {
+	n := e.g.NumVertices()
+	e.procs = make([]*proc, e.opts.P)
+	for p := 0; p < e.opts.P; p++ {
+		sub := graph.ExtractSub(e.g, e.part, int32(p))
+		t := dv.NewTable(n)
+		for _, v := range sub.Local {
+			if e.alive[v] {
+				t.AddRow(v)
+			}
+		}
+		e.procs[p] = &proc{id: p, sub: sub, table: t}
+	}
+}
+
+// initialApproximation runs the IA phase: every processor computes APSP
+// over its local sub-graph (multithreaded Dijkstra), producing the first
+// partial results.
+func (e *Engine) initialApproximation() {
+	e.mach.Parallel(func(pid int) {
+		p := e.procs[pid]
+		rows := p.table.Rows()
+		sources := make([]int32, len(rows))
+		slices := make([][]graph.Dist, len(rows))
+		hops := make([][]int32, len(rows))
+		for i, r := range rows {
+			sources[i] = r.Owner
+			slices[i] = r.D
+			hops[i] = r.NH
+		}
+		ops := sssp.MultiSourceHops(e.g, sources, slices, hops, p.sub.IsLocal, e.opts.Workers)
+		// The paper's multithreaded IA: wall time divides over the worker
+		// threads of the processor.
+		e.mach.Charge(pid, ops/int64(e.opts.Workers))
+		addOps(&e.metrics.IAOps, ops)
+	})
+	e.mach.Barrier()
+	e.converged = false
+	e.trace("ia", fmt.Sprintf("local APSP over %d processors", e.opts.P))
+}
+
+// partitionOps approximates the work of one multilevel partitioning run
+// (coarsening levels over O(n + 2m) each).
+func partitionOps(n, m int) int64 {
+	levels := bits.Len(uint(n/200) + 1)
+	if levels < 1 {
+		levels = 1
+	}
+	return int64(n+2*m) * int64(levels) * 4
+}
+
+func (e *Engine) chargeAll(ops int64) {
+	for p := 0; p < e.opts.P; p++ {
+		e.mach.Charge(p, ops)
+	}
+	e.mach.Barrier()
+}
+
+// Converged reports whether all updates have been propagated and no
+// dynamic changes are pending: the DV state equals exact APSP.
+func (e *Engine) Converged() bool { return e.converged && len(e.queue) == 0 }
+
+// StepsTaken returns the number of RC steps performed so far.
+func (e *Engine) StepsTaken() int { return e.step }
+
+// Graph returns the engine's current graph (reflecting applied dynamic
+// changes). The caller must not mutate it.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Partition returns the current vertex-to-processor assignment. The caller
+// must not mutate it.
+func (e *Engine) Partition() *graph.Partition { return e.part }
+
+// Metrics returns a snapshot of the engine's cost counters.
+func (e *Engine) Metrics() Metrics {
+	m := e.metrics
+	m.Comm = e.mach.Stats()
+	m.VirtualTime = e.mach.VirtualTime()
+	m.RCSteps = e.step
+	var rc int64
+	for _, p := range e.procs {
+		rc += p.table.ResizeCopies
+	}
+	m.ResizeCopies = rc
+	return m
+}
+
+// QueueBatch schedules a dynamic vertex-addition batch; it is incorporated
+// at the end of the next RC step (the paper's anywhere property).
+func (e *Engine) QueueBatch(b *change.VertexBatch) error {
+	if err := b.Validate(e.pendingNumVertices()); err != nil {
+		return err
+	}
+	e.queue = append(e.queue, change.Event{Batch: b})
+	return nil
+}
+
+// pendingNumVertices is the vertex count after all queued batches apply
+// (so a queued batch may reference vertices of earlier queued batches via
+// External edges).
+func (e *Engine) pendingNumVertices() int {
+	n := e.g.NumVertices()
+	for _, ev := range e.queue {
+		if ev.Batch != nil {
+			n += ev.Batch.NumVertices
+		}
+	}
+	return n
+}
+
+// QueueEdgeAdds schedules dynamic edge additions between existing vertices.
+func (e *Engine) QueueEdgeAdds(adds ...change.EdgeAdd) error {
+	n := e.pendingNumVertices()
+	for _, a := range adds {
+		if int(a.U) >= n || int(a.V) >= n || a.U < 0 || a.V < 0 || a.U == a.V || a.Weight <= 0 {
+			return fmt.Errorf("core: invalid edge addition {%d,%d,w=%d}", a.U, a.V, a.Weight)
+		}
+	}
+	e.queue = append(e.queue, change.Event{EdgeAdds: adds})
+	return nil
+}
+
+// QueueEdgeDels schedules dynamic edge deletions.
+func (e *Engine) QueueEdgeDels(dels ...change.EdgeDel) error {
+	e.queue = append(e.queue, change.Event{EdgeDels: dels})
+	return nil
+}
+
+// QueueEdgeWeightChanges schedules dynamic edge-weight changes. Decreases
+// are absorbed incrementally; increases fall back to the IA-reset path.
+func (e *Engine) QueueEdgeWeightChanges(chs ...change.EdgeWeight) error {
+	n := e.pendingNumVertices()
+	for _, c := range chs {
+		if int(c.U) >= n || int(c.V) >= n || c.U < 0 || c.V < 0 || c.U == c.V || c.Weight <= 0 {
+			return fmt.Errorf("core: invalid weight change {%d,%d,w=%d}", c.U, c.V, c.Weight)
+		}
+	}
+	e.queue = append(e.queue, change.Event{WeightChanges: chs})
+	return nil
+}
+
+// QueueVertexDel schedules a dynamic vertex deletion (extension beyond the
+// paper: its stated future work).
+func (e *Engine) QueueVertexDel(v int32) error {
+	if int(v) >= e.pendingNumVertices() || v < 0 {
+		return fmt.Errorf("core: vertex %d out of range", v)
+	}
+	e.queue = append(e.queue, change.Event{VertexDel: &change.VertexDel{V: v}})
+	return nil
+}
+
+// QueueRebalance schedules an explicit load-rebalancing pass (the paper's
+// rebalancing future work): the vertex assignment is adaptively refined
+// and relocated rows migrate with their partial results, exactly as in
+// Repartition-S but with no new vertices.
+func (e *Engine) QueueRebalance() {
+	e.queue = append(e.queue, change.Event{Rebalance: &change.Rebalance{}})
+}
+
+// Step performs one recombination step:
+//
+//  1. every processor ships its updated boundary DVs to the neighboring
+//     processors (personalized all-to-all, bounded message size),
+//  2. received external-boundary DVs relax the local DVs
+//     (distance-vector-routing style), optionally followed by the local
+//     Floyd–Warshall-style refinement strategy,
+//  3. a convergence reduction determines whether updates remain,
+//  4. queued dynamic changes are incorporated.
+//
+// It returns false once the engine is converged and no changes are pending.
+func (e *Engine) Step() bool {
+	if e.Converged() {
+		return false
+	}
+	start := time.Now()
+	rcOpsBefore := e.metrics.RCOps
+	commBefore := e.mach.Stats()
+	outbox := e.shipBoundary()
+	shipped, rowsShipped := 0, 0
+	for _, msgs := range outbox {
+		shipped += len(msgs)
+		for _, msg := range msgs {
+			rowsShipped += len(msg.Payload.([]*dv.Row))
+		}
+	}
+	inbox := e.mach.Exchange(outbox)
+	e.relaxAll(inbox)
+	e.converged = e.reduceConvergence()
+	e.trace("rc-step", fmt.Sprintf("%d boundary-DV messages, converged=%v", shipped, e.converged))
+	stats := StepStats{
+		Step:             e.step,
+		BoundaryMessages: shipped,
+		RowsShipped:      rowsShipped,
+		Bytes:            e.mach.Stats().Bytes - commBefore.Bytes,
+		RelaxOps:         e.metrics.RCOps - rcOpsBefore,
+		ConvergedAfter:   e.converged,
+	}
+	if len(e.queue) > 0 {
+		ev := e.queue[0]
+		e.queue = e.queue[1:]
+		stats.ChangeApplied = describeEvent(ev)
+		e.applyEvent(ev)
+	}
+	stats.Virtual = e.mach.VirtualTime()
+	e.recordStep(stats)
+	e.step++
+	e.metrics.WallTime += time.Since(start)
+	if e.Converged() {
+		e.trace("converged", "no more updates in any processor")
+		return false
+	}
+	return true
+}
+
+// describeEvent names a change event for the step history.
+func describeEvent(ev change.Event) string {
+	switch {
+	case ev.Batch != nil:
+		return fmt.Sprintf("vertex-batch(%d)", ev.Batch.NumVertices)
+	case len(ev.EdgeAdds) > 0:
+		return fmt.Sprintf("edge-adds(%d)", len(ev.EdgeAdds))
+	case len(ev.EdgeDels) > 0:
+		return fmt.Sprintf("edge-dels(%d)", len(ev.EdgeDels))
+	case len(ev.WeightChanges) > 0:
+		return fmt.Sprintf("weight-changes(%d)", len(ev.WeightChanges))
+	case ev.VertexDel != nil:
+		return fmt.Sprintf("vertex-del(%d)", ev.VertexDel.V)
+	case ev.Rebalance != nil:
+		return "rebalance"
+	default:
+		return "unknown"
+	}
+}
+
+// Run performs RC steps until convergence (or MaxRCSteps). It returns the
+// number of steps taken in this call.
+func (e *Engine) Run() int {
+	steps := 0
+	for !e.Converged() && steps < e.opts.MaxRCSteps {
+		e.Step()
+		steps++
+	}
+	return steps
+}
+
+// shipBoundary builds the per-processor outboxes of (dirty) local-boundary
+// DV rows, grouped into one message per destination processor.
+func (e *Engine) shipBoundary() [][]cluster.Message {
+	P := e.opts.P
+	outbox := make([][]cluster.Message, P)
+	e.mach.Parallel(func(pid int) {
+		p := e.procs[pid]
+		var ops int64
+		groups := make(map[int][]*dv.Row)
+		for _, v := range p.sub.LocalBoundary {
+			r := p.table.Row(v)
+			if r == nil {
+				continue // deleted vertex
+			}
+			if !r.Dirty && !e.opts.ShipAllBoundary {
+				continue
+			}
+			// ship a snapshot to every adjacent part; the dirty mark is
+			// cleared at the end of relaxAll (unless the row changes again)
+			var snap *dv.Row
+			seen := map[int32]bool{}
+			for _, a := range e.g.Neighbors(int(v)) {
+				q := e.part.Part[a.To]
+				if int(q) == pid || seen[q] {
+					continue
+				}
+				seen[q] = true
+				if snap == nil {
+					snap = dv.CopyRow(r)
+					ops += int64(len(r.D))
+				}
+				groups[int(q)] = append(groups[int(q)], snap)
+			}
+		}
+		for q, rows := range groups {
+			outbox[pid] = append(outbox[pid], cluster.Message{
+				To:      q,
+				Tag:     cluster.TagBoundaryDV,
+				Bytes:   len(rows) * p.table.RowBytes(),
+				Payload: rows,
+			})
+		}
+		e.mach.Charge(pid, ops)
+	})
+	return outbox
+}
+
+// relaxAll applies the received boundary DVs on every processor and runs
+// the recombination strategy (local refinement). Rows that entered the
+// step dirty carry un-propagated content (just shipped, or freshly
+// disturbed by a dynamic change — including *interior* rows such as a new
+// vertex with no cut edge, which are never shipped): with refinement
+// enabled they are pivoted through the local rows, after which their dirty
+// mark is cleared unless they changed again.
+func (e *Engine) relaxAll(inbox [][]cluster.Message) {
+	refine := !e.opts.NoLocalRefine || e.forceRefine
+	e.mach.Parallel(func(pid int) {
+		p := e.procs[pid]
+		p.stepOps = 0
+		rows := p.table.Rows()
+		p.changed = resizeBools(p.changed, len(rows))
+		p.pivot = resizeBools(p.pivot, len(rows))
+		p.startDirty = resizeBools(p.startDirty, len(rows))
+		for i, r := range rows {
+			p.startDirty[i] = r.Dirty
+			p.pivot[i] = refine && r.Dirty
+		}
+		for _, msg := range inbox[pid] {
+			if msg.Tag != cluster.TagBoundaryDV {
+				continue
+			}
+			for _, br := range msg.Payload.([]*dv.Row) {
+				p.relaxViaExternal(br)
+			}
+		}
+		if refine {
+			p.localRefine()
+		}
+		// startDirty rows were shipped (boundary) and/or locally pivoted:
+		// their content is propagated; keep the mark only if they changed
+		// again this step.
+		for i, r := range rows {
+			if p.startDirty[i] && !p.changed[i] {
+				r.Dirty = false
+			}
+		}
+		p.hasUpdate = false
+		for _, v := range p.sub.LocalBoundary {
+			if r := p.table.Row(v); r != nil && r.Dirty {
+				p.hasUpdate = true
+				break
+			}
+		}
+		e.mach.Charge(pid, p.stepOps)
+		addOps(&e.metrics.RCOps, p.stepOps)
+	})
+	e.mach.Barrier()
+}
+
+// resizeBools returns a false-filled bool slice of length n, reusing the
+// capacity of b.
+func resizeBools(b []bool, n int) []bool {
+	if cap(b) < n {
+		return make([]bool, n)
+	}
+	b = b[:n]
+	for i := range b {
+		b[i] = false
+	}
+	return b
+}
+
+// relaxViaExternal relaxes every local row u against a received external
+// boundary row b: D(u,t) = min(D(u,t), D(u,b) + D_b(t)).
+func (p *proc) relaxViaExternal(br *dv.Row) {
+	b := br.Owner
+	bd := br.D
+	for i, u := range p.table.Rows() {
+		d := u.D[b]
+		if d == graph.InfDist {
+			continue
+		}
+		uD := u.D
+		uNH := u.NH
+		nhb := uNH[b] // first hop toward b; improved paths to t go that way
+		rowChanged := false
+		// bd may be shorter than uD if columns were extended after the
+		// snapshot was shipped; the missing tail is InfDist.
+		for t, bt := range bd {
+			if bt == graph.InfDist {
+				continue
+			}
+			// distances stay far below InfDist/2, so d+bt cannot overflow
+			if nd := d + bt; nd < uD[t] {
+				uD[t] = nd
+				uNH[t] = nhb
+				rowChanged = true
+			}
+		}
+		p.stepOps += int64(len(bd))
+		if rowChanged {
+			u.Dirty = true
+			p.changed[i] = true
+		}
+	}
+}
+
+// localRefine runs the Floyd–Warshall-style recombination strategy: every
+// local row whose DV changed this step — or that entered the step with
+// un-propagated (dirty) content — is used as a pivot to update the other
+// local rows, propagating fresh information through local paths without
+// waiting for further RC steps. Required for exactness after
+// repartitioning and for interior new vertices, whose rows are never
+// shipped.
+func (p *proc) localRefine() {
+	rows := p.table.Rows()
+	for wi := range rows {
+		if !p.changed[wi] && !p.pivot[wi] {
+			continue
+		}
+		w := rows[wi]
+		wD := w.D
+		wOwner := w.Owner
+		for ui, u := range rows {
+			if ui == wi {
+				continue
+			}
+			d := u.D[wOwner]
+			if d == graph.InfDist {
+				continue
+			}
+			uD := u.D
+			uNH := u.NH
+			nhw := uNH[wOwner]
+			rowChanged := false
+			for t, wt := range wD {
+				if wt == graph.InfDist {
+					continue
+				}
+				if nd := d + wt; nd < uD[t] {
+					uD[t] = nd
+					uNH[t] = nhw
+					rowChanged = true
+				}
+			}
+			p.stepOps += int64(len(wD))
+			if rowChanged {
+				u.Dirty = true
+				p.changed[ui] = true
+			}
+		}
+	}
+}
+
+// reduceConvergence performs the "no more updates in any processor"
+// reduction, charging an allreduce over the tree.
+func (e *Engine) reduceConvergence() bool {
+	rounds := 0
+	for 1<<rounds < e.opts.P {
+		rounds++
+	}
+	// up + down sweep of one tiny message per round
+	md := e.mach.Model()
+	e.mach.Barrier()
+	for p := 0; p < e.opts.P; p++ {
+		e.mach.ChargeDuration(p, time.Duration(2*rounds)*(md.O+md.L+md.O))
+	}
+	e.mach.Barrier()
+	for _, p := range e.procs {
+		if p.hasUpdate {
+			return false
+		}
+	}
+	return true
+}
+
+// applyEvent incorporates one dynamic change event (end of an RC step).
+func (e *Engine) applyEvent(ev change.Event) {
+	switch {
+	case ev.Batch != nil:
+		e.trace("change", fmt.Sprintf("%s: +%d vertices, %d edges",
+			e.opts.Strategy, ev.Batch.NumVertices, ev.Batch.NumEdges()))
+		e.applyBatch(ev.Batch)
+	case len(ev.EdgeAdds) > 0:
+		for _, a := range ev.EdgeAdds {
+			e.applyEdgeAdd(int(a.U), int(a.V), a.Weight, true)
+		}
+		e.afterTopologyChange()
+	case len(ev.EdgeDels) > 0:
+		e.applyEdgeDels(ev.EdgeDels)
+	case len(ev.WeightChanges) > 0:
+		e.applyWeightChanges(ev.WeightChanges)
+	case ev.VertexDel != nil:
+		e.applyVertexDel(ev.VertexDel.V)
+	case ev.Rebalance != nil:
+		e.trace("change", "rebalance")
+		e.applyRepartition(&change.VertexBatch{})
+	}
+	e.converged = false
+	e.refreshLoadMetrics()
+}
+
+// refreshLoadMetrics recomputes the per-processor load snapshot.
+func (e *Engine) refreshLoadMetrics() {
+	e.metrics.ProcVertices = e.part.Sizes()
+	e.metrics.ProcCutSizes = graph.CutSizes(e.g, e.part)
+}
+
+// addOps accumulates a work counter from inside Parallel bodies, which run
+// concurrently, so the add must be atomic.
+func addOps(dst *int64, v int64) {
+	atomic.AddInt64(dst, v)
+}

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Restore must never panic on malformed checkpoints, and must reject any
+// mutation that breaks structural invariants (or, if the mutation only
+// touches payload values, still produce a structurally valid engine).
+func FuzzRestore(f *testing.F) {
+	g := testGraph(f, 30, 211)
+	e, err := New(g, defaultTestOptions(2, 211))
+	if err != nil {
+		f.Fatal(err)
+	}
+	e.Run()
+	var buf bytes.Buffer
+	if err := e.WriteCheckpoint(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte(checkpointMagic))
+	f.Add(valid[:len(valid)/2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := Restore(bytes.NewReader(data), defaultTestOptions(2, 211))
+		if err != nil {
+			return
+		}
+		// whatever was accepted must be usable
+		if verr := r.Graph().Validate(); verr != nil {
+			t.Fatalf("restored invalid graph: %v", verr)
+		}
+		_ = r.Snapshot()
+		r.Run()
+	})
+}

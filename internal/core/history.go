@@ -1,0 +1,35 @@
+package core
+
+import "time"
+
+// StepStats records what one recombination step did — the raw material for
+// convergence plots and for diagnosing dynamic-change absorption.
+type StepStats struct {
+	// Step is the RC step index (0-based).
+	Step int
+	// BoundaryMessages is the number of boundary-DV messages shipped.
+	BoundaryMessages int
+	// RowsShipped is the number of distinct dirty boundary rows shipped.
+	RowsShipped int
+	// Bytes is the boundary-DV payload shipped this step.
+	Bytes int64
+	// RelaxOps is the relax/refine work performed this step.
+	RelaxOps int64
+	// Virtual is the cumulative simulated time after the step.
+	Virtual time.Duration
+	// ConvergedAfter reports whether the step ended converged (before any
+	// queued change applied).
+	ConvergedAfter bool
+	// ChangeApplied names the dynamic change incorporated at the end of
+	// the step ("" if none).
+	ChangeApplied string
+}
+
+// History returns the per-step statistics recorded so far. The slice is
+// owned by the engine; callers must not modify it.
+func (e *Engine) History() []StepStats { return e.history }
+
+// recordStep appends one step's statistics (called at the end of Step).
+func (e *Engine) recordStep(s StepStats) {
+	e.history = append(e.history, s)
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"fmt"
+
+	"anytime/internal/graph"
+)
+
+// Path reconstructs a shortest path from u to t (inclusive of both
+// endpoints) from the distance-vector routing tables the recombination
+// phase maintains: each row stores, per target, the neighbor its best
+// known path leaves through. Once the engine has converged the result is
+// an exact shortest path whose length equals the DV distance; before
+// convergence the routing tables may still be inconsistent, in which case
+// an error is returned.
+func (e *Engine) Path(u, t int32) ([]int32, error) {
+	n := int32(e.g.NumVertices())
+	if u < 0 || u >= n || t < 0 || t >= n {
+		return nil, fmt.Errorf("core: path endpoints {%d,%d} out of range [0,%d)", u, t, n)
+	}
+	if !e.Alive(u) || !e.Alive(t) {
+		return nil, fmt.Errorf("core: path endpoint deleted")
+	}
+	if u == t {
+		return []int32{u}, nil
+	}
+	path := []int32{u}
+	var total graph.Dist
+	cur := u
+	for range e.alive {
+		row := e.procs[e.part.Part[cur]].table.Row(cur)
+		if row == nil {
+			return nil, fmt.Errorf("core: no DV row for vertex %d", cur)
+		}
+		nh := row.NH[t]
+		if nh < 0 {
+			return nil, fmt.Errorf("core: no known path %d -> %d (next hop unknown at %d)", u, t, cur)
+		}
+		w, ok := e.g.EdgeWeight(int(cur), int(nh))
+		if !ok {
+			return nil, fmt.Errorf("core: routing table at %d names non-neighbor %d", cur, nh)
+		}
+		total += w
+		path = append(path, nh)
+		if nh == t {
+			// sanity: the walked length must match the DV distance once
+			// converged
+			if e.Converged() {
+				if d := e.procs[e.part.Part[u]].table.Row(u).D[t]; d != total {
+					return nil, fmt.Errorf("core: path length %d disagrees with DV distance %d", total, d)
+				}
+			}
+			return path, nil
+		}
+		cur = nh
+	}
+	return nil, fmt.Errorf("core: routing loop reconstructing %d -> %d (engine not converged?)", u, t)
+}

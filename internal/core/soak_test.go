@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"anytime/internal/change"
+	"anytime/internal/gen"
+	"anytime/internal/graph"
+	"anytime/internal/sssp"
+)
+
+// TestSoakMixedOperations drives a long randomized sequence of every
+// dynamic operation kind — vertex batches under rotating strategies, edge
+// additions, weight changes, edge and vertex deletions, checkpoints —
+// verifying exactness against the oracle after each convergence. This is
+// the engine's end-to-end robustness net.
+func TestSoakMixedOperations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(2026))
+	g := testGraph(t, 100, 2026)
+	o := defaultTestOptions(4, 2026)
+	o.Strategy = AutoPS
+	e, err := New(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	requireExact(t, e)
+
+	aliveVertex := func() int32 {
+		for {
+			v := int32(rng.Intn(e.Graph().NumVertices()))
+			if e.Alive(v) {
+				return v
+			}
+		}
+	}
+	for round := 0; round < 25; round++ {
+		op := rng.Intn(6)
+		switch op {
+		case 0, 1: // vertex batch (community or preferential)
+			k := 3 + rng.Intn(12)
+			var b *change.VertexBatch
+			var err error
+			if op == 0 && k >= 2 {
+				b, err = gen.CommunityBatch(e.Graph(), k, 1.3, gen.Weights{Min: 1, Max: 4}, rng.Int63())
+			} else {
+				b, err = gen.PreferentialBatch(e.Graph(), k, 2, 1, gen.Weights{Min: 1, Max: 4}, rng.Int63())
+			}
+			if err != nil {
+				t.Fatalf("round %d: batch gen: %v", round, err)
+			}
+			if err := e.QueueBatch(b); err != nil {
+				t.Fatalf("round %d: queue: %v", round, err)
+			}
+		case 2: // edge addition between existing vertices
+			u, v := aliveVertex(), aliveVertex()
+			if u == v || e.Graph().HasEdge(int(u), int(v)) {
+				continue
+			}
+			if err := e.QueueEdgeAdds(change.EdgeAdd{U: u, V: v, Weight: graph.Weight(1 + rng.Intn(4))}); err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+		case 3: // weight change on a random existing edge
+			var eu, ev int32 = -1, -1
+			e.Graph().ForEachEdge(func(u, v int, _ graph.Weight) {
+				if rng.Intn(20) == 0 && eu == -1 {
+					eu, ev = int32(u), int32(v)
+				}
+			})
+			if eu == -1 {
+				continue
+			}
+			if err := e.QueueEdgeWeightChanges(change.EdgeWeight{U: eu, V: ev, Weight: graph.Weight(1 + rng.Intn(6))}); err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+		case 4: // edge deletion (skip bridges implicitly: deletion of any edge is fine)
+			var eu, ev int32 = -1, -1
+			e.Graph().ForEachEdge(func(u, v int, _ graph.Weight) {
+				if rng.Intn(30) == 0 && eu == -1 {
+					eu, ev = int32(u), int32(v)
+				}
+			})
+			if eu == -1 {
+				continue
+			}
+			if err := e.QueueEdgeDels(change.EdgeDel{U: eu, V: ev}); err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+		case 5: // vertex deletion
+			if err := e.QueueVertexDel(aliveVertex()); err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+		}
+		// sometimes inject mid-analysis, sometimes after convergence
+		if rng.Intn(2) == 0 {
+			e.Step()
+		}
+		e.Run()
+		if !e.Converged() {
+			t.Fatalf("round %d: not converged", round)
+		}
+		requireExact(t, e)
+	}
+	// final sanity: snapshot consistent with the oracle
+	snap := e.Snapshot()
+	exact := sssp.APSP(e.Graph())
+	for v := 0; v < e.Graph().NumVertices(); v++ {
+		if !e.Alive(int32(v)) {
+			continue
+		}
+		var sum int64
+		for u, d := range exact[v] {
+			if u != v && d != graph.InfDist {
+				sum += int64(d)
+			}
+		}
+		want := 0.0
+		if sum > 0 {
+			want = 1 / float64(sum)
+		}
+		if diff := snap.Closeness[v] - want; diff > 1e-15 || diff < -1e-15 {
+			t.Fatalf("final closeness[%d] = %g, want %g", v, snap.Closeness[v], want)
+		}
+	}
+	t.Logf("soak finished: %d vertices, %d edges, %d RC steps, %d repartitions",
+		e.Graph().NumVertices(), e.Graph().NumEdges(), e.StepsTaken(), e.Metrics().Repartitions)
+}

@@ -1,0 +1,36 @@
+package core
+
+import "time"
+
+// TraceEvent is one entry of the engine's execution trace, delivered to
+// Options.Trace when set. Events are emitted from the coordinating
+// goroutine only (never from inside processor goroutines), in execution
+// order.
+type TraceEvent struct {
+	// Kind is one of "dd", "ia", "rc-step", "change", "converged",
+	// "checkpoint", "restore".
+	Kind string
+	// Step is the RC step counter at emission time.
+	Step int
+	// Detail is a human-readable summary (counts, strategy names).
+	Detail string
+	// Virtual is the simulated cluster time at emission.
+	Virtual time.Duration
+}
+
+// Tracer receives engine trace events. Implementations must be fast; the
+// engine calls them synchronously.
+type Tracer func(TraceEvent)
+
+// trace emits an event if tracing is enabled.
+func (e *Engine) trace(kind, detail string) {
+	if e.opts.Trace == nil {
+		return
+	}
+	e.opts.Trace(TraceEvent{
+		Kind:    kind,
+		Step:    e.step,
+		Detail:  detail,
+		Virtual: e.mach.VirtualTime(),
+	})
+}

@@ -1,0 +1,203 @@
+// Package dv implements the distance-vector (DV) state each processor
+// maintains in the anytime-anywhere engine: one row per locally owned
+// vertex holding current shortest-distance upper bounds to every vertex of
+// the (growing) graph. Rows support the paper's amortized-doubling column
+// extension for dynamic vertex additions and dirty tracking so that only
+// *updated* boundary DVs are shipped during recombination.
+package dv
+
+import (
+	"fmt"
+
+	"anytime/internal/graph"
+)
+
+// Row is the distance vector of one vertex: D[t] is the best known
+// distance from the row's owner to global vertex t (InfDist = none known).
+// NH[t] is the distance-vector-routing next hop: the neighbor of Owner on
+// the path realizing D[t] (-1 = unknown; NH[Owner] = Owner). Next hops
+// enable shortest-path reconstruction across processors once the engine
+// has converged.
+type Row struct {
+	Owner int32
+	D     []graph.Dist
+	NH    []int32
+	// Dirty marks the row as changed since it was last shipped to
+	// neighboring processors.
+	Dirty bool
+}
+
+// Relax lowers D[t] to d if d is an improvement, marking the row dirty.
+// The next hop for t becomes unknown. Reports whether an update happened.
+func (r *Row) Relax(t int32, d graph.Dist) bool {
+	return r.RelaxVia(t, d, -1)
+}
+
+// RelaxVia lowers D[t] to d if d is an improvement, recording nh as the
+// next hop toward t. Reports whether an update happened.
+func (r *Row) RelaxVia(t int32, d graph.Dist, nh int32) bool {
+	if d < r.D[t] {
+		r.D[t] = d
+		r.NH[t] = nh
+		r.Dirty = true
+		return true
+	}
+	return false
+}
+
+// Table is the per-processor DV store.
+type Table struct {
+	cols  int
+	rows  []*Row
+	index map[int32]int // global vertex ID -> position in rows
+	// ResizeCopies counts element copies performed by column-extension
+	// reallocations (the paper's O(n+k) amortized DV-resize cost term).
+	ResizeCopies int64
+}
+
+// NewTable creates an empty table whose rows span `cols` global vertices.
+func NewTable(cols int) *Table {
+	return &Table{cols: cols, index: make(map[int32]int)}
+}
+
+// Cols returns the current logical row width (number of global vertices).
+func (t *Table) Cols() int { return t.cols }
+
+// Len returns the number of rows (locally owned vertices).
+func (t *Table) Len() int { return len(t.rows) }
+
+// Rows returns the rows in insertion order. The slice is owned by the
+// table; callers must not reorder it.
+func (t *Table) Rows() []*Row { return t.rows }
+
+// Has reports whether a row for global vertex v exists.
+func (t *Table) Has(v int32) bool {
+	_, ok := t.index[v]
+	return ok
+}
+
+// Row returns the row of global vertex v, or nil if not owned here.
+func (t *Table) Row(v int32) *Row {
+	if i, ok := t.index[v]; ok {
+		return t.rows[i]
+	}
+	return nil
+}
+
+// AddRow inserts a fresh row for global vertex v: all InfDist except
+// D[v] = 0. Panics if the row exists or v is outside the current width.
+func (t *Table) AddRow(v int32) *Row {
+	if _, ok := t.index[v]; ok {
+		panic(fmt.Sprintf("dv: duplicate row for vertex %d", v))
+	}
+	if int(v) >= t.cols {
+		panic(fmt.Sprintf("dv: vertex %d outside width %d", v, t.cols))
+	}
+	d := make([]graph.Dist, t.cols)
+	nh := make([]int32, t.cols)
+	for i := range d {
+		d[i] = graph.InfDist
+		nh[i] = -1
+	}
+	d[v] = 0
+	nh[v] = v
+	r := &Row{Owner: v, D: d, NH: nh, Dirty: true}
+	t.index[v] = len(t.rows)
+	t.rows = append(t.rows, r)
+	return r
+}
+
+// RemoveRow deletes the row of v (repartitioning migrates rows between
+// processors; vertex deletion drops them). Returns the removed row or nil.
+func (t *Table) RemoveRow(v int32) *Row {
+	i, ok := t.index[v]
+	if !ok {
+		return nil
+	}
+	r := t.rows[i]
+	last := len(t.rows) - 1
+	t.rows[i] = t.rows[last]
+	t.index[t.rows[i].Owner] = i
+	t.rows = t.rows[:last]
+	delete(t.index, v)
+	return r
+}
+
+// AdoptRow installs an existing row (migrated from another processor). Its
+// width is extended to the table's width if needed.
+func (t *Table) AdoptRow(r *Row) {
+	if _, ok := t.index[r.Owner]; ok {
+		panic(fmt.Sprintf("dv: duplicate adopted row for vertex %d", r.Owner))
+	}
+	if len(r.D) < t.cols {
+		k := t.cols - len(r.D)
+		r.D = t.extendSlice(r.D, k)
+		r.NH = extendHops(r.NH, k)
+	}
+	t.index[r.Owner] = len(t.rows)
+	t.rows = append(t.rows, r)
+}
+
+// ExtendCols widens every row by k new columns initialized to InfDist,
+// using append's amortized doubling (the paper assumes vector size doubles
+// on resize, for an O(n+k) amortized cost, which is tracked in
+// ResizeCopies).
+func (t *Table) ExtendCols(k int) {
+	if k <= 0 {
+		return
+	}
+	t.cols += k
+	for _, r := range t.rows {
+		r.D = t.extendSlice(r.D, k)
+		r.NH = extendHops(r.NH, k)
+	}
+}
+
+func extendHops(nh []int32, k int) []int32 {
+	for i := 0; i < k; i++ {
+		nh = append(nh, -1)
+	}
+	return nh
+}
+
+func (t *Table) extendSlice(d []graph.Dist, k int) []graph.Dist {
+	oldCap := cap(d)
+	for i := 0; i < k; i++ {
+		d = append(d, graph.InfDist)
+	}
+	if cap(d) != oldCap {
+		t.ResizeCopies += int64(len(d) - k)
+	}
+	return d
+}
+
+// DirtyRows returns the rows currently marked dirty, in insertion order.
+func (t *Table) DirtyRows() []*Row {
+	var out []*Row
+	for _, r := range t.rows {
+		if r.Dirty {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ClearDirty resets all dirty marks (after shipping).
+func (t *Table) ClearDirty() {
+	for _, r := range t.rows {
+		r.Dirty = false
+	}
+}
+
+// RowBytes returns the accounted wire size of one full row of the current
+// width: 4 bytes per distance plus an 8-byte header (owner + length).
+// Next hops are processor-local routing state and are never shipped, so
+// they do not contribute.
+func (t *Table) RowBytes() int { return 4*t.cols + 8 }
+
+// CopyRow returns a deep copy of row r's shippable content (distances;
+// next hops are processor-local and are not copied) for snapshots that
+// must not alias mutable state.
+func CopyRow(r *Row) *Row {
+	return &Row{Owner: r.Owner, D: append([]graph.Dist(nil), r.D...), Dirty: r.Dirty}
+}

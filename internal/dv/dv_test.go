@@ -1,0 +1,190 @@
+package dv
+
+import (
+	"testing"
+	"testing/quick"
+
+	"anytime/internal/graph"
+)
+
+func TestAddRowInitialState(t *testing.T) {
+	tb := NewTable(4)
+	r := tb.AddRow(2)
+	if r.Owner != 2 || !r.Dirty {
+		t.Fatalf("row = %+v", r)
+	}
+	for i, d := range r.D {
+		want := graph.InfDist
+		if i == 2 {
+			want = 0
+		}
+		if d != want {
+			t.Fatalf("D[%d] = %d", i, d)
+		}
+	}
+	if tb.Len() != 1 || !tb.Has(2) || tb.Has(1) {
+		t.Fatal("membership wrong")
+	}
+}
+
+func TestAddRowPanics(t *testing.T) {
+	tb := NewTable(3)
+	tb.AddRow(1)
+	assertPanic(t, func() { tb.AddRow(1) }, "duplicate row")
+	assertPanic(t, func() { tb.AddRow(7) }, "out-of-range row")
+}
+
+func assertPanic(t *testing.T, f func(), msg string) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", msg)
+		}
+	}()
+	f()
+}
+
+func TestRelax(t *testing.T) {
+	tb := NewTable(3)
+	r := tb.AddRow(0)
+	r.Dirty = false
+	if !r.Relax(1, 5) || r.D[1] != 5 || !r.Dirty {
+		t.Fatal("first relax should apply")
+	}
+	r.Dirty = false
+	if r.Relax(1, 7) {
+		t.Fatal("worse relax should be ignored")
+	}
+	if r.Dirty {
+		t.Fatal("ignored relax must not dirty the row")
+	}
+	if !r.Relax(1, 2) || r.D[1] != 2 {
+		t.Fatal("better relax should apply")
+	}
+}
+
+func TestExtendColsPreservesAndFills(t *testing.T) {
+	tb := NewTable(2)
+	r := tb.AddRow(0)
+	r.D[1] = 9
+	tb.ExtendCols(3)
+	if tb.Cols() != 5 {
+		t.Fatalf("cols = %d", tb.Cols())
+	}
+	if len(r.D) != 5 || r.D[1] != 9 {
+		t.Fatalf("row lost data: %v", r.D)
+	}
+	for i := 2; i < 5; i++ {
+		if r.D[i] != graph.InfDist {
+			t.Fatalf("new column %d = %d", i, r.D[i])
+		}
+	}
+	if tb.ResizeCopies == 0 {
+		t.Fatal("resize copies not tracked")
+	}
+	tb.ExtendCols(0)
+	if tb.Cols() != 5 {
+		t.Fatal("ExtendCols(0) must be a no-op")
+	}
+}
+
+// Property: interleaved AddRow/ExtendCols keeps every row at the table
+// width with the self-distance zero, all-new columns InfDist, and resize
+// cost within the amortized-doubling bound (total copies bounded by a
+// small multiple of the final volume).
+func TestQuickExtendAmortized(t *testing.T) {
+	f := func(steps []uint8) bool {
+		tb := NewTable(1)
+		tb.AddRow(0)
+		for _, s := range steps {
+			k := int(s%7) + 1
+			tb.ExtendCols(k)
+			if s%3 == 0 {
+				// the freshly added column ID has no row yet
+				tb.AddRow(int32(tb.Cols() - 1))
+			}
+		}
+		for _, r := range tb.Rows() {
+			if len(r.D) != tb.Cols() {
+				return false
+			}
+			if r.D[r.Owner] != 0 {
+				return false
+			}
+		}
+		volume := int64(tb.Len() * tb.Cols())
+		return tb.ResizeCopies <= 4*volume+64
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveAndAdoptRow(t *testing.T) {
+	a := NewTable(4)
+	b := NewTable(4)
+	r0 := a.AddRow(0)
+	a.AddRow(1)
+	r0.D[3] = 7
+	got := a.RemoveRow(0)
+	if got != r0 || a.Has(0) || a.Len() != 1 {
+		t.Fatal("remove failed")
+	}
+	if a.RemoveRow(0) != nil {
+		t.Fatal("double remove should return nil")
+	}
+	b.AdoptRow(got)
+	if !b.Has(0) || b.Row(0).D[3] != 7 {
+		t.Fatal("adopt lost data")
+	}
+	assertPanic(t, func() { b.AdoptRow(got) }, "duplicate adopt")
+}
+
+func TestAdoptRowWidens(t *testing.T) {
+	a := NewTable(2)
+	r := a.AddRow(1)
+	b := NewTable(5)
+	b.AdoptRow(r)
+	if len(b.Row(1).D) != 5 {
+		t.Fatalf("adopted row width %d", len(b.Row(1).D))
+	}
+	for i := 2; i < 5; i++ {
+		if b.Row(1).D[i] != graph.InfDist {
+			t.Fatal("widened tail must be InfDist")
+		}
+	}
+}
+
+func TestDirtyRowsAndClear(t *testing.T) {
+	tb := NewTable(3)
+	tb.AddRow(0)
+	tb.AddRow(1)
+	if len(tb.DirtyRows()) != 2 {
+		t.Fatal("fresh rows must be dirty")
+	}
+	tb.ClearDirty()
+	if len(tb.DirtyRows()) != 0 {
+		t.Fatal("clear failed")
+	}
+	tb.Row(1).Relax(0, 4)
+	dr := tb.DirtyRows()
+	if len(dr) != 1 || dr[0].Owner != 1 {
+		t.Fatalf("dirty rows = %v", dr)
+	}
+}
+
+func TestRowBytesAndCopyRow(t *testing.T) {
+	tb := NewTable(10)
+	if tb.RowBytes() != 48 {
+		t.Fatalf("RowBytes = %d", tb.RowBytes())
+	}
+	r := tb.AddRow(3)
+	c := CopyRow(r)
+	c.D[0] = 1
+	if r.D[0] == 1 {
+		t.Fatal("CopyRow aliases the original")
+	}
+	if c.Owner != 3 {
+		t.Fatal("owner lost")
+	}
+}

@@ -1,0 +1,227 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"anytime/internal/change"
+	"anytime/internal/community"
+	"anytime/internal/graph"
+)
+
+// PreferentialBatch generates a batch of k new vertices that attach to the
+// existing graph g preferentially by degree, each with mExt external edges
+// and (after the first few) mInt edges to earlier vertices of the same
+// batch. This models organic growth streams (Fig. 4/8 scenarios).
+func PreferentialBatch(g *graph.Graph, k, mExt, mInt int, w Weights, seed int64) (*change.VertexBatch, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("gen: batch size %d < 1", k)
+	}
+	if g.NumVertices() == 0 {
+		return nil, fmt.Errorf("gen: cannot attach a batch to an empty graph")
+	}
+	if mExt < 1 {
+		mExt = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// degree-proportional sampling over existing vertices
+	targets := make([]int32, 0, 2*g.NumEdges())
+	for v := 0; v < g.NumVertices(); v++ {
+		for range g.Neighbors(v) {
+			targets = append(targets, int32(v))
+		}
+	}
+	if len(targets) == 0 { // edgeless graph: uniform
+		for v := 0; v < g.NumVertices(); v++ {
+			targets = append(targets, int32(v))
+		}
+	}
+	b := &change.VertexBatch{NumVertices: k}
+	seenExt := map[int64]bool{}
+	seenInt := map[int64]bool{}
+	for i := 0; i < k; i++ {
+		for e := 0; e < mExt; e++ {
+			t := targets[rng.Intn(len(targets))]
+			key := int64(i)<<32 | int64(t)
+			if seenExt[key] {
+				continue
+			}
+			seenExt[key] = true
+			b.External = append(b.External, change.ExternalEdge{
+				New: int32(i), Existing: t, Weight: w.draw(rng),
+			})
+		}
+		for e := 0; e < mInt && i > 0; e++ {
+			j := int32(rng.Intn(i))
+			a, c := int32(i), j
+			if a > c {
+				a, c = c, a
+			}
+			key := int64(a)<<32 | int64(c)
+			if seenInt[key] {
+				continue
+			}
+			seenInt[key] = true
+			b.Internal = append(b.Internal, change.InternalEdge{A: a, B: c, Weight: w.draw(rng)})
+		}
+	}
+	return b, nil
+}
+
+// CommunityBatch generates a batch of k new vertices carrying community
+// structure, mirroring the paper's experimental setup: the new vertices are
+// extracted from a larger scale-free reservoir graph via Louvain community
+// detection, so edges among new vertices concentrate inside communities.
+// Each new vertex also receives extAvg external anchor edges (on average)
+// into the existing graph, chosen degree-preferentially with
+// community-coherent anchoring: vertices of one extracted community anchor
+// near each other.
+func CommunityBatch(g *graph.Graph, k int, extAvg float64, w Weights, seed int64) (*change.VertexBatch, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("gen: community batch size %d < 2", k)
+	}
+	if g.NumVertices() == 0 {
+		return nil, fmt.Errorf("gen: cannot attach a batch to an empty graph")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Reservoir: a scale-free graph ~4x the batch, from which communities
+	// are carved (the "larger graph" of the paper's setup).
+	resN := 4 * k
+	if resN < 32 {
+		resN = 32
+	}
+	reservoir, err := BarabasiAlbert(resN, 3, w, seed^0x5eed)
+	if err != nil {
+		return nil, err
+	}
+	comm := community.Louvain(reservoir, seed^0xc0de)
+	// Order communities by size descending and take whole communities until
+	// k vertices are collected (truncating the last).
+	byComm := make([][]int32, comm.K)
+	for v, c := range comm.Label {
+		byComm[c] = append(byComm[c], int32(v))
+	}
+	sort.Slice(byComm, func(i, j int) bool { return len(byComm[i]) > len(byComm[j]) })
+	var picked []int32
+	commOf := make(map[int32]int32) // reservoir vertex -> extracted community index
+	for ci := 0; ci < len(byComm) && len(picked) < k; ci++ {
+		for _, v := range byComm[ci] {
+			if len(picked) == k {
+				break
+			}
+			commOf[v] = int32(ci)
+			picked = append(picked, v)
+		}
+	}
+	// batch-local index of each picked reservoir vertex
+	localOf := make(map[int32]int32, len(picked))
+	for i, v := range picked {
+		localOf[v] = int32(i)
+	}
+	b := &change.VertexBatch{NumVertices: k}
+	reservoir.ForEachEdge(func(u, v int, wt graph.Weight) {
+		lu, ok1 := localOf[int32(u)]
+		lv, ok2 := localOf[int32(v)]
+		if ok1 && ok2 {
+			b.Internal = append(b.Internal, change.InternalEdge{A: lu, B: lv, Weight: wt})
+		}
+	})
+	// External anchors: one degree-preferential anchor region per extracted
+	// community; members anchor to the region's vertex or its neighbors.
+	targets := make([]int32, 0, 2*g.NumEdges())
+	for v := 0; v < g.NumVertices(); v++ {
+		for range g.Neighbors(v) {
+			targets = append(targets, int32(v))
+		}
+	}
+	if len(targets) == 0 {
+		for v := 0; v < g.NumVertices(); v++ {
+			targets = append(targets, int32(v))
+		}
+	}
+	anchor := map[int32]int32{} // community -> anchor vertex in g
+	seenExt := map[int64]bool{}
+	total := int(extAvg * float64(k))
+	if total < k {
+		total = k // ensure connectivity of every new vertex
+	}
+	addExt := func(local int32) {
+		rv := picked[local]
+		c := commOf[rv]
+		av, ok := anchor[c]
+		if !ok {
+			av = targets[rng.Intn(len(targets))]
+			anchor[c] = av
+		}
+		// anchor vertex itself or a random neighbor of it
+		t := av
+		if nb := g.Neighbors(int(av)); len(nb) > 0 && rng.Intn(2) == 0 {
+			t = nb[rng.Intn(len(nb))].To
+		}
+		key := int64(local)<<32 | int64(t)
+		if seenExt[key] {
+			return
+		}
+		seenExt[key] = true
+		b.External = append(b.External, change.ExternalEdge{New: local, Existing: t, Weight: w.draw(rng)})
+	}
+	for i := 0; i < k; i++ { // every new vertex gets at least one anchor
+		addExt(int32(i))
+	}
+	for len(b.External) < total {
+		addExt(int32(rng.Intn(k)))
+	}
+	return b, nil
+}
+
+// SplitBatch divides a batch of vertex additions into `steps` smaller
+// batches applied at consecutive recombination steps (the paper's
+// incremental-additions experiment, Fig. 8). Internal edges whose endpoints
+// fall into different sub-batches become external edges of the later one.
+func SplitBatch(b *change.VertexBatch, steps int) []*change.VertexBatch {
+	if steps < 1 {
+		steps = 1
+	}
+	if steps > b.NumVertices {
+		steps = b.NumVertices
+	}
+	out := make([]*change.VertexBatch, steps)
+	// contiguous ranges of batch-local IDs per step
+	bounds := make([]int, steps+1)
+	for s := 0; s <= steps; s++ {
+		bounds[s] = s * b.NumVertices / steps
+	}
+	stepOf := func(local int32) int {
+		return sort.Search(steps, func(s int) bool { return bounds[s+1] > int(local) })
+	}
+	for s := 0; s < steps; s++ {
+		out[s] = &change.VertexBatch{NumVertices: bounds[s+1] - bounds[s]}
+	}
+	for _, e := range b.Internal {
+		sa, sb := stepOf(e.A), stepOf(e.B)
+		la, lb := e.A-int32(bounds[sa]), e.B-int32(bounds[sb])
+		switch {
+		case sa == sb:
+			out[sa].Internal = append(out[sa].Internal, change.InternalEdge{A: la, B: lb, Weight: e.Weight})
+		case sa < sb:
+			// A joins the graph in an earlier step; its eventual global ID
+			// is unknown here, so the edge is recorded as Pending against
+			// A's stream-local index and resolved by the engine's stream map.
+			out[sb].Pending = append(out[sb].Pending, change.PendingEdge{
+				New: lb, EarlierBatchVertex: e.A, Weight: e.Weight,
+			})
+		default:
+			out[sa].Pending = append(out[sa].Pending, change.PendingEdge{
+				New: la, EarlierBatchVertex: e.B, Weight: e.Weight,
+			})
+		}
+	}
+	for _, e := range b.External {
+		s := stepOf(e.New)
+		out[s].External = append(out[s].External, change.ExternalEdge{
+			New: e.New - int32(bounds[s]), Existing: e.Existing, Weight: e.Weight,
+		})
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package gen
+
+import (
+	"testing"
+
+	"anytime/internal/change"
+	"anytime/internal/graph"
+)
+
+func baseGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := BarabasiAlbert(150, 2, Weights{}, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPreferentialBatchValid(t *testing.T) {
+	g := baseGraph(t)
+	b, err := PreferentialBatch(g, 30, 2, 1, Weights{Min: 1, Max: 3}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NumVertices != 30 {
+		t.Fatalf("k = %d", b.NumVertices)
+	}
+	if err := b.Validate(g.NumVertices()); err != nil {
+		t.Fatal(err)
+	}
+	// every new vertex must have at least one external anchor
+	anchored := make([]bool, 30)
+	for _, e := range b.External {
+		anchored[e.New] = true
+	}
+	for i, a := range anchored {
+		if !a {
+			t.Fatalf("new vertex %d has no external edge", i)
+		}
+	}
+}
+
+func TestPreferentialBatchErrors(t *testing.T) {
+	g := baseGraph(t)
+	if _, err := PreferentialBatch(g, 0, 2, 1, Weights{}, 1); err == nil {
+		t.Fatal("k=0 should fail")
+	}
+	if _, err := PreferentialBatch(graph.New(0), 3, 2, 1, Weights{}, 1); err == nil {
+		t.Fatal("empty base graph should fail")
+	}
+}
+
+func TestCommunityBatchStructure(t *testing.T) {
+	g := baseGraph(t)
+	b, err := CommunityBatch(g, 60, 1.5, Weights{Min: 1, Max: 2}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(g.NumVertices()); err != nil {
+		t.Fatal(err)
+	}
+	if b.NumVertices != 60 {
+		t.Fatalf("k = %d", b.NumVertices)
+	}
+	if len(b.Internal) == 0 {
+		t.Fatal("community batch must carry internal edges")
+	}
+	if len(b.External) < 60 {
+		t.Fatalf("only %d external edges; every vertex needs an anchor", len(b.External))
+	}
+	// the batch graph (internal edges only) must exhibit clustering: far
+	// more internal edges than a same-size uniform-random assignment would
+	// keep inside parts — proxy: average internal degree >= 1
+	if 2*len(b.Internal) < b.NumVertices {
+		t.Fatalf("too sparse internally: %d edges over %d vertices", len(b.Internal), b.NumVertices)
+	}
+}
+
+func TestCommunityBatchErrors(t *testing.T) {
+	g := baseGraph(t)
+	if _, err := CommunityBatch(g, 1, 1, Weights{}, 1); err == nil {
+		t.Fatal("k<2 should fail")
+	}
+	if _, err := CommunityBatch(graph.New(0), 10, 1, Weights{}, 1); err == nil {
+		t.Fatal("empty base should fail")
+	}
+}
+
+func TestSplitBatchPartitionsVertices(t *testing.T) {
+	g := baseGraph(t)
+	b, err := CommunityBatch(g, 50, 1.2, Weights{}, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := SplitBatch(b, 7)
+	if len(parts) != 7 {
+		t.Fatalf("got %d parts", len(parts))
+	}
+	total := 0
+	edges := 0
+	for _, p := range parts {
+		total += p.NumVertices
+		edges += p.NumEdges()
+		if err := p.Validate(g.NumVertices()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if total != 50 {
+		t.Fatalf("split lost vertices: %d", total)
+	}
+	if edges != b.NumEdges() {
+		t.Fatalf("split lost edges: %d vs %d", edges, b.NumEdges())
+	}
+}
+
+func TestSplitBatchPendingIndices(t *testing.T) {
+	b := &change.VertexBatch{NumVertices: 4}
+	b.Internal = []change.InternalEdge{
+		{A: 0, B: 3, Weight: 1}, // crosses the split
+		{A: 0, B: 1, Weight: 1}, // stays in step 0
+	}
+	parts := SplitBatch(b, 2)
+	if len(parts[0].Internal) != 1 || parts[0].Internal[0].B != 1 {
+		t.Fatalf("step 0 internal wrong: %+v", parts[0].Internal)
+	}
+	if len(parts[1].Pending) != 1 {
+		t.Fatalf("step 1 pending wrong: %+v", parts[1].Pending)
+	}
+	p := parts[1].Pending[0]
+	// vertex 3 is local index 1 of step 1; earlier endpoint is stream index 0
+	if p.New != 1 || p.EarlierBatchVertex != 0 {
+		t.Fatalf("pending = %+v", p)
+	}
+}
+
+func TestSplitBatchDegenerate(t *testing.T) {
+	b := &change.VertexBatch{NumVertices: 3}
+	parts := SplitBatch(b, 10) // more steps than vertices
+	if len(parts) != 3 {
+		t.Fatalf("got %d parts", len(parts))
+	}
+	parts = SplitBatch(b, 0)
+	if len(parts) != 1 || parts[0].NumVertices != 3 {
+		t.Fatalf("steps=0 should behave as 1: %+v", parts)
+	}
+}

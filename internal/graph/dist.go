@@ -1,0 +1,25 @@
+package graph
+
+import "math"
+
+// Dist is a shortest-path distance: a sum of edge weights, or InfDist when
+// no path is known. Distances in the anytime-anywhere engine are always
+// upper bounds that only decrease, so int32 with a saturating Inf is safe
+// as long as true distances stay below InfDist (enforced by generators
+// keeping weights small relative to n).
+type Dist = int32
+
+// InfDist is the "no known path" sentinel.
+const InfDist Dist = math.MaxInt32
+
+// AddDist adds two distances, saturating at InfDist.
+func AddDist(a, b Dist) Dist {
+	if a == InfDist || b == InfDist {
+		return InfDist
+	}
+	s := int64(a) + int64(b)
+	if s >= int64(InfDist) {
+		return InfDist
+	}
+	return Dist(s)
+}

@@ -1,0 +1,74 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Fuzz targets: the parsers must never panic and, when they accept input,
+// must produce a structurally valid graph whose re-serialization parses to
+// the same shape.
+
+func FuzzReadEdgeList(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WriteEdgeList(&buf, ringGraph(5))
+	f.Add(buf.String())
+	f.Add("3 1\n0 1 2\n")
+	f.Add("")
+	f.Add("1 0\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadEdgeList(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("accepted invalid graph: %v", verr)
+		}
+		var out bytes.Buffer
+		if werr := WriteEdgeList(&out, g); werr != nil {
+			t.Fatalf("re-serialize: %v", werr)
+		}
+		back, rerr := ReadEdgeList(&out)
+		if rerr != nil {
+			t.Fatalf("round trip: %v", rerr)
+		}
+		if back.NumVertices() != g.NumVertices() || back.NumEdges() != g.NumEdges() {
+			t.Fatal("round trip changed shape")
+		}
+	})
+}
+
+func FuzzReadPajek(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WritePajek(&buf, ringGraph(4))
+	f.Add(buf.String())
+	f.Add("*Vertices 2\n1 \"a\"\n2 \"b\"\n*Edges\n1 2 3\n")
+	f.Add("*Arcs\n1 2\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadPajek(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("accepted invalid graph: %v", verr)
+		}
+	})
+}
+
+func FuzzReadMETIS(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WriteMETIS(&buf, ringGraph(4))
+	f.Add(buf.String())
+	f.Add("2 1\n2\n1\n")
+	f.Add("% c\n3 0 1\n\n\n\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadMETIS(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("accepted invalid graph: %v", verr)
+		}
+	})
+}

@@ -1,0 +1,183 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes the graph in a simple text format:
+//
+//	<n> <m>
+//	<u> <v> <w>        (one line per undirected edge, 0-based IDs)
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.NumVertices(), g.NumEdges()); err != nil {
+		return err
+	}
+	var werr error
+	g.ForEachEdge(func(u, v int, wt Weight) {
+		if werr == nil {
+			_, werr = fmt.Fprintf(bw, "%d %d %d\n", u, v, wt)
+		}
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+// MaxParseVertices caps the vertex count any of the text parsers will
+// accept (guards against absurd headers allocating unbounded memory).
+const MaxParseVertices = 1 << 24
+
+// ReadEdgeList parses the format written by WriteEdgeList.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("graph: empty edge list input")
+	}
+	var n, m int
+	if _, err := fmt.Sscanf(sc.Text(), "%d %d", &n, &m); err != nil {
+		return nil, fmt.Errorf("graph: bad header %q: %w", sc.Text(), err)
+	}
+	if n < 0 || n > MaxParseVertices || m < 0 {
+		return nil, fmt.Errorf("graph: implausible header n=%d m=%d", n, m)
+	}
+	g := New(n)
+	line := 1
+	for sc.Scan() {
+		line++
+		t := strings.TrimSpace(sc.Text())
+		if t == "" || strings.HasPrefix(t, "#") {
+			continue
+		}
+		var u, v int
+		var wt int64
+		if _, err := fmt.Sscanf(t, "%d %d %d", &u, &v, &wt); err != nil {
+			return nil, fmt.Errorf("graph: line %d: %q: %w", line, t, err)
+		}
+		if err := g.AddEdge(u, v, Weight(wt)); err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g.NumEdges() != m {
+		return nil, fmt.Errorf("graph: header declared %d edges, read %d", m, g.NumEdges())
+	}
+	return g, nil
+}
+
+// WritePajek writes the graph in Pajek .net format (the tool the paper used
+// to generate its scale-free inputs). Pajek vertex IDs are 1-based.
+func WritePajek(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "*Vertices %d\n", g.NumVertices()); err != nil {
+		return err
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if _, err := fmt.Fprintf(bw, "%d \"v%d\"\n", v+1, v); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(bw, "*Edges"); err != nil {
+		return err
+	}
+	var werr error
+	g.ForEachEdge(func(u, v int, wt Weight) {
+		if werr == nil {
+			_, werr = fmt.Fprintf(bw, "%d %d %d\n", u+1, v+1, wt)
+		}
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+// ReadPajek parses a (subset of the) Pajek .net format: a *Vertices section
+// followed by *Edges (undirected) and/or *Arcs (treated as undirected here).
+// Missing edge weights default to 1.
+func ReadPajek(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	var g *Graph
+	section := ""
+	line := 0
+	for sc.Scan() {
+		line++
+		t := strings.TrimSpace(sc.Text())
+		if t == "" || strings.HasPrefix(t, "%") {
+			continue
+		}
+		lower := strings.ToLower(t)
+		switch {
+		case strings.HasPrefix(lower, "*vertices"):
+			fields := strings.Fields(t)
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("graph: pajek line %d: missing vertex count", line)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: pajek line %d: %w", line, err)
+			}
+			if n < 0 || n > MaxParseVertices {
+				return nil, fmt.Errorf("graph: pajek line %d: implausible vertex count %d", line, n)
+			}
+			g = New(n)
+			section = "vertices"
+			continue
+		case strings.HasPrefix(lower, "*edges"), strings.HasPrefix(lower, "*arcs"):
+			section = "edges"
+			continue
+		case strings.HasPrefix(lower, "*"):
+			section = "skip"
+			continue
+		}
+		switch section {
+		case "vertices", "skip":
+			// vertex labels / unsupported sections: ignored
+		case "edges":
+			if g == nil {
+				return nil, fmt.Errorf("graph: pajek line %d: edges before *Vertices", line)
+			}
+			fields := strings.Fields(t)
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("graph: pajek line %d: bad edge %q", line, t)
+			}
+			u, err1 := strconv.Atoi(fields[0])
+			v, err2 := strconv.Atoi(fields[1])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("graph: pajek line %d: bad edge %q", line, t)
+			}
+			wt := int64(1)
+			if len(fields) >= 3 {
+				var err error
+				wt, err = strconv.ParseInt(fields[2], 10, 32)
+				if err != nil {
+					return nil, fmt.Errorf("graph: pajek line %d: bad weight %q", line, fields[2])
+				}
+			}
+			if u == v || g.HasEdge(u-1, v-1) {
+				continue // Pajek files may repeat edges or contain loops; skip
+			}
+			if err := g.AddEdge(u-1, v-1, Weight(wt)); err != nil {
+				return nil, fmt.Errorf("graph: pajek line %d: %w", line, err)
+			}
+		default:
+			return nil, fmt.Errorf("graph: pajek line %d: content outside any section", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graph: pajek input has no *Vertices section")
+	}
+	return g, nil
+}

@@ -1,0 +1,129 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := randomGraph(25, 60, 5)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameGraph(t, g, got)
+}
+
+func TestPajekRoundTrip(t *testing.T) {
+	g := randomGraph(25, 60, 6)
+	var buf bytes.Buffer
+	if err := WritePajek(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPajek(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameGraph(t, g, got)
+}
+
+func requireSameGraph(t *testing.T, want, got *Graph) {
+	t.Helper()
+	if got.NumVertices() != want.NumVertices() || got.NumEdges() != want.NumEdges() {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d",
+			got.NumVertices(), got.NumEdges(), want.NumVertices(), want.NumEdges())
+	}
+	want.ForEachEdge(func(u, v int, w Weight) {
+		gw, ok := got.EdgeWeight(u, v)
+		if !ok || gw != w {
+			t.Fatalf("edge {%d,%d,w=%d} lost (got %d, %v)", u, v, w, gw, ok)
+		}
+	})
+}
+
+func TestQuickEdgeListRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%20) + 2
+		m := int(mRaw) % (n * (n - 1) / 2)
+		g := randomGraph(n, m, seed)
+		var buf bytes.Buffer
+		if WriteEdgeList(&buf, g) != nil {
+			return false
+		}
+		got, err := ReadEdgeList(&buf)
+		if err != nil || got.NumEdges() != g.NumEdges() || got.NumVertices() != g.NumVertices() {
+			return false
+		}
+		return got.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"",                        // empty
+		"x y\n",                   // bad header
+		"2 1\n0 0 1\n",            // self loop
+		"2 1\n0 1 1\n0 1 1\n",     // duplicate (also wrong count)
+		"2 2\n0 1 1\n",            // count mismatch
+		"2 1\nnot an edge line\n", // junk
+	}
+	for _, c := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(c)); err == nil {
+			t.Errorf("input %q should fail", c)
+		}
+	}
+}
+
+func TestReadPajekLenient(t *testing.T) {
+	// Pajek files in the wild repeat edges, use *Arcs, and include comments.
+	in := `% a comment
+*Vertices 4
+1 "a"
+2 "b"
+3 "c"
+4 "d"
+*Arcs
+1 2 3
+2 1 3
+*Edges
+3 4
+`
+	g, err := ReadPajek(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 2 {
+		t.Fatalf("got %d vertices %d edges", g.NumVertices(), g.NumEdges())
+	}
+	w, _ := g.EdgeWeight(0, 1)
+	if w != 3 {
+		t.Fatalf("weight = %d", w)
+	}
+	w, _ = g.EdgeWeight(2, 3)
+	if w != 1 {
+		t.Fatalf("default weight = %d", w)
+	}
+}
+
+func TestReadPajekErrors(t *testing.T) {
+	cases := []string{
+		"*Edges\n1 2\n",            // edges before vertices
+		"*Vertices x\n",            // bad count
+		"*Vertices 2\n*Edges\n1\n", // truncated edge
+		"stray line\n",             // content outside any section
+	}
+	for _, c := range cases {
+		if _, err := ReadPajek(strings.NewReader(c)); err == nil {
+			t.Errorf("input %q should fail", c)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteMETIS writes the graph in the METIS/Chaco graph format used across
+// the graph-partitioning ecosystem the paper builds on (ParMETIS, METIS):
+//
+//	n m 1            (header; "1" = edge weights present)
+//	v1 w1 v2 w2 ...  (one line per vertex, 1-based neighbor/weight pairs)
+func WriteMETIS(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d 1\n", g.NumVertices(), g.NumEdges()); err != nil {
+		return err
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		var sb strings.Builder
+		for i, a := range g.Neighbors(v) {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%d %d", a.To+1, a.Weight)
+		}
+		sb.WriteByte('\n')
+		if _, err := bw.WriteString(sb.String()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMETIS parses the METIS graph format. Supported fmt codes: absent or
+// "0" (no weights; unit edge weights assumed) and "1" / "001" (edge
+// weights). Vertex weights (fmt "10"/"11") are not supported.
+func ReadMETIS(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	line := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			line++
+			t := strings.TrimSpace(sc.Text())
+			if t == "" && line > 1 {
+				return "", true // blank vertex line: isolated vertex
+			}
+			if strings.HasPrefix(t, "%") {
+				continue
+			}
+			return t, true
+		}
+		return "", false
+	}
+	header, ok := next()
+	if !ok {
+		return nil, fmt.Errorf("graph: empty METIS input")
+	}
+	fields := strings.Fields(header)
+	if len(fields) < 2 {
+		return nil, fmt.Errorf("graph: METIS header %q needs n and m", header)
+	}
+	n, err1 := strconv.Atoi(fields[0])
+	m, err2 := strconv.Atoi(fields[1])
+	if err1 != nil || err2 != nil || n < 0 || m < 0 || n > MaxParseVertices {
+		return nil, fmt.Errorf("graph: bad METIS header %q", header)
+	}
+	weighted := false
+	if len(fields) >= 3 {
+		switch strings.TrimLeft(fields[2], "0") {
+		case "":
+			weighted = false
+		case "1":
+			weighted = true
+		default:
+			return nil, fmt.Errorf("graph: unsupported METIS fmt %q (vertex weights not supported)", fields[2])
+		}
+	}
+	g := New(n)
+	for v := 0; v < n; v++ {
+		t, ok := next()
+		if !ok {
+			return nil, fmt.Errorf("graph: METIS input ends at vertex %d of %d", v, n)
+		}
+		fs := strings.Fields(t)
+		step := 1
+		if weighted {
+			step = 2
+		}
+		if len(fs)%step != 0 {
+			return nil, fmt.Errorf("graph: METIS line %d has %d fields (weighted=%v)", line, len(fs), weighted)
+		}
+		for i := 0; i < len(fs); i += step {
+			u, err := strconv.Atoi(fs[i])
+			if err != nil || u < 1 || u > n {
+				return nil, fmt.Errorf("graph: METIS line %d: bad neighbor %q", line, fs[i])
+			}
+			wt := int64(1)
+			if weighted {
+				wt, err = strconv.ParseInt(fs[i+1], 10, 32)
+				if err != nil || wt <= 0 {
+					return nil, fmt.Errorf("graph: METIS line %d: bad weight %q", line, fs[i+1])
+				}
+			}
+			// each undirected edge appears twice; add it on the first sight
+			if u-1 > v {
+				if err := g.AddEdge(v, u-1, Weight(wt)); err != nil {
+					return nil, fmt.Errorf("graph: METIS line %d: %w", line, err)
+				}
+			}
+		}
+	}
+	if g.NumEdges() != m {
+		return nil, fmt.Errorf("graph: METIS header declared %d edges, read %d", m, g.NumEdges())
+	}
+	return g, nil
+}

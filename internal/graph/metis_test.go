@@ -1,0 +1,68 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMETISRoundTrip(t *testing.T) {
+	g := randomGraph(30, 70, 12)
+	var buf bytes.Buffer
+	if err := WriteMETIS(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMETIS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameGraph(t, g, got)
+}
+
+func TestMETISIsolatedVertices(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(1, 2, 5)
+	var buf bytes.Buffer
+	if err := WriteMETIS(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMETIS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVertices() != 4 || got.NumEdges() != 1 {
+		t.Fatalf("shape %d/%d", got.NumVertices(), got.NumEdges())
+	}
+}
+
+func TestReadMETISUnweighted(t *testing.T) {
+	in := "% comment\n3 2\n2 3\n1\n1\n"
+	g, err := ReadMETIS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	w, _ := g.EdgeWeight(0, 1)
+	if w != 1 {
+		t.Fatalf("unweighted edge got weight %d", w)
+	}
+}
+
+func TestReadMETISErrors(t *testing.T) {
+	cases := []string{
+		"",                       // empty
+		"x 2\n",                  // bad header
+		"3 2 11\n2\n1\n\n",       // vertex weights unsupported
+		"3 2 1\n2 5 3\n1 5\n1\n", // odd field count on weighted line
+		"3 2\n9\n\n\n",           // neighbor out of range
+		"3 5\n2 3\n1\n1\n",       // edge count mismatch
+		"3 2\n2 3\n1\n",          // truncated
+	}
+	for _, c := range cases {
+		if _, err := ReadMETIS(strings.NewReader(c)); err == nil {
+			t.Errorf("input %q should fail", c)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package graph
+
+import (
+	"math"
+	"sort"
+)
+
+// DegreeHistogram returns counts[d] = number of vertices with degree d.
+func DegreeHistogram(g *Graph) []int {
+	h := make([]int, g.MaxDegree()+1)
+	for v := 0; v < g.NumVertices(); v++ {
+		h[g.Degree(v)]++
+	}
+	return h
+}
+
+// MeanDegree returns the average vertex degree.
+func MeanDegree(g *Graph) float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	return 2 * float64(g.NumEdges()) / float64(n)
+}
+
+// PowerLawExponent estimates the exponent gamma of a power-law degree
+// distribution P(d) ~ d^-gamma via the Hill maximum-likelihood estimator
+// over degrees >= dmin. Used by tests to confirm scale-free generators.
+func PowerLawExponent(g *Graph, dmin int) float64 {
+	if dmin < 1 {
+		dmin = 1
+	}
+	var sum float64
+	var cnt int
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.Degree(v); d >= dmin {
+			sum += math.Log(float64(d) / (float64(dmin) - 0.5))
+			cnt++
+		}
+	}
+	if cnt == 0 || sum == 0 {
+		return 0
+	}
+	return 1 + float64(cnt)/sum
+}
+
+// ConnectedComponents labels vertices with component IDs (0-based, in order
+// of discovery) and returns the labels plus the number of components.
+func ConnectedComponents(g *Graph) ([]int32, int) {
+	n := g.NumVertices()
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var stack []int32
+	next := int32(0)
+	for s := 0; s < n; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		comp[s] = next
+		stack = append(stack[:0], int32(s))
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, a := range g.Neighbors(int(v)) {
+				if comp[a.To] == -1 {
+					comp[a.To] = next
+					stack = append(stack, a.To)
+				}
+			}
+		}
+		next++
+	}
+	return comp, int(next)
+}
+
+// IsConnected reports whether the graph has exactly one connected component
+// (the empty graph counts as connected).
+func IsConnected(g *Graph) bool {
+	if g.NumVertices() == 0 {
+		return true
+	}
+	_, k := ConnectedComponents(g)
+	return k == 1
+}
+
+// LargestComponent returns the vertex IDs of the largest connected
+// component, sorted ascending.
+func LargestComponent(g *Graph) []int32 {
+	comp, k := ConnectedComponents(g)
+	if k == 0 {
+		return nil
+	}
+	sizes := make([]int, k)
+	for _, c := range comp {
+		sizes[c]++
+	}
+	best := 0
+	for c, s := range sizes {
+		if s > sizes[best] {
+			best = c
+		}
+	}
+	var out []int32
+	for v, c := range comp {
+		if int(c) == best {
+			out = append(out, int32(v))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// InducedSubgraph returns the subgraph induced by the given (sorted or
+// unsorted, duplicate-free) vertex set, together with the mapping from new
+// local IDs to the original global IDs.
+func InducedSubgraph(g *Graph, verts []int32) (*Graph, []int32) {
+	idx := make(map[int32]int32, len(verts))
+	order := append([]int32(nil), verts...)
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for i, v := range order {
+		idx[v] = int32(i)
+	}
+	sub := New(len(order))
+	for i, v := range order {
+		for _, a := range g.Neighbors(int(v)) {
+			if j, ok := idx[a.To]; ok && j > int32(i) {
+				sub.addEdgeUnchecked(i, int(j), a.Weight)
+			}
+		}
+	}
+	return sub, order
+}

@@ -1,0 +1,100 @@
+package graph
+
+import (
+	"testing"
+)
+
+func TestConnectedComponents(t *testing.T) {
+	g := New(7)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(3, 4, 1)
+	// 5 and 6 isolated
+	comp, k := ConnectedComponents(g)
+	if k != 4 {
+		t.Fatalf("components = %d, want 4", k)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Fatal("0,1,2 should share a component")
+	}
+	if comp[3] != comp[4] {
+		t.Fatal("3,4 should share a component")
+	}
+	if comp[5] == comp[6] {
+		t.Fatal("isolated vertices must differ")
+	}
+	if IsConnected(g) {
+		t.Fatal("graph is not connected")
+	}
+	if !IsConnected(ringGraph(5)) {
+		t.Fatal("ring is connected")
+	}
+	if !IsConnected(New(0)) {
+		t.Fatal("empty graph counts as connected")
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	g := New(6)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(4, 5, 1)
+	lc := LargestComponent(g)
+	want := []int32{0, 1, 2}
+	if len(lc) != 3 {
+		t.Fatalf("largest = %v", lc)
+	}
+	for i := range want {
+		if lc[i] != want[i] {
+			t.Fatalf("largest = %v, want %v", lc, want)
+		}
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := ringGraph(6)
+	sub, order := InducedSubgraph(g, []int32{0, 1, 2, 5})
+	if sub.NumVertices() != 4 {
+		t.Fatalf("sub has %d vertices", sub.NumVertices())
+	}
+	// ring edges inside {0,1,2,5}: {0,1},{1,2},{5,0}
+	if sub.NumEdges() != 3 {
+		t.Fatalf("sub has %d edges", sub.NumEdges())
+	}
+	if order[0] != 0 || order[3] != 5 {
+		t.Fatalf("order = %v", order)
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegreeHistogramAndMean(t *testing.T) {
+	g := ringGraph(5)
+	h := DegreeHistogram(g)
+	if len(h) != 3 || h[2] != 5 {
+		t.Fatalf("histogram = %v", h)
+	}
+	if MeanDegree(g) != 2 {
+		t.Fatalf("mean = %g", MeanDegree(g))
+	}
+	if MeanDegree(New(0)) != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+}
+
+func TestPowerLawExponentDetectsHeavyTail(t *testing.T) {
+	// star graph: one hub of degree n-1, leaves of degree 1
+	n := 200
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(0, v, 1)
+	}
+	gamma := PowerLawExponent(g, 1)
+	if gamma <= 1 || gamma > 5 {
+		t.Fatalf("gamma = %g outside plausible range", gamma)
+	}
+	if PowerLawExponent(New(3), 1) != 0 {
+		t.Fatal("edgeless graph should give 0")
+	}
+}

@@ -1,0 +1,155 @@
+package harness
+
+import (
+	"fmt"
+
+	"anytime/internal/core"
+	"anytime/internal/gen"
+	"anytime/internal/partition"
+)
+
+// Ablations measures the design choices DESIGN.md calls out, each as the
+// virtual-time overhead of absorbing the same mid-size community batch at
+// RC0 (plus the Fig. 7 cut-edge metric where relevant). One row per
+// variant; lower is better.
+func Ablations(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	g, err := cfg.baseGraph()
+	if err != nil {
+		return nil, err
+	}
+	k := cfg.scaleBatch(3000)
+	batch, err := gen.CommunityBatch(g, k, 1.5, gen.Weights{}, cfg.Seed+999)
+	if err != nil {
+		return nil, err
+	}
+
+	type variant struct {
+		name string
+		opts core.Options
+	}
+	base := cfg.engineOptions(core.RoundRobinPS)
+	with := func(name string, mutate func(*core.Options)) variant {
+		o := base
+		mutate(&o)
+		return variant{name, o}
+	}
+	variants := []variant{
+		{"baseline (paper defaults)", base},
+		with("no local refinement", func(o *core.Options) { o.NoLocalRefine = true }),
+		with("ship all boundary DVs", func(o *core.Options) { o.ShipAllBoundary = true }),
+		with("parallel-pairs comm", func(o *core.Options) { o.ParallelComm = true }),
+		with("message cap 4 KiB", func(o *core.Options) { o.MaxMsgBytes = 4 << 10 }),
+		with("message cap 1 MiB", func(o *core.Options) { o.MaxMsgBytes = 1 << 20 }),
+		with("DD greedy-grow", func(o *core.Options) { o.Partitioner = partition.Greedy{Seed: cfg.Seed} }),
+		with("DD round-robin", func(o *core.Options) { o.Partitioner = partition.RoundRobin{} }),
+		with("CutEdge-PS greedy map", func(o *core.Options) { o.Strategy = core.CutEdgePS }),
+		with("CutEdge-PS naive map", func(o *core.Options) {
+			o.Strategy = core.CutEdgePS
+			o.NaiveBatchMapping = true
+		}),
+		with("Repartition-S adaptive", func(o *core.Options) { o.Strategy = core.RepartitionS }),
+		with("Repartition-S from-scratch", func(o *core.Options) {
+			o.Strategy = core.RepartitionS
+			o.FullRepartition = true
+		}),
+	}
+
+	res := &Result{
+		ID:     "ablations",
+		Title:  fmt.Sprintf("Design-choice ablations, %d-vertex batch at RC0, n=%d, P=%d", k, cfg.N, cfg.P),
+		XLabel: "variant #",
+		YLabel: "value",
+	}
+	minutes := Series{Name: "overhead-min"}
+	cuts := Series{Name: "new-cut-edges"}
+	migrated := Series{Name: "rows-migrated"}
+	for i, v := range variants {
+		e, err := buildEngine(cfg, v.opts)
+		if err != nil {
+			return nil, err
+		}
+		e.Run()
+		t0 := e.Metrics().VirtualTime
+		if err := e.QueueBatch(batch); err != nil {
+			return nil, err
+		}
+		e.Run()
+		if !e.Converged() {
+			return nil, fmt.Errorf("harness: ablation %q did not converge", v.name)
+		}
+		m := e.Metrics()
+		minutes.X = append(minutes.X, float64(i))
+		minutes.Y = append(minutes.Y, Minutes(m.VirtualTime-t0))
+		cuts.X = append(cuts.X, float64(i))
+		cuts.Y = append(cuts.Y, float64(m.NewCutEdges))
+		migrated.X = append(migrated.X, float64(i))
+		migrated.Y = append(migrated.Y, float64(m.RowsMigrated))
+		res.Notes = append(res.Notes, fmt.Sprintf("variant %d = %s", i, v.name))
+	}
+	res.Series = []Series{minutes, cuts, migrated}
+	return res, nil
+}
+
+// buildEngine constructs an engine over a fresh copy of the base graph
+// with explicit options.
+func buildEngine(cfg Config, opts core.Options) (*core.Engine, error) {
+	g, err := cfg.baseGraph()
+	if err != nil {
+		return nil, err
+	}
+	return core.New(g, opts)
+}
+
+// Scaling measures the simulated parallel speedup of the static analysis:
+// virtual time to convergence as P grows (same graph, LogP model per P),
+// the classic strong-scaling curve implied by the paper's runtime analysis
+// (IA and refinement work divide by P; the serialized all-to-all grows
+// with P, so speedup saturates).
+func Scaling(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	g, err := cfg.baseGraph()
+	if err != nil {
+		return nil, err
+	}
+	ps := []int{1, 2, 4, 8, 16}
+	if cfg.Quick {
+		ps = []int{1, 2, 4}
+	}
+	times := Series{Name: "virtual-min"}
+	speedup := Series{Name: "speedup-vs-P1"}
+	var t1 float64
+	for _, p := range ps {
+		if p > g.NumVertices() {
+			break
+		}
+		c := cfg
+		c.P = p
+		e, err := core.New(g.Clone(), c.engineOptions(core.RoundRobinPS))
+		if err != nil {
+			return nil, err
+		}
+		e.Run()
+		if !e.Converged() {
+			return nil, fmt.Errorf("harness: scaling run P=%d did not converge", p)
+		}
+		min := Minutes(e.Metrics().VirtualTime)
+		if p == 1 {
+			t1 = min
+		}
+		times.X = append(times.X, float64(p))
+		times.Y = append(times.Y, min)
+		speedup.X = append(speedup.X, float64(p))
+		speedup.Y = append(speedup.Y, t1/min)
+	}
+	return &Result{
+		ID:     "scaling",
+		Title:  fmt.Sprintf("Strong scaling of the static analysis, n=%d", cfg.N),
+		XLabel: "processors P",
+		YLabel: "value",
+		Series: []Series{times, speedup},
+		Notes: []string{
+			"speedup saturates as the serialized all-to-all grows with P (the paper's O(P²) schedule)",
+		},
+	}, nil
+}

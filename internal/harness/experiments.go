@@ -1,0 +1,436 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"anytime/internal/change"
+	"anytime/internal/core"
+	"anytime/internal/gen"
+	"anytime/internal/graph"
+)
+
+func (c Config) engineOptions(strat core.Strategy) core.Options {
+	o := core.NewOptions()
+	o.P = c.P
+	o.Seed = c.Seed
+	o.Workers = c.Workers
+	o.Strategy = strat
+	return o
+}
+
+// newEngine builds a converged-ready engine on a fresh copy of the base
+// graph and advances it to the injection step.
+func (c Config) newEngine(strat core.Strategy, injectStep int) (*core.Engine, error) {
+	g, err := c.baseGraph()
+	if err != nil {
+		return nil, err
+	}
+	e, err := core.New(g, c.engineOptions(strat))
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < injectStep && e.Step(); i++ {
+	}
+	return e, nil
+}
+
+var (
+	staticMu    sync.Mutex
+	staticCache = map[string]time.Duration{}
+)
+
+// staticVirtual returns the virtual time of a static (no changes) run to
+// convergence for this configuration, memoized. The figures report dynamic
+// *overhead*: total time of the run-with-changes minus this baseline,
+// which is the quantity the paper plots for the anytime-anywhere engine.
+func (c Config) staticVirtual() (time.Duration, error) {
+	key := fmt.Sprintf("%+v", c)
+	staticMu.Lock()
+	if d, ok := staticCache[key]; ok {
+		staticMu.Unlock()
+		return d, nil
+	}
+	staticMu.Unlock()
+	e, err := c.newEngine(core.RoundRobinPS, 0)
+	if err != nil {
+		return 0, err
+	}
+	e.Run()
+	d := e.Metrics().VirtualTime
+	staticMu.Lock()
+	staticCache[key] = d
+	staticMu.Unlock()
+	return d, nil
+}
+
+// absorb measures the virtual-time *overhead* of absorbing one batch
+// injected at the given RC step with the given strategy: the total time of
+// the run with the change minus the static-run baseline. It also returns
+// the final metrics.
+func (c Config) absorb(strat core.Strategy, injectStep int, b *change.VertexBatch) (time.Duration, core.Metrics, error) {
+	e, err := c.newEngine(strat, injectStep)
+	if err != nil {
+		return 0, core.Metrics{}, err
+	}
+	if err := e.QueueBatch(b); err != nil {
+		return 0, core.Metrics{}, err
+	}
+	e.Run()
+	after := e.Metrics()
+	if !e.Converged() {
+		return 0, core.Metrics{}, fmt.Errorf("harness: %s did not converge", strat)
+	}
+	t0, err := c.staticVirtual()
+	if err != nil {
+		return 0, core.Metrics{}, err
+	}
+	overhead := after.VirtualTime - t0
+	if overhead < 0 {
+		overhead = 0
+	}
+	return overhead, after, nil
+}
+
+// Fig4 reproduces "Baseline Restart vs. Anytime Anywhere": the cost of
+// absorbing a 512-vertex addition (scaled) injected at RC steps 0, 4 and 8,
+// for the anytime-anywhere engine with RoundRobin-PS against the
+// restart-from-scratch baseline.
+func Fig4(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	g, err := cfg.baseGraph()
+	if err != nil {
+		return nil, err
+	}
+	k := cfg.scaleBatch(512)
+	batch, err := gen.PreferentialBatch(g, k, 2, 1, gen.Weights{}, cfg.Seed+100)
+	if err != nil {
+		return nil, err
+	}
+	steps := []int{0, 4, 8}
+	if cfg.Quick {
+		steps = []int{0, 4}
+	}
+	anytimeS := Series{Name: "AnytimeAnywhere(RR-PS)"}
+	restartS := Series{Name: "BaselineRestart"}
+	for _, s := range steps {
+		dt, _, err := cfg.absorb(core.RoundRobinPS, s, batch)
+		if err != nil {
+			return nil, err
+		}
+		anytimeS.X = append(anytimeS.X, float64(s))
+		anytimeS.Y = append(anytimeS.Y, Minutes(dt))
+
+		// The baseline has no anytime state: its cost is one full
+		// recomputation of the grown graph, independent of the injection
+		// step.
+		r, err := core.NewRestart(g, cfg.engineOptions(core.RoundRobinPS))
+		if err != nil {
+			return nil, err
+		}
+		before := r.Metrics().VirtualTime
+		if err := r.ApplyBatch(batch); err != nil {
+			return nil, err
+		}
+		restartS.X = append(restartS.X, float64(s))
+		restartS.Y = append(restartS.Y, Minutes(r.Metrics().VirtualTime-before))
+	}
+	return &Result{
+		ID:     "fig4",
+		Title:  fmt.Sprintf("Baseline restart vs anytime anywhere, %d vertex additions, n=%d, P=%d", k, cfg.N, cfg.P),
+		XLabel: "RC step of injection",
+		YLabel: "virtual minutes of dynamic overhead",
+		Series: []Series{anytimeS, restartS},
+		Notes: []string{
+			"paper shape: anytime-anywhere well below baseline restart at every injection step",
+		},
+	}, nil
+}
+
+// paperBatchSizes are the Fig. 5/6/7 sweep points on the paper's 50k graph.
+func (c Config) sweepSizes() []int {
+	sizes := []int{500, 1500, 3000, 4500, 6000}
+	if c.Quick {
+		sizes = []int{500, 3000, 6000}
+	}
+	out := make([]int, len(sizes))
+	for i, s := range sizes {
+		out[i] = c.scaleBatch(s)
+	}
+	return out
+}
+
+// sweepResult carries both the timing and cut-edge outcomes of one
+// strategy sweep (Figs. 5/6 share it with Fig. 7).
+type sweepResult struct {
+	sizes []int
+	// per strategy, per size
+	minutes map[core.Strategy][]float64
+	newCuts map[core.Strategy][]float64
+}
+
+var sweepStrategies = []core.Strategy{core.RepartitionS, core.CutEdgePS, core.RoundRobinPS}
+
+var (
+	sweepMu    sync.Mutex
+	sweepCache = map[string]*sweepResult{}
+)
+
+// runSweep measures every strategy over the batch-size sweep with
+// injection at the given step. Results are memoized per (config, step) so
+// Fig. 5 and Fig. 7 share one run.
+func runSweep(cfg Config, injectStep int) (*sweepResult, error) {
+	key := fmt.Sprintf("%+v@%d", cfg, injectStep)
+	sweepMu.Lock()
+	if r, ok := sweepCache[key]; ok {
+		sweepMu.Unlock()
+		return r, nil
+	}
+	sweepMu.Unlock()
+
+	g, err := cfg.baseGraph()
+	if err != nil {
+		return nil, err
+	}
+	res := &sweepResult{
+		sizes:   cfg.sweepSizes(),
+		minutes: map[core.Strategy][]float64{},
+		newCuts: map[core.Strategy][]float64{},
+	}
+	for _, k := range res.sizes {
+		batch, err := gen.CommunityBatch(g, k, 1.5, gen.Weights{}, cfg.Seed+int64(k))
+		if err != nil {
+			return nil, err
+		}
+		for _, strat := range sweepStrategies {
+			dt, m, err := cfg.absorb(strat, injectStep, batch)
+			if err != nil {
+				return nil, err
+			}
+			res.minutes[strat] = append(res.minutes[strat], Minutes(dt))
+			res.newCuts[strat] = append(res.newCuts[strat], float64(m.NewCutEdges))
+		}
+	}
+	sweepMu.Lock()
+	sweepCache[key] = res
+	sweepMu.Unlock()
+	return res, nil
+}
+
+func sweepFigure(cfg Config, id string, injectStep int) (*Result, error) {
+	cfg = cfg.withDefaults()
+	sw, err := runSweep(cfg, injectStep)
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{
+		ID:     id,
+		Title:  fmt.Sprintf("Vertex additions at RC%d, n=%d, P=%d", injectStep, cfg.N, cfg.P),
+		XLabel: "vertices added",
+		YLabel: "virtual minutes of dynamic overhead",
+		Notes: []string{
+			"paper shape: RoundRobin-PS and CutEdge-PS win for small batches; Repartition-S wins for large ones",
+		},
+	}
+	for _, strat := range sweepStrategies {
+		s := Series{Name: strat.String()}
+		for i, k := range sw.sizes {
+			s.X = append(s.X, float64(k))
+			s.Y = append(s.Y, sw.minutes[strat][i])
+		}
+		r.Series = append(r.Series, s)
+	}
+	return r, nil
+}
+
+// Fig5 reproduces "Vertex Additions at RC0": the strategy sweep with the
+// batch injected at the start of the analysis.
+func Fig5(cfg Config) (*Result, error) { return sweepFigure(cfg, "fig5", 0) }
+
+// Fig6 reproduces "Vertex Additions at RC8": the sweep with late-stage
+// injection.
+func Fig6(cfg Config) (*Result, error) { return sweepFigure(cfg, "fig6", 8) }
+
+// Fig7 reproduces "Number of New Cut-Edges": the cut edges created by each
+// strategy over the same sweep as Fig. 5.
+func Fig7(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	sw, err := runSweep(cfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{
+		ID:     "fig7",
+		Title:  fmt.Sprintf("New cut edges created by vertex additions, n=%d, P=%d", cfg.N, cfg.P),
+		XLabel: "vertices added",
+		YLabel: "new cut edges",
+		Notes: []string{
+			"paper shape: Repartition-S < CutEdge-PS < RoundRobin-PS, gap grows with batch size",
+		},
+	}
+	for _, strat := range sweepStrategies {
+		s := Series{Name: strat.String()}
+		for i, k := range sw.sizes {
+			s.X = append(s.X, float64(k))
+			s.Y = append(s.Y, sw.newCuts[strat][i])
+		}
+		r.Series = append(r.Series, s)
+	}
+	return r, nil
+}
+
+// Fig8 reproduces "Incremental Vertex Additions": a total batch spread
+// uniformly over 10 consecutive RC steps, for all three strategies plus
+// the baseline restart; totals follow the paper's 512/1873/3830/5611.
+func Fig8(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	totals := []int{512, 1873, 3830, 5611}
+	if cfg.Quick {
+		totals = []int{512, 1873}
+	}
+	const steps = 10
+	g, err := cfg.baseGraph()
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{
+		ID:     "fig8",
+		Title:  fmt.Sprintf("Incremental vertex additions over %d RC steps, n=%d, P=%d", steps, cfg.N, cfg.P),
+		XLabel: "total vertices added",
+		YLabel: "virtual minutes of dynamic overhead",
+		Notes: []string{
+			"paper shape: baseline restart worst by far; RR/CutEdge-PS best for small totals, Repartition-S for the largest",
+		},
+	}
+	strategies := append([]core.Strategy(nil), sweepStrategies...)
+	series := make([]Series, len(strategies)+1)
+	series[0] = Series{Name: "BaselineRestart"}
+	for i, s := range strategies {
+		series[i+1] = Series{Name: s.String()}
+	}
+	for _, total := range totals {
+		k := cfg.scaleBatch(total)
+		full, err := gen.CommunityBatch(g, k, 1.5, gen.Weights{}, cfg.Seed+int64(total))
+		if err != nil {
+			return nil, err
+		}
+		parts := gen.SplitBatch(full, steps)
+
+		// baseline: restart once per sub-batch
+		rst, err := core.NewRestart(g, cfg.engineOptions(core.RoundRobinPS))
+		if err != nil {
+			return nil, err
+		}
+		before := rst.Metrics().VirtualTime
+		for _, p := range parts {
+			if err := rst.ApplyBatch(p); err != nil {
+				return nil, err
+			}
+		}
+		series[0].X = append(series[0].X, float64(k))
+		series[0].Y = append(series[0].Y, Minutes(rst.Metrics().VirtualTime-before))
+
+		static, err := cfg.staticVirtual()
+		if err != nil {
+			return nil, err
+		}
+		for i, strat := range strategies {
+			e, err := cfg.newEngine(strat, 0)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range parts {
+				if err := e.QueueBatch(p); err != nil {
+					return nil, err
+				}
+				e.Step()
+			}
+			e.Run()
+			if !e.Converged() {
+				return nil, fmt.Errorf("harness: fig8 %s did not converge", strat)
+			}
+			overhead := e.Metrics().VirtualTime - static
+			if overhead < 0 {
+				overhead = 0
+			}
+			series[i+1].X = append(series[i+1].X, float64(k))
+			series[i+1].Y = append(series[i+1].Y, Minutes(overhead))
+		}
+	}
+	r.Series = series
+	return r, nil
+}
+
+// AnalysisBounds checks the measured work/communication counters of a
+// static run against the paper's LogP-model bounds (section IV):
+//
+//	IA:  O((n/P) · (n_sub log n_sub + E_sub)) per processor
+//	RC:  per step O(P·c_max·n + n²/P) work and O(n·b) bytes shipped
+//
+// The reported ratio measured/predicted should be a modest constant.
+func AnalysisBounds(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	g, err := cfg.baseGraph()
+	if err != nil {
+		return nil, err
+	}
+	e, err := core.New(g, cfg.engineOptions(core.RoundRobinPS))
+	if err != nil {
+		return nil, err
+	}
+	e.Run()
+	m := e.Metrics()
+	n := float64(g.NumVertices())
+	p := float64(cfg.P)
+	edges := float64(g.NumEdges())
+
+	log2 := func(x float64) float64 {
+		l := 0.0
+		for x > 1 {
+			x /= 2
+			l++
+		}
+		return l
+	}
+	predIA := n / p * (n/p*log2(n/p) + 2*edges/p) * p // total over processors
+	// boundary DV traffic: up to every vertex's row on the wire per step,
+	// fanned out to up to P-1 adjacent parts, 4 bytes per entry
+	predBytes := float64(m.RCSteps) * n * 4 * n * (p - 1) / p
+	predRC := float64(m.RCSteps) * (n*n*n/p + n*n/p + n*p)
+
+	type row struct {
+		name                string
+		measured, predicted float64
+	}
+	rows := []row{
+		{"IA ops", float64(m.IAOps), predIA},
+		{"RC ops", float64(m.RCOps), predRC},
+		{"RC bytes", float64(m.Comm.Bytes), predBytes},
+		{"RC steps", float64(m.RCSteps), p},
+	}
+	res := &Result{
+		ID:     "analysis",
+		Title:  fmt.Sprintf("Measured counters vs LogP-model bounds, n=%d, P=%d", cfg.N, cfg.P),
+		XLabel: "metric #",
+		YLabel: "value",
+	}
+	meas := Series{Name: "measured"}
+	pred := Series{Name: "bound"}
+	ratio := Series{Name: "measured/bound"}
+	for i, rw := range rows {
+		meas.X = append(meas.X, float64(i))
+		meas.Y = append(meas.Y, rw.measured)
+		pred.X = append(pred.X, float64(i))
+		pred.Y = append(pred.Y, rw.predicted)
+		ratio.X = append(ratio.X, float64(i))
+		ratio.Y = append(ratio.Y, rw.measured/rw.predicted)
+		res.Notes = append(res.Notes, fmt.Sprintf("metric %d = %s", i, rw.name))
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("static edge cut: %d, imbalance %.3f",
+			graph.EdgeCut(e.Graph(), e.Partition()),
+			graph.Imbalance(e.Graph(), e.Partition())))
+	res.Series = []Series{meas, pred, ratio}
+	return res, nil
+}

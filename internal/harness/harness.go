@@ -1,0 +1,167 @@
+// Package harness defines and runs the reproduction experiments: one entry
+// per table/figure of the paper's evaluation section (Figs. 4-8 plus the
+// LogP analysis-bounds check), each regenerating the corresponding series
+// as a text table. Scales are configurable; the default shrinks the
+// paper's n=50,000 / P=16 testbed to a laptop-scale simulation while
+// preserving batch-size *fractions*, which is what the comparative shapes
+// depend on.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"anytime/internal/gen"
+	"anytime/internal/graph"
+)
+
+// Config scales the experiments.
+type Config struct {
+	// N is the base graph size (paper: 50,000; default here 1,200).
+	N int
+	// P is the processor count (paper: 16; default 8).
+	P int
+	// M is the Barabási–Albert attachment degree (default 3).
+	M int
+	// Seed drives all generators and the engine.
+	Seed int64
+	// Quick shrinks sweeps for use in tests.
+	Quick bool
+	// Workers per processor in the IA phase (default 2).
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.N == 0 {
+		c.N = 1200
+	}
+	if c.P == 0 {
+		c.P = 8
+	}
+	if c.M == 0 {
+		c.M = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Workers == 0 {
+		c.Workers = 2
+	}
+	return c
+}
+
+// scaleBatch converts one of the paper's batch sizes (on its n=50,000
+// graph) to this configuration's graph size, keeping the fraction.
+func (c Config) scaleBatch(paperSize int) int {
+	k := paperSize * c.N / 50000
+	if k < 4 {
+		k = 4
+	}
+	return k
+}
+
+// baseGraph builds the experiment's scale-free input graph.
+func (c Config) baseGraph() (*graph.Graph, error) {
+	g, err := gen.BarabasiAlbert(c.N, c.M, gen.Weights{}, c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	gen.Connectify(g, c.Seed)
+	return g, nil
+}
+
+// Series is one line of a figure: a named sequence of (x, y) points.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Result is one reproduced table/figure.
+type Result struct {
+	ID     string // e.g. "fig5"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// Format renders the result as an aligned text table: one row per x value,
+// one column per series.
+func (r *Result) Format(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", strings.ToUpper(r.ID), r.Title)
+	if len(r.Series) == 0 {
+		fmt.Fprintln(&b, "(no data)")
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	// header
+	fmt.Fprintf(&b, "%-24s", r.XLabel)
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "%22s", s.Name)
+	}
+	fmt.Fprintf(&b, "    [%s]\n", r.YLabel)
+	for i := range r.Series[0].X {
+		fmt.Fprintf(&b, "%-24.6g", r.Series[0].X[i])
+		for _, s := range r.Series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, "%22.6g", s.Y[i])
+			} else {
+				fmt.Fprintf(&b, "%22s", "-")
+			}
+		}
+		fmt.Fprintln(&b)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Minutes converts a virtual duration to fractional minutes (the paper's
+// y-axis unit).
+func Minutes(d time.Duration) float64 { return d.Minutes() }
+
+// All runs every experiment in paper order, then the ablations.
+func All(cfg Config) ([]*Result, error) {
+	runs := []func(Config) (*Result, error){Fig4, Fig5, Fig6, Fig7, Fig8, AnalysisBounds, Ablations, Scaling}
+	var out []*Result
+	for _, f := range runs {
+		r, err := f(cfg)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ByID returns the experiment runner for a figure id ("fig4".."fig8",
+// "analysis"), or nil.
+func ByID(id string) func(Config) (*Result, error) {
+	switch strings.ToLower(id) {
+	case "fig4":
+		return Fig4
+	case "fig5":
+		return Fig5
+	case "fig6":
+		return Fig6
+	case "fig7":
+		return Fig7
+	case "fig8":
+		return Fig8
+	case "analysis":
+		return AnalysisBounds
+	case "ablations":
+		return Ablations
+	case "scaling":
+		return Scaling
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,236 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// quickConfig keeps test runtimes small while exercising every code path.
+func quickConfig() Config {
+	return Config{N: 320, P: 4, M: 2, Seed: 3, Quick: true, Workers: 2}
+}
+
+func TestFig4ShapeBaselineLoses(t *testing.T) {
+	r, err := Fig4(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 2 {
+		t.Fatalf("series = %d", len(r.Series))
+	}
+	anytimeS, restartS := r.Series[0], r.Series[1]
+	for i := range anytimeS.Y {
+		if anytimeS.Y[i] <= 0 || restartS.Y[i] <= 0 {
+			t.Fatalf("non-positive time at %d", i)
+		}
+		if anytimeS.Y[i] >= restartS.Y[i] {
+			t.Errorf("injection step %g: anytime %.4g not below restart %.4g",
+				anytimeS.X[i], anytimeS.Y[i], restartS.Y[i])
+		}
+	}
+}
+
+func TestFig5SweepRuns(t *testing.T) {
+	r, err := Fig5(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 3 {
+		t.Fatalf("series = %d", len(r.Series))
+	}
+	for _, s := range r.Series {
+		if len(s.Y) != 3 {
+			t.Fatalf("%s has %d points", s.Name, len(s.Y))
+		}
+		for _, y := range s.Y {
+			if y <= 0 {
+				t.Fatalf("%s has non-positive time", s.Name)
+			}
+		}
+	}
+}
+
+func TestFig7CutEdgeOrdering(t *testing.T) {
+	r, err := Fig7(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string][]float64{}
+	for _, s := range r.Series {
+		byName[s.Name] = s.Y
+	}
+	rr := byName["RoundRobin-PS"]
+	ce := byName["CutEdge-PS"]
+	if rr == nil || ce == nil {
+		t.Fatalf("missing series: %v", byName)
+	}
+	// the defining property of CutEdge-PS: fewer new cut edges than round
+	// robin, at least at the largest batch size
+	last := len(rr) - 1
+	if ce[last] >= rr[last] {
+		t.Errorf("CutEdge-PS cut edges %g not below RoundRobin-PS %g", ce[last], rr[last])
+	}
+}
+
+func TestAnalysisBounds(t *testing.T) {
+	r, err := AnalysisBounds(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 3 {
+		t.Fatalf("series = %d", len(r.Series))
+	}
+	ratios := r.Series[2].Y
+	for i, ratio := range ratios[:3] { // ops and bytes ratios
+		if ratio <= 0 || ratio > 50 {
+			t.Errorf("metric %d: measured/bound ratio %.3g implausible", i, ratio)
+		}
+	}
+}
+
+func TestFormat(t *testing.T) {
+	r := &Result{
+		ID: "figX", Title: "demo", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Name: "a", X: []float64{1, 2}, Y: []float64{10, 20}},
+			{Name: "b", X: []float64{1, 2}, Y: []float64{30, 40}},
+		},
+		Notes: []string{"hello"},
+	}
+	var buf bytes.Buffer
+	if err := r.Format(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"FIGX", "demo", "a", "b", "10", "40", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	empty := &Result{ID: "e", Title: "none"}
+	buf.Reset()
+	if err := empty.Format(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no data") {
+		t.Fatal("empty result should say so")
+	}
+}
+
+func TestByID(t *testing.T) {
+	for _, id := range []string{"fig4", "FIG5", "fig6", "fig7", "fig8", "analysis"} {
+		if ByID(id) == nil {
+			t.Errorf("ByID(%q) = nil", id)
+		}
+	}
+	if ByID("fig9") != nil {
+		t.Error("unknown id should return nil")
+	}
+}
+
+func TestScaleBatch(t *testing.T) {
+	c := Config{N: 50000}.withDefaults()
+	if k := c.scaleBatch(512); k != 512 {
+		t.Fatalf("identity scale got %d", k)
+	}
+	c = Config{N: 500}.withDefaults()
+	if k := c.scaleBatch(512); k != 5 {
+		t.Fatalf("scaled batch = %d, want 5", k)
+	}
+	if k := c.scaleBatch(10); k != 4 {
+		t.Fatalf("minimum batch = %d, want 4", k)
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	r, err := Ablations(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 3 {
+		t.Fatalf("series = %d", len(r.Series))
+	}
+	overhead := r.Series[0].Y
+	if len(overhead) != 12 {
+		t.Fatalf("variants = %d", len(overhead))
+	}
+	for i, y := range overhead {
+		if y <= 0 {
+			t.Fatalf("variant %d has non-positive overhead", i)
+		}
+	}
+	// ship-all must cost at least as much as dirty-only (variant 2 vs 0)
+	if overhead[2] < overhead[0]*0.95 {
+		t.Errorf("ship-all %.4g unexpectedly below dirty-only %.4g", overhead[2], overhead[0])
+	}
+	// from-scratch repartition must migrate more rows than adaptive
+	mig := r.Series[2].Y
+	if mig[11] <= mig[10] {
+		t.Errorf("from-scratch repartition migrated %g rows, adaptive %g", mig[11], mig[10])
+	}
+}
+
+func TestFig6LateInjection(t *testing.T) {
+	r, err := Fig6(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 3 || len(r.Series[0].Y) != 3 {
+		t.Fatalf("shape: %+v", r.Series)
+	}
+	for _, s := range r.Series {
+		for _, y := range s.Y {
+			if y <= 0 {
+				t.Fatalf("%s has non-positive overhead", s.Name)
+			}
+		}
+	}
+}
+
+func TestFig8Incremental(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig8 stream test skipped in -short mode")
+	}
+	r, err := Fig8(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 4 {
+		t.Fatalf("series = %d", len(r.Series))
+	}
+	byName := map[string][]float64{}
+	for _, s := range r.Series {
+		byName[s.Name] = s.Y
+	}
+	restart := byName["BaselineRestart"]
+	rr := byName["RoundRobin-PS"]
+	if restart == nil || rr == nil {
+		t.Fatalf("missing series: %v", byName)
+	}
+	for i := range restart {
+		if restart[i] <= rr[i] {
+			t.Errorf("total %g: restart %.4g not above RoundRobin-PS %.4g",
+				r.Series[0].X[i], restart[i], rr[i])
+		}
+	}
+}
+
+func TestScaling(t *testing.T) {
+	r, err := Scaling(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := r.Series[0].Y
+	speedup := r.Series[1].Y
+	if len(times) != 3 {
+		t.Fatalf("points = %d", len(times))
+	}
+	// P=2 must beat P=1 (the work terms divide by P and dominate at this n)
+	if times[1] >= times[0] {
+		t.Errorf("P=2 time %.4g not below P=1 %.4g", times[1], times[0])
+	}
+	if speedup[0] != 1 {
+		t.Errorf("speedup at P=1 is %g", speedup[0])
+	}
+}

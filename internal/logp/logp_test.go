@@ -1,0 +1,69 @@
+package logp
+
+import (
+	"testing"
+	"time"
+)
+
+func TestModelValidate(t *testing.T) {
+	if err := GigabitCluster(4).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Model{P: 0}).Validate(); err == nil {
+		t.Fatal("P=0 should fail")
+	}
+	bad := GigabitCluster(2)
+	bad.L = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative latency should fail")
+	}
+}
+
+func TestCosts(t *testing.T) {
+	m := Model{L: 100, O: 10, G: 2, P: 2, Compute: 3}
+	if c := m.SendCost(5); c != 10+5*2 {
+		t.Fatalf("SendCost = %v", c)
+	}
+	if c := m.RecvCost(5); c != 10+5*2 {
+		t.Fatalf("RecvCost = %v", c)
+	}
+	if m.Transit() != 100 {
+		t.Fatalf("Transit = %v", m.Transit())
+	}
+	if w := m.Work(7); w != 21 {
+		t.Fatalf("Work = %v", w)
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	c.Advance(10)
+	c.Advance(-5) // negative ignored
+	if c.Now() != 10 {
+		t.Fatalf("Now = %v", c.Now())
+	}
+	c.AdvanceTo(7) // earlier ignored
+	if c.Now() != 10 {
+		t.Fatalf("Now = %v", c.Now())
+	}
+	c.AdvanceTo(25)
+	if c.Now() != 25 {
+		t.Fatalf("Now = %v", c.Now())
+	}
+}
+
+func TestBarrierSynchronizesToMax(t *testing.T) {
+	clocks := []*Clock{{}, {}, {}}
+	clocks[0].Advance(5 * time.Millisecond)
+	clocks[1].Advance(9 * time.Millisecond)
+	clocks[2].Advance(1 * time.Millisecond)
+	max := Barrier(clocks)
+	if max != 9*time.Millisecond {
+		t.Fatalf("barrier = %v", max)
+	}
+	for i, c := range clocks {
+		if c.Now() != max {
+			t.Fatalf("clock %d = %v", i, c.Now())
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+
+	"anytime/internal/graph"
+)
+
+// Adaptive improves an existing vertex-to-part assignment after the graph
+// has changed, instead of partitioning from scratch: it seeds from the
+// given assignment and runs k-way boundary refinement under the balance
+// constraint. This is the adaptive-repartitioning mode of the ParMETIS
+// family: migration is minimized because only vertices that refinement
+// actually moves change owner.
+//
+// part must already cover every vertex of g (the caller assigns the new
+// vertices, e.g. by neighbor affinity, before calling). The input slice is
+// not modified.
+type Adaptive struct {
+	Seed         int64
+	Imbalance    float64 // allowed part-weight factor (0 = 1.05)
+	RefinePasses int     // boundary refinement passes (0 = 8)
+}
+
+// Refine returns the refined assignment.
+func (a Adaptive) Refine(g *graph.Graph, part []int32, k int) (*graph.Partition, error) {
+	if err := checkK(g, k); err != nil {
+		return nil, err
+	}
+	if len(part) != g.NumVertices() {
+		return nil, fmt.Errorf("partition: adaptive seed covers %d of %d vertices",
+			len(part), g.NumVertices())
+	}
+	if a.Imbalance == 0 {
+		a.Imbalance = 1.05
+	}
+	if a.RefinePasses == 0 {
+		a.RefinePasses = 8
+	}
+	out := &graph.Partition{Part: append([]int32(nil), part...), K: k}
+	for v, pt := range out.Part {
+		if int(pt) < 0 || int(pt) >= k {
+			return nil, fmt.Errorf("partition: adaptive seed assigns vertex %d to part %d", v, pt)
+		}
+	}
+	c := graph.ToCSR(g)
+	for i := range c.AdjWgt {
+		c.AdjWgt[i] = 1 // cut-edge count objective
+	}
+	tot := c.TotalVWgt()
+	maxW := int64(float64(tot) / float64(k) * a.Imbalance)
+	if maxW < tot/int64(k)+1 {
+		maxW = tot/int64(k) + 1
+	}
+	rng := rand.New(rand.NewSource(a.Seed))
+	refineKWay(c, out.Part, k, maxW, a.RefinePasses, rng)
+	return out, nil
+}
+
+// AffinityExtend assigns each vertex in [first, n) of g to the part its
+// neighbors are most connected to (ties: lower load), subject to the
+// standard 1.05 balance cap — a full part falls through to the best
+// non-full one (least-loaded if no neighbors). It extends `part` in place
+// and returns it. New vertices are processed in ID order, so earlier new
+// vertices influence later ones.
+func AffinityExtend(g *graph.Graph, part []int32, k, first int) []int32 {
+	n := g.NumVertices()
+	cap64 := int64(float64(n)/float64(k)*1.05) + 1
+	load := make([]int64, k)
+	for _, pt := range part[:first] {
+		load[pt]++
+	}
+	conn := make([]int64, k)
+	for v := first; v < n; v++ {
+		for i := range conn {
+			conn[i] = 0
+		}
+		for _, a := range g.Neighbors(v) {
+			if int(a.To) < len(part) {
+				conn[part[a.To]]++
+			}
+		}
+		best := -1
+		for p := 0; p < k; p++ {
+			if load[p] >= cap64 {
+				continue
+			}
+			switch {
+			case best == -1:
+				best = p
+			case conn[p] > conn[best]:
+				best = p
+			case conn[p] == conn[best] && load[p] < load[best]:
+				best = p
+			}
+		}
+		if best == -1 { // every part at the cap: pick the least loaded
+			best = 0
+			for p := 1; p < k; p++ {
+				if load[p] < load[best] {
+					best = p
+				}
+			}
+		}
+		part = append(part, int32(best))
+		load[best]++
+	}
+	return part
+}

@@ -1,0 +1,137 @@
+package partition
+
+import (
+	"testing"
+
+	"anytime/internal/gen"
+	"anytime/internal/graph"
+)
+
+func TestAdaptiveRefineImprovesCut(t *testing.T) {
+	g, _, err := gen.PlantedPartition(320, 4, 0.2, 0.01, gen.Weights{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bad seed assignment: round robin scatters the communities
+	seed := make([]int32, 320)
+	for v := range seed {
+		seed[v] = int32(v % 4)
+	}
+	before := graph.EdgeCut(g, &graph.Partition{Part: seed, K: 4})
+	p, err := Adaptive{Seed: 5}.Refine(g, seed, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	after := graph.EdgeCut(g, p)
+	if after >= before {
+		t.Fatalf("refinement did not improve cut: %d -> %d", before, after)
+	}
+	if im := graph.Imbalance(g, p); im > 1.2 {
+		t.Fatalf("imbalance %.3f", im)
+	}
+	// the input must not be mutated
+	for v := range seed {
+		if seed[v] != int32(v%4) {
+			t.Fatal("Refine mutated its input")
+		}
+	}
+}
+
+func TestAdaptiveRefineKeepsGoodPartition(t *testing.T) {
+	g, _, err := gen.PlantedPartition(320, 4, 0.2, 0.01, gen.Weights{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := Multilevel{Seed: 7}.Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Adaptive{Seed: 7}.Refine(g, good.Part, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for v := range p.Part {
+		if p.Part[v] != good.Part[v] {
+			moved++
+		}
+	}
+	// refining an already-good partition should move almost nothing
+	if moved > 32 {
+		t.Fatalf("refinement relocated %d of 320 vertices of a good partition", moved)
+	}
+}
+
+func TestAdaptiveRefineErrors(t *testing.T) {
+	g := randomGraph(10, 15, 1)
+	if _, err := (Adaptive{}).Refine(g, make([]int32, 5), 2); err == nil {
+		t.Fatal("short seed should fail")
+	}
+	bad := make([]int32, 10)
+	bad[3] = 7
+	if _, err := (Adaptive{}).Refine(g, bad, 2); err == nil {
+		t.Fatal("out-of-range seed label should fail")
+	}
+	if _, err := (Adaptive{}).Refine(g, make([]int32, 10), 0); err == nil {
+		t.Fatal("k=0 should fail")
+	}
+}
+
+func TestAffinityExtendPrefersNeighbors(t *testing.T) {
+	// two cliques on parts 0/1, then a new vertex attached to clique 1
+	g := graph.New(9)
+	for u := 0; u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			g.MustAddEdge(u, v, 1)
+			g.MustAddEdge(u+4, v+4, 1)
+		}
+	}
+	g.MustAddEdge(8, 4, 1)
+	g.MustAddEdge(8, 5, 1)
+	part := []int32{0, 0, 0, 0, 1, 1, 1, 1}
+	part = AffinityExtend(g, part, 2, 8)
+	if len(part) != 9 || part[8] != 1 {
+		t.Fatalf("affinity assignment = %v", part)
+	}
+}
+
+func TestAffinityExtendRespectsCap(t *testing.T) {
+	// a hub on part 0; many new vertices all attached to the hub would
+	// overload part 0 without the cap
+	g := graph.New(24)
+	for v := 8; v < 24; v++ {
+		g.MustAddEdge(0, v, 1)
+	}
+	part := make([]int32, 8) // 8 existing vertices: 4 per part
+	for v := 4; v < 8; v++ {
+		part[v] = 1
+	}
+	part = AffinityExtend(g, part, 2, 8)
+	load := [2]int{}
+	for _, p := range part {
+		load[p]++
+	}
+	// cap = 24/2*1.05+1 = 13
+	if load[0] > 13 {
+		t.Fatalf("cap violated: loads %v", load)
+	}
+}
+
+func TestAffinityExtendIsolatedVertices(t *testing.T) {
+	g := graph.New(6)
+	part := []int32{0, 0, 1, 1}
+	part = AffinityExtend(g, part, 2, 4)
+	if len(part) != 6 {
+		t.Fatalf("len = %d", len(part))
+	}
+	load := [2]int{}
+	for _, p := range part {
+		load[p]++
+	}
+	if load[0] != 3 || load[1] != 3 {
+		t.Fatalf("isolated vertices not spread by load: %v", load)
+	}
+}

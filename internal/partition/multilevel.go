@@ -1,0 +1,460 @@
+package partition
+
+import (
+	"math/rand"
+
+	"anytime/internal/graph"
+)
+
+// Multilevel is a from-scratch multilevel k-way partitioner in the METIS
+// family, standing in for ParMETIS (Domain Decomposition, Repartition-S)
+// and serial METIS (CutEdge-PS):
+//
+//  1. Coarsening by randomized heavy-edge matching until the graph is small.
+//  2. Initial partition by recursive bisection with greedy graph growing.
+//  3. Uncoarsening with boundary Fiduccia–Mattheyses-style refinement at
+//     every level (greedy gain moves under a balance constraint).
+//
+// Edge *distance* weights are deliberately ignored: the objective is the
+// cut-edge count, which is what determines communication volume in the
+// recombination phase.
+type Multilevel struct {
+	Seed         int64
+	CoarsenTo    int     // stop coarsening at this many vertices (0 = auto)
+	Imbalance    float64 // allowed part-weight factor (0 = 1.05)
+	InitTries    int     // greedy-growing seeds per bisection (0 = 4)
+	RefinePasses int     // refinement passes per level (0 = 6)
+}
+
+func (Multilevel) Name() string { return "multilevel-kway" }
+
+func (m Multilevel) opts(k int) Multilevel {
+	if m.CoarsenTo == 0 {
+		m.CoarsenTo = 30 * k
+		if m.CoarsenTo < 200 {
+			m.CoarsenTo = 200
+		}
+	}
+	if m.Imbalance == 0 {
+		m.Imbalance = 1.05
+	}
+	if m.InitTries == 0 {
+		m.InitTries = 4
+	}
+	if m.RefinePasses == 0 {
+		m.RefinePasses = 6
+	}
+	return m
+}
+
+// Partition implements Partitioner.
+func (m Multilevel) Partition(g *graph.Graph, k int) (*graph.Partition, error) {
+	if err := checkK(g, k); err != nil {
+		return nil, err
+	}
+	n := g.NumVertices()
+	p := graph.NewPartition(n, k)
+	if k == 1 || n == 0 {
+		return p, nil
+	}
+	m = m.opts(k)
+	// Unit-weight CSR: one cut edge == one unit of objective.
+	c := graph.ToCSR(g)
+	for i := range c.AdjWgt {
+		c.AdjWgt[i] = 1
+	}
+	p.Part = m.partitionCSR(c, k)
+	return p, nil
+}
+
+type level struct {
+	csr  *graph.CSR
+	cmap []int32 // maps the previous (finer) level's vertices to this level
+}
+
+func (m Multilevel) partitionCSR(c *graph.CSR, k int) []int32 {
+	rng := rand.New(rand.NewSource(m.Seed))
+	levels := []*level{{csr: c}}
+	cur := c
+	for cur.NumVertices() > m.CoarsenTo {
+		coarse, cmap := coarsen(cur, rng)
+		// Stop when matching no longer shrinks the graph meaningfully.
+		if coarse.NumVertices() > cur.NumVertices()*19/20 {
+			break
+		}
+		levels = append(levels, &level{csr: coarse, cmap: cmap})
+		cur = coarse
+	}
+	part := m.initialKWay(cur, k, rng)
+	maxW := m.maxPartWeight(cur, k)
+	refineKWay(cur, part, k, maxW, m.RefinePasses, rng)
+	for li := len(levels) - 1; li >= 1; li-- {
+		fine := levels[li-1].csr
+		cmap := levels[li].cmap
+		finePart := make([]int32, fine.NumVertices())
+		for v := range finePart {
+			finePart[v] = part[cmap[v]]
+		}
+		part = finePart
+		refineKWay(fine, part, k, m.maxPartWeight(fine, k), m.RefinePasses, rng)
+	}
+	return part
+}
+
+func (m Multilevel) maxPartWeight(c *graph.CSR, k int) int64 {
+	tot := c.TotalVWgt()
+	w := int64(float64(tot) / float64(k) * m.Imbalance)
+	if w < tot/int64(k)+1 {
+		w = tot/int64(k) + 1
+	}
+	return w
+}
+
+// coarsen performs one level of randomized heavy-edge matching and builds
+// the coarse graph (vertex weights summed, parallel edges merged).
+func coarsen(c *graph.CSR, rng *rand.Rand) (*graph.CSR, []int32) {
+	n := c.NumVertices()
+	match := make([]int32, n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := rng.Perm(n)
+	coarseN := 0
+	cmap := make([]int32, n)
+	for _, vi := range order {
+		v := int32(vi)
+		if match[v] != -1 {
+			continue
+		}
+		// heaviest unmatched neighbor
+		best, bestW := int32(-1), graph.Weight(0)
+		c.Neighbors(v, func(to int32, w graph.Weight) {
+			if match[to] == -1 && to != v && w > bestW {
+				best, bestW = to, w
+			}
+		})
+		if best == -1 {
+			match[v] = v
+			cmap[v] = int32(coarseN)
+		} else {
+			match[v], match[best] = best, v
+			cmap[v] = int32(coarseN)
+			cmap[best] = int32(coarseN)
+		}
+		coarseN++
+	}
+	coarse := &graph.CSR{
+		XAdj: make([]int32, coarseN+1),
+		VWgt: make([]int32, coarseN),
+	}
+	for v := 0; v < n; v++ {
+		coarse.VWgt[cmap[v]] += c.VWgt[v]
+	}
+	// Accumulate coarse adjacency with a timestamped scratch table.
+	pos := make([]int32, coarseN) // position of coarse neighbor in current row
+	stamp := make([]int32, coarseN)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	// members[cv] listing is implicit via match: cv's members are v and match[v].
+	rep := make([]int32, coarseN) // one representative fine vertex per coarse vertex
+	for i := range rep {
+		rep[i] = -1
+	}
+	for v := 0; v < n; v++ {
+		if rep[cmap[v]] == -1 {
+			rep[cmap[v]] = int32(v)
+		}
+	}
+	for cv := int32(0); cv < int32(coarseN); cv++ {
+		emit := func(fv int32) {
+			c.Neighbors(fv, func(to int32, w graph.Weight) {
+				ct := cmap[to]
+				if ct == cv {
+					return // contracted edge becomes internal
+				}
+				if stamp[ct] == cv {
+					coarse.AdjWgt[pos[ct]] += w
+					return
+				}
+				stamp[ct] = cv
+				pos[ct] = int32(len(coarse.Adjncy))
+				coarse.Adjncy = append(coarse.Adjncy, ct)
+				coarse.AdjWgt = append(coarse.AdjWgt, w)
+			})
+		}
+		fv := rep[cv]
+		emit(fv)
+		if other := match[fv]; other != fv {
+			emit(other)
+		}
+		coarse.XAdj[cv+1] = int32(len(coarse.Adjncy))
+	}
+	return coarse, cmap
+}
+
+// initialKWay partitions the coarsest graph into k parts by recursive
+// bisection over induced subgraphs.
+func (m Multilevel) initialKWay(c *graph.CSR, k int, rng *rand.Rand) []int32 {
+	part := make([]int32, c.NumVertices())
+	verts := make([]int32, c.NumVertices())
+	for i := range verts {
+		verts[i] = int32(i)
+	}
+	m.recBisect(c, verts, k, 0, part, rng)
+	return part
+}
+
+// recBisect assigns parts [base, base+k) to the given vertex subset.
+func (m Multilevel) recBisect(c *graph.CSR, verts []int32, k int, base int32, out []int32, rng *rand.Rand) {
+	if k == 1 {
+		for _, v := range verts {
+			out[v] = base
+		}
+		return
+	}
+	k1 := (k + 1) / 2
+	frac := float64(k1) / float64(k)
+	sub, back := inducedCSR(c, verts)
+	side := m.bisect(sub, frac, rng)
+	var left, right []int32
+	for i, s := range side {
+		if s == 0 {
+			left = append(left, back[i])
+		} else {
+			right = append(right, back[i])
+		}
+	}
+	m.recBisect(c, left, k1, base, out, rng)
+	m.recBisect(c, right, k-k1, base+int32(k1), out, rng)
+}
+
+// inducedCSR extracts the subgraph induced by verts, returning it together
+// with the mapping from new IDs back to c's IDs.
+func inducedCSR(c *graph.CSR, verts []int32) (*graph.CSR, []int32) {
+	idx := make(map[int32]int32, len(verts))
+	for i, v := range verts {
+		idx[v] = int32(i)
+	}
+	sub := &graph.CSR{
+		XAdj: make([]int32, len(verts)+1),
+		VWgt: make([]int32, len(verts)),
+	}
+	for i, v := range verts {
+		sub.VWgt[i] = c.VWgt[v]
+		c.Neighbors(v, func(to int32, w graph.Weight) {
+			if j, ok := idx[to]; ok {
+				sub.Adjncy = append(sub.Adjncy, j)
+				sub.AdjWgt = append(sub.AdjWgt, w)
+			}
+		})
+		sub.XAdj[i+1] = int32(len(sub.Adjncy))
+	}
+	back := append([]int32(nil), verts...)
+	return sub, back
+}
+
+// bisect splits c into sides 0/1 with side-0 weight ≈ frac of the total,
+// using greedy graph growing (best of InitTries seeds) followed by
+// boundary refinement.
+func (m Multilevel) bisect(c *graph.CSR, frac float64, rng *rand.Rand) []int8 {
+	n := c.NumVertices()
+	side := make([]int8, n)
+	if n == 0 {
+		return side
+	}
+	tot := c.TotalVWgt()
+	target0 := int64(float64(tot) * frac)
+	bestCut := int64(-1)
+	var bestSide []int8
+	try := make([]int8, n)
+	for t := 0; t < m.InitTries; t++ {
+		for i := range try {
+			try[i] = 1
+		}
+		growSide0(c, try, target0, rng)
+		m.refineBisect(c, try, target0, tot, rng)
+		cut := cutWeight(c, try)
+		if bestCut < 0 || cut < bestCut {
+			bestCut = cut
+			bestSide = append(bestSide[:0], try...)
+		}
+	}
+	copy(side, bestSide)
+	return side
+}
+
+// growSide0 BFS-grows side 0 from a random seed until it holds ~target0
+// vertex weight. Remaining vertices stay on side 1.
+func growSide0(c *graph.CSR, side []int8, target0 int64, rng *rand.Rand) {
+	n := c.NumVertices()
+	var w0 int64
+	var queue []int32
+	visited := make([]bool, n)
+	for w0 < target0 {
+		if len(queue) == 0 {
+			seed := int32(-1)
+			start := rng.Intn(n)
+			for off := 0; off < n; off++ {
+				v := int32((start + off) % n)
+				if !visited[v] {
+					seed = v
+					break
+				}
+			}
+			if seed == -1 {
+				break
+			}
+			visited[seed] = true
+			side[seed] = 0
+			w0 += int64(c.VWgt[seed])
+			queue = append(queue, seed)
+			continue
+		}
+		v := queue[0]
+		queue = queue[1:]
+		c.Neighbors(v, func(to int32, _ graph.Weight) {
+			if w0 >= target0 || visited[to] {
+				return
+			}
+			visited[to] = true
+			side[to] = 0
+			w0 += int64(c.VWgt[to])
+			queue = append(queue, to)
+		})
+	}
+}
+
+func cutWeight(c *graph.CSR, side []int8) int64 {
+	var cut int64
+	for v := int32(0); v < int32(c.NumVertices()); v++ {
+		c.Neighbors(v, func(to int32, w graph.Weight) {
+			if to > v && side[v] != side[to] {
+				cut += int64(w)
+			}
+		})
+	}
+	return cut
+}
+
+// refineBisect runs greedy gain-based boundary passes on a bisection,
+// keeping both sides within the balance tolerance.
+func (m Multilevel) refineBisect(c *graph.CSR, side []int8, target0, tot int64, rng *rand.Rand) {
+	n := c.NumVertices()
+	target1 := tot - target0
+	max0 := int64(float64(target0) * m.Imbalance)
+	max1 := int64(float64(target1) * m.Imbalance)
+	var w0 int64
+	for v := 0; v < n; v++ {
+		if side[v] == 0 {
+			w0 += int64(c.VWgt[v])
+		}
+	}
+	w1 := tot - w0
+	order := rng.Perm(n)
+	for pass := 0; pass < m.RefinePasses; pass++ {
+		moved := false
+		for _, vi := range order {
+			v := int32(vi)
+			var intW, extW int64
+			c.Neighbors(v, func(to int32, w graph.Weight) {
+				if side[to] == side[v] {
+					intW += int64(w)
+				} else {
+					extW += int64(w)
+				}
+			})
+			if extW == 0 {
+				continue // interior vertex
+			}
+			gain := extW - intW
+			vw := int64(c.VWgt[v])
+			if side[v] == 0 {
+				fits := w1+vw <= max1
+				if (gain > 0 && fits) || (gain == 0 && fits && w0 > max0) {
+					side[v] = 1
+					w0 -= vw
+					w1 += vw
+					moved = true
+				}
+			} else {
+				fits := w0+vw <= max0
+				if (gain > 0 && fits) || (gain == 0 && fits && w1 > max1) {
+					side[v] = 0
+					w1 -= vw
+					w0 += vw
+					moved = true
+				}
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+}
+
+// refineKWay performs greedy k-way boundary refinement: every boundary
+// vertex may move to the adjacent part it is most connected to, provided
+// the move strictly reduces the cut and respects the balance bound.
+func refineKWay(c *graph.CSR, part []int32, k int, maxW int64, passes int, rng *rand.Rand) {
+	n := c.NumVertices()
+	pw := make([]int64, k)
+	for v := 0; v < n; v++ {
+		pw[part[v]] += int64(c.VWgt[v])
+	}
+	conn := make([]int64, k)
+	stamp := make([]int32, k)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	tick := int32(0)
+	order := rng.Perm(n)
+	for pass := 0; pass < passes; pass++ {
+		moved := false
+		for _, vi := range order {
+			v := int32(vi)
+			cur := part[v]
+			tick++
+			boundary := false
+			var touched []int32
+			c.Neighbors(v, func(to int32, w graph.Weight) {
+				p := part[to]
+				if stamp[p] != tick {
+					stamp[p] = tick
+					conn[p] = 0
+					touched = append(touched, p)
+				}
+				conn[p] += int64(w)
+				if p != cur {
+					boundary = true
+				}
+			})
+			if !boundary {
+				continue
+			}
+			var intW int64
+			if stamp[cur] == tick {
+				intW = conn[cur]
+			}
+			best, bestW := cur, intW
+			vw := int64(c.VWgt[v])
+			for _, p := range touched {
+				if p == cur {
+					continue
+				}
+				if conn[p] > bestW && pw[p]+vw <= maxW {
+					best, bestW = p, conn[p]
+				}
+			}
+			if best != cur {
+				part[v] = best
+				pw[cur] -= vw
+				pw[best] += vw
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"anytime/internal/gen"
+	"anytime/internal/graph"
+)
+
+func randomGraph(n, m int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for g.NumEdges() < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		g.MustAddEdge(u, v, graph.Weight(1+rng.Intn(4)))
+	}
+	return g
+}
+
+func allPartitioners(seed int64) []Partitioner {
+	return []Partitioner{
+		RoundRobin{},
+		Blocked{},
+		Random{Seed: seed},
+		Greedy{Seed: seed},
+		Multilevel{Seed: seed},
+	}
+}
+
+// Every partitioner must produce a valid cover with bounded imbalance.
+func TestPartitionersValidAndBalanced(t *testing.T) {
+	g := randomGraph(300, 900, 2)
+	for _, pt := range allPartitioners(2) {
+		for _, k := range []int{1, 2, 3, 8} {
+			p, err := pt.Partition(g, k)
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", pt.Name(), k, err)
+			}
+			if err := p.Validate(g); err != nil {
+				t.Fatalf("%s k=%d: %v", pt.Name(), k, err)
+			}
+			if pt.Name() == "random" {
+				continue // random gives no balance guarantee
+			}
+			if im := graph.Imbalance(g, p); im > 1.35 {
+				t.Errorf("%s k=%d imbalance %.3f", pt.Name(), k, im)
+			}
+		}
+	}
+}
+
+func TestPartitionerErrors(t *testing.T) {
+	g := randomGraph(10, 20, 3)
+	for _, pt := range allPartitioners(3) {
+		if _, err := pt.Partition(g, 0); err == nil {
+			t.Errorf("%s: k=0 should fail", pt.Name())
+		}
+		if _, err := pt.Partition(g, 11); err == nil {
+			t.Errorf("%s: k>n should fail", pt.Name())
+		}
+	}
+}
+
+func TestRoundRobinExact(t *testing.T) {
+	g := randomGraph(10, 12, 4)
+	p, err := RoundRobin{}.Partition(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, pt := range p.Part {
+		if int(pt) != v%3 {
+			t.Fatalf("vertex %d in part %d", v, pt)
+		}
+	}
+}
+
+// The multilevel partitioner must beat round robin decisively on graphs
+// with community structure — that is its entire reason to exist.
+func TestMultilevelBeatsRoundRobinOnCommunities(t *testing.T) {
+	g, _, err := gen.PlantedPartition(400, 8, 0.20, 0.005, gen.Weights{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := RoundRobin{}.Partition(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml, err := Multilevel{Seed: 7}.Partition(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cutRR := graph.EdgeCut(g, rr)
+	cutML := graph.EdgeCut(g, ml)
+	if cutML*2 >= cutRR {
+		t.Fatalf("multilevel cut %d not < half of round-robin cut %d", cutML, cutRR)
+	}
+}
+
+func TestMultilevelOnRing(t *testing.T) {
+	n := 256
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.MustAddEdge(i, (i+1)%n, 1)
+	}
+	p, err := Multilevel{Seed: 5}.Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a ring cut into 4 contiguous arcs has cut 4; allow slack but demand
+	// far better than random (~3n/4)
+	if cut := graph.EdgeCut(g, p); cut > 24 {
+		t.Fatalf("ring cut = %d", cut)
+	}
+}
+
+func TestMultilevelDeterministicForSeed(t *testing.T) {
+	g := randomGraph(200, 600, 11)
+	p1, err := Multilevel{Seed: 42}.Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Multilevel{Seed: 42}.Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range p1.Part {
+		if p1.Part[v] != p2.Part[v] {
+			t.Fatalf("nondeterministic at vertex %d", v)
+		}
+	}
+}
+
+// Property: multilevel output is always a valid partition with every part
+// nonempty (for k <= n/4, plenty of room).
+func TestQuickMultilevelValid(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		n := int(nRaw%100) + 40
+		k := int(kRaw)%4 + 2
+		g := randomGraph(n, 3*n, seed)
+		p, err := Multilevel{Seed: seed}.Partition(g, k)
+		if err != nil || p.Validate(g) != nil {
+			return false
+		}
+		for _, s := range p.Sizes() {
+			if s == 0 {
+				return false
+			}
+		}
+		return graph.Imbalance(g, p) <= 1.6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyCoversDisconnected(t *testing.T) {
+	// two disjoint cliques plus isolated vertices
+	g := graph.New(20)
+	for u := 0; u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			g.MustAddEdge(u, v, 1)
+			g.MustAddEdge(u+5, v+5, 1)
+		}
+	}
+	p, err := Greedy{Seed: 9}.Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range p.Sizes() {
+		if s != 5 {
+			t.Fatalf("sizes = %v", p.Sizes())
+		}
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	g := randomGraph(50, 100, 13)
+	p, err := Multilevel{Seed: 13}.Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Evaluate(g, p)
+	if q.EdgeCut < 0 || len(q.Sizes) != 4 || len(q.CutSizes) != 4 {
+		t.Fatalf("quality = %+v", q)
+	}
+	sum := 0
+	for _, c := range q.CutSizes {
+		sum += c
+	}
+	if sum != 2*q.EdgeCut {
+		t.Fatalf("cut sizes sum %d != 2*cut %d", sum, q.EdgeCut)
+	}
+}
+
+func TestMultilevelK1AndKEqualsN(t *testing.T) {
+	g := randomGraph(30, 60, 15)
+	p, err := Multilevel{Seed: 15}.Partition(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range p.Part {
+		if pt != 0 {
+			t.Fatal("k=1 must assign everything to part 0")
+		}
+	}
+	p, err = Multilevel{Seed: 15}.Partition(g, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}

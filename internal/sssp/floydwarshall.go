@@ -1,0 +1,78 @@
+package sssp
+
+import "anytime/internal/graph"
+
+// FloydWarshall computes APSP on a dense distance matrix in place. dist
+// must be square with dist[i][i] == 0 and dist[i][j] the direct edge weight
+// or InfDist. Used as a small-graph verification oracle and as the model
+// for the engine's local refinement strategy.
+func FloydWarshall(dist [][]graph.Dist) {
+	n := len(dist)
+	for k := 0; k < n; k++ {
+		dk := dist[k]
+		for i := 0; i < n; i++ {
+			di := dist[i]
+			dik := di[k]
+			if dik == graph.InfDist {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if dk[j] == graph.InfDist {
+					continue
+				}
+				if nd := dik + dk[j]; nd < di[j] {
+					di[j] = nd
+				}
+			}
+		}
+	}
+}
+
+// DenseFromGraph builds the dense initial matrix FloydWarshall expects.
+func DenseFromGraph(g *graph.Graph) [][]graph.Dist {
+	n := g.NumVertices()
+	dist := make([][]graph.Dist, n)
+	for i := range dist {
+		row := make([]graph.Dist, n)
+		for j := range row {
+			row[j] = graph.InfDist
+		}
+		row[i] = 0
+		dist[i] = row
+	}
+	g.ForEachEdge(func(u, v int, w graph.Weight) {
+		if w < dist[u][v] {
+			dist[u][v], dist[v][u] = w, w
+		}
+	})
+	return dist
+}
+
+// BellmanFord computes single-source shortest paths by edge relaxation.
+// O(V·E); retained as an independent oracle for cross-checking Dijkstra in
+// tests.
+func BellmanFord(g *graph.Graph, src int) []graph.Dist {
+	n := g.NumVertices()
+	dist := make([]graph.Dist, n)
+	for i := range dist {
+		dist[i] = graph.InfDist
+	}
+	dist[src] = 0
+	for iter := 0; iter < n; iter++ {
+		changed := false
+		g.ForEachEdge(func(u, v int, w graph.Weight) {
+			if d := graph.AddDist(dist[u], w); d < dist[v] {
+				dist[v] = d
+				changed = true
+			}
+			if d := graph.AddDist(dist[v], w); d < dist[u] {
+				dist[u] = d
+				changed = true
+			}
+		})
+		if !changed {
+			break
+		}
+	}
+	return dist
+}

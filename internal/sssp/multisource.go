@@ -1,0 +1,83 @@
+package sssp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"anytime/internal/graph"
+)
+
+// MultiSource runs Dijkstra from every source in sources concurrently with
+// `workers` goroutines (0 = GOMAXPROCS), writing results through the
+// caller-provided sink. This is the paper's multithreaded IA kernel: each
+// processor owns n/P sources and fans them across its cores, for an
+// O(((n/P)·n log n)/t) phase.
+//
+// rows[i] must be a pre-initialized (InfDist-filled, possibly seeded)
+// distance slice for sources[i]; mask carries the local-sub-graph
+// restriction described at DijkstraInto. hops, when non-nil, receives the
+// per-source first-hop vectors (see DijkstraIntoHops); hops[i] may be nil
+// to skip a source.
+// It returns the total operation count across all sources (for LogP
+// accounting; the caller divides by the worker count to model the
+// parallel-section time).
+func MultiSource(g *graph.Graph, sources []int32, rows [][]graph.Dist, mask []bool, workers int) int64 {
+	return MultiSourceHops(g, sources, rows, nil, mask, workers)
+}
+
+// MultiSourceHops is MultiSource with optional first-hop tracking.
+func MultiSourceHops(g *graph.Graph, sources []int32, rows [][]graph.Dist, hops [][]int32, mask []bool, workers int) int64 {
+	if len(sources) != len(rows) {
+		panic("sssp: sources/rows length mismatch")
+	}
+	hopOf := func(i int) []int32 {
+		if hops == nil {
+			return nil
+		}
+		return hops[i]
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+	if workers <= 1 {
+		buf := &heapBuf{}
+		var ops int64
+		for i, s := range sources {
+			ops += DijkstraIntoHops(g, s, rows[i], hopOf(i), mask, buf)
+		}
+		return ops
+	}
+	var next int64
+	var totalOps int64
+	var mu sync.Mutex
+	take := func() int {
+		mu.Lock()
+		i := int(next)
+		next++
+		mu.Unlock()
+		return i
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			buf := &heapBuf{}
+			var ops int64
+			for {
+				i := take()
+				if i >= len(sources) {
+					atomic.AddInt64(&totalOps, ops)
+					return
+				}
+				ops += DijkstraIntoHops(g, sources[i], rows[i], hopOf(i), mask, buf)
+			}
+		}()
+	}
+	wg.Wait()
+	return totalOps
+}

@@ -1,0 +1,36 @@
+package stream
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The stream parser must never panic, and accepted streams must validate
+// and round-trip.
+func FuzzRead(f *testing.F) {
+	f.Add("base 3\n0 addv 3\n0 adde 3 0 2\n1 setw 3 0 1\n2 dele 3 0\n3 delv 3\n")
+	f.Add("base 0\n")
+	f.Add("")
+	f.Add("base 2\n0 adde 0 1 1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := Read(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("accepted invalid stream: %v", verr)
+		}
+		var buf bytes.Buffer
+		if werr := Write(&buf, s); werr != nil {
+			t.Fatalf("re-serialize: %v", werr)
+		}
+		back, rerr := Read(&buf)
+		if rerr != nil {
+			t.Fatalf("round trip: %v", rerr)
+		}
+		if len(back.Events) != len(s.Events) || back.BaseN != s.BaseN {
+			t.Fatal("round trip changed the stream")
+		}
+	})
+}

@@ -1,0 +1,189 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"anytime/internal/graph"
+)
+
+// GenConfig parameterizes synthetic stream generation: a growth-with-churn
+// process over a base graph, mirroring the evolving social networks of the
+// paper's introduction.
+type GenConfig struct {
+	// Ticks is the number of logical time steps (default 100).
+	Ticks int
+	// JoinsPerTick is the expected number of new vertices per tick
+	// (default 1). Each joiner attaches preferentially with AttachEdges
+	// edges.
+	JoinsPerTick float64
+	// AttachEdges per joining vertex (default 2).
+	AttachEdges int
+	// NewEdgeRate is the expected number of new edges between existing
+	// vertices per tick (default 0.5).
+	NewEdgeRate float64
+	// RewireRate is the expected number of weight changes per tick
+	// (default 0.2).
+	RewireRate float64
+	// ChurnRate is the expected number of edge deletions per tick
+	// (default 0.1); VertexChurnRate the expected vertex departures
+	// (default 0.02).
+	ChurnRate       float64
+	VertexChurnRate float64
+	// MaxWeight bounds random edge weights (default 4).
+	MaxWeight graph.Weight
+	Seed      int64
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.Ticks == 0 {
+		c.Ticks = 100
+	}
+	if c.JoinsPerTick == 0 {
+		c.JoinsPerTick = 1
+	}
+	if c.AttachEdges == 0 {
+		c.AttachEdges = 2
+	}
+	if c.NewEdgeRate == 0 {
+		c.NewEdgeRate = 0.5
+	}
+	if c.RewireRate == 0 {
+		c.RewireRate = 0.2
+	}
+	if c.ChurnRate == 0 {
+		c.ChurnRate = 0.1
+	}
+	if c.VertexChurnRate == 0 {
+		c.VertexChurnRate = 0.02
+	}
+	if c.MaxWeight == 0 {
+		c.MaxWeight = 4
+	}
+	return c
+}
+
+// Generate produces a validated synthetic stream over the given base
+// graph. The base graph is not modified; generation tracks a private
+// shadow copy to keep every event valid (no dangling references, no
+// duplicate edges).
+func Generate(base *graph.Graph, cfg GenConfig) (*Stream, error) {
+	cfg = cfg.withDefaults()
+	if base.NumVertices() == 0 {
+		return nil, fmt.Errorf("stream: empty base graph")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	shadow := base.Clone()
+	alive := make([]bool, shadow.NumVertices())
+	for i := range alive {
+		alive[i] = true
+	}
+	s := &Stream{BaseN: base.NumVertices()}
+	emit := func(ev Event) { s.Events = append(s.Events, ev) }
+
+	// degree-proportional sampling list over the shadow graph
+	pickPreferential := func() int32 {
+		// rebuild lazily: acceptable at stream-generation scale
+		var targets []int32
+		for v := 0; v < shadow.NumVertices(); v++ {
+			if !alive[v] {
+				continue
+			}
+			d := shadow.Degree(v) + 1 // +1 keeps isolated vertices reachable
+			for i := 0; i < d; i++ {
+				targets = append(targets, int32(v))
+			}
+		}
+		return targets[rng.Intn(len(targets))]
+	}
+	poisson := func(mean float64) int {
+		// Knuth's algorithm; the means here are small
+		limit := math.Exp(-mean)
+		k, p := 0, 1.0
+		for {
+			p *= rng.Float64()
+			if p <= limit || k > 50 {
+				return k
+			}
+			k++
+		}
+	}
+	weight := func() graph.Weight { return 1 + graph.Weight(rng.Intn(int(cfg.MaxWeight))) }
+	randomEdge := func() (int32, int32, bool) {
+		// reservoir-sample one live edge
+		var eu, ev int32
+		cnt := 0
+		shadow.ForEachEdge(func(u, v int, _ graph.Weight) {
+			if !alive[u] || !alive[v] {
+				return
+			}
+			cnt++
+			if rng.Intn(cnt) == 0 {
+				eu, ev = int32(u), int32(v)
+			}
+		})
+		return eu, ev, cnt > 0
+	}
+
+	for tick := 0; tick < cfg.Ticks; tick++ {
+		t := int64(tick)
+		for j := poisson(cfg.JoinsPerTick); j > 0; j-- {
+			nv := int32(shadow.AddVertex())
+			alive = append(alive, true)
+			emit(Event{Time: t, Kind: AddVertex, U: nv})
+			for e := 0; e < cfg.AttachEdges; e++ {
+				tgt := pickPreferential()
+				if tgt == nv || shadow.HasEdge(int(nv), int(tgt)) {
+					continue
+				}
+				w := weight()
+				shadow.MustAddEdge(int(nv), int(tgt), w)
+				emit(Event{Time: t, Kind: AddEdge, U: nv, V: tgt, W: w})
+			}
+		}
+		for j := poisson(cfg.NewEdgeRate); j > 0; j-- {
+			u, v := pickPreferential(), pickPreferential()
+			if u == v || shadow.HasEdge(int(u), int(v)) {
+				continue
+			}
+			w := weight()
+			shadow.MustAddEdge(int(u), int(v), w)
+			emit(Event{Time: t, Kind: AddEdge, U: u, V: v, W: w})
+		}
+		for j := poisson(cfg.RewireRate); j > 0; j-- {
+			if u, v, ok := randomEdge(); ok {
+				w := weight()
+				if err := shadow.RemoveEdge(int(u), int(v)); err == nil {
+					shadow.MustAddEdge(int(u), int(v), w)
+					emit(Event{Time: t, Kind: SetWeight, U: u, V: v, W: w})
+				}
+			}
+		}
+		for j := poisson(cfg.ChurnRate); j > 0; j-- {
+			if u, v, ok := randomEdge(); ok {
+				if err := shadow.RemoveEdge(int(u), int(v)); err == nil {
+					emit(Event{Time: t, Kind: DelEdge, U: u, V: v})
+				}
+			}
+		}
+		for j := poisson(cfg.VertexChurnRate); j > 0; j-- {
+			v := pickPreferential()
+			// keep the base population: only churn stream-added vertices
+			if int(v) < s.BaseN {
+				continue
+			}
+			for _, a := range append([]graph.Arc(nil), shadow.Neighbors(int(v))...) {
+				if err := shadow.RemoveEdge(int(v), int(a.To)); err != nil {
+					return nil, err
+				}
+			}
+			alive[v] = false
+			emit(Event{Time: t, Kind: DelVertex, U: v})
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("stream: generated stream invalid: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,144 @@
+package stream
+
+import (
+	"fmt"
+
+	"anytime/internal/change"
+	"anytime/internal/core"
+	"anytime/internal/graph"
+)
+
+// Replay drives an engine from a stream: events are grouped into time
+// windows of the given width; each window is converted into an ordered
+// sequence of engine change events (one vertex batch for the window's
+// joins and their edges, plus edge/weight/deletion operations in stream
+// order) and queued, followed by one recombination step; a final Run
+// converges the engine. The engine must have been built over the stream's
+// base graph.
+//
+// Returns the number of windows replayed.
+func Replay(e *core.Engine, s *Stream, window int64) (int, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	windows := s.Window(window)
+	nextID := int32(e.Graph().NumVertices())
+	if int(nextID) != s.BaseN {
+		return 0, fmt.Errorf("stream: engine graph has %d vertices, stream base is %d",
+			nextID, s.BaseN)
+	}
+	for wi, evs := range windows {
+		if err := queueWindow(e, evs, &nextID); err != nil {
+			return wi, fmt.Errorf("stream: window %d: %w", wi, err)
+		}
+		e.Step()
+	}
+	e.Run()
+	return len(windows), nil
+}
+
+// queueWindow converts one window of events into engine change events,
+// preserving stream order: the window's vertex additions form one batch
+// anchored at the first join (edges among new vertices become internal
+// edges, edges to existing vertices external ones); operations on
+// pre-existing vertices stay separate events in their original order,
+// coalescing consecutive runs of the same kind.
+func queueWindow(e *core.Engine, evs []Event, nextID *int32) error {
+	firstNew := *nextID
+	var ordered []change.Event
+	var batch *change.VertexBatch
+
+	isNew := func(v int32) bool { return v >= firstNew && batch != nil }
+	local := func(v int32) int32 { return v - firstNew }
+	last := func() *change.Event {
+		if len(ordered) == 0 {
+			return nil
+		}
+		return &ordered[len(ordered)-1]
+	}
+
+	for _, ev := range evs {
+		switch ev.Kind {
+		case AddVertex:
+			if ev.U != *nextID {
+				return fmt.Errorf("non-dense vertex id %d (expected %d)", ev.U, *nextID)
+			}
+			if batch == nil {
+				batch = &change.VertexBatch{}
+				ordered = append(ordered, change.Event{Batch: batch})
+			}
+			batch.NumVertices++
+			*nextID++
+		case AddEdge:
+			switch {
+			case isNew(ev.U) && isNew(ev.V):
+				batch.Internal = append(batch.Internal, change.InternalEdge{
+					A: local(ev.U), B: local(ev.V), Weight: ev.W,
+				})
+			case isNew(ev.U):
+				batch.External = append(batch.External, change.ExternalEdge{
+					New: local(ev.U), Existing: ev.V, Weight: ev.W,
+				})
+			case isNew(ev.V):
+				batch.External = append(batch.External, change.ExternalEdge{
+					New: local(ev.V), Existing: ev.U, Weight: ev.W,
+				})
+			default:
+				if l := last(); l != nil && l.EdgeAdds != nil {
+					l.EdgeAdds = append(l.EdgeAdds, change.EdgeAdd{U: ev.U, V: ev.V, Weight: ev.W})
+				} else {
+					ordered = append(ordered, change.Event{
+						EdgeAdds: []change.EdgeAdd{{U: ev.U, V: ev.V, Weight: ev.W}},
+					})
+				}
+			}
+		case SetWeight:
+			if l := last(); l != nil && l.WeightChanges != nil {
+				l.WeightChanges = append(l.WeightChanges, change.EdgeWeight{U: ev.U, V: ev.V, Weight: ev.W})
+			} else {
+				ordered = append(ordered, change.Event{
+					WeightChanges: []change.EdgeWeight{{U: ev.U, V: ev.V, Weight: ev.W}},
+				})
+			}
+		case DelEdge:
+			if l := last(); l != nil && l.EdgeDels != nil {
+				l.EdgeDels = append(l.EdgeDels, change.EdgeDel{U: ev.U, V: ev.V})
+			} else {
+				ordered = append(ordered, change.Event{
+					EdgeDels: []change.EdgeDel{{U: ev.U, V: ev.V}},
+				})
+			}
+		case DelVertex:
+			ordered = append(ordered, change.Event{VertexDel: &change.VertexDel{V: ev.U}})
+		}
+	}
+	for _, evq := range ordered {
+		var err error
+		switch {
+		case evq.Batch != nil:
+			err = e.QueueBatch(evq.Batch)
+		case evq.EdgeAdds != nil:
+			err = e.QueueEdgeAdds(evq.EdgeAdds...)
+		case evq.WeightChanges != nil:
+			err = e.QueueEdgeWeightChanges(evq.WeightChanges...)
+		case evq.EdgeDels != nil:
+			err = e.QueueEdgeDels(evq.EdgeDels...)
+		case evq.VertexDel != nil:
+			err = e.QueueVertexDel(evq.VertexDel.V)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GrownGraph returns the base graph grown by the full stream (the oracle's
+// final view), leaving base untouched.
+func GrownGraph(base *graph.Graph, s *Stream) (*graph.Graph, error) {
+	g := base.Clone()
+	if err := s.Apply(g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
