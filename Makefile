@@ -1,0 +1,28 @@
+# Tier-1 gate for this repository: everything a change must keep green.
+# `make check` is what CI (and the README) point at.
+
+GO ?= go
+
+.PHONY: check build test vet race bench clean
+
+check: build test vet race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The serving subsystem's single-writer/multi-reader contract and the
+# engine underneath it are exercised under the race detector.
+race:
+	$(GO) test -race ./internal/serve ./internal/core
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+clean:
+	$(GO) clean ./...

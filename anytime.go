@@ -32,6 +32,7 @@ import (
 	"anytime/internal/graph"
 	"anytime/internal/logp"
 	"anytime/internal/partition"
+	"anytime/internal/serve"
 	"anytime/internal/stream"
 )
 
@@ -326,6 +327,44 @@ func ReplayStream(e *Engine, s *Stream, window int64) (int, error) {
 
 // StepStats records what one recombination step did (see Engine.History).
 type StepStats = core.StepStats
+
+// Server is the live query-serving subsystem: it owns an Engine on a
+// background driver goroutine, ingests dynamic events through a bounded
+// admission queue, and publishes immutable versioned snapshots that any
+// number of readers query without locking (see NewServer).
+type Server = serve.Server
+
+// ServeConfig tunes the serving subsystem (publish interval, admission
+// queue capacity, backpressure wait, top-k index size, checkpoint path).
+type ServeConfig = serve.Config
+
+// ServeView is one published, immutable, versioned snapshot: centrality
+// estimates plus serving metadata and a precomputed top-k index.
+type ServeView = serve.View
+
+// ServeCounters are the serving subsystem's expvar-style counters.
+type ServeCounters = serve.Counters
+
+// ServeClient is a minimal client for the serving HTTP API — the load
+// generator's half of the pair (see cmd/aastream -mode replay -target).
+type ServeClient = serve.Client
+
+// ErrBackpressure is returned when the admission queue stays full for the
+// configured wait: ingestion is outrunning recombination (HTTP: 429).
+var ErrBackpressure = serve.ErrBackpressure
+
+// ErrServerClosed is returned by admission once a Server is closing
+// (HTTP: 503).
+var ErrServerClosed = serve.ErrClosed
+
+// NewServer wraps an engine (freshly built or restored from a checkpoint)
+// in the serving subsystem and starts the background driver. Ownership of
+// the engine transfers to the Server: every RC step is driven by the
+// server's goroutine, and after each step (or every ServeConfig.PublishEvery
+// steps) an immutable versioned snapshot is published for lock-free
+// readers. Serve HTTP with (&http.Server{Handler: s.Handler()}); stop with
+// s.Close(), which drains admitted events, converges, and checkpoints.
+func NewServer(e *Engine, cfg ServeConfig) (*Server, error) { return serve.New(e, cfg) }
 
 // ApproxBetweenness estimates betweenness by source sampling (the
 // adaptive-sampling family the paper cites); cost O(samples·(E+n log n)).

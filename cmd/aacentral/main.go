@@ -104,7 +104,7 @@ func main() {
 	fmt.Printf("converged after %d RC steps; %d vertices, %d edges\n",
 		e.StepsTaken(), e.Graph().NumVertices(), e.Graph().NumEdges())
 	fmt.Printf("top %d by closeness:\n", *top)
-	for rank, v := range anytime.TopK(snap.Closeness, *top) {
+	for rank, v := range snap.TopK(*top) {
 		fmt.Printf("  %2d. vertex %-8d C=%.6g  degree=%d\n",
 			rank+1, v, snap.Closeness[v], e.Graph().Degree(v))
 	}

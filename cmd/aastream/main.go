@@ -9,12 +9,22 @@
 // vertices and cost:
 //
 //	aastream -mode replay -n 1000 -seed 1 -window 10 < events.stream
+//
+// Or replay it as a load generator against a running aaserve instance
+// (which must serve the same base graph, e.g. aaserve -n 1000 -seed 1):
+// each time window is POSTed to /v1/events, with retry under
+// backpressure, and the final ranking is fetched back from the server:
+//
+//	aastream -mode replay -target http://localhost:8080 -window 10 < events.stream
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"anytime"
 )
@@ -30,6 +40,7 @@ func main() {
 		window = flag.Int64("window", 10, "replay: ticks per recombination window")
 		p      = flag.Int("p", 8, "replay: simulated processors")
 		top    = flag.Int("top", 5, "replay: top-closeness vertices to print")
+		target = flag.String("target", "", "replay: POST the stream to this aaserve base URL instead of replaying locally")
 	)
 	flag.Parse()
 	fail := func(err error) {
@@ -37,13 +48,12 @@ func main() {
 		os.Exit(1)
 	}
 
-	base, err := anytime.ScaleFreeGraph(*n, 2, *seed)
-	if err != nil {
-		fail(err)
-	}
-
 	switch *mode {
 	case "gen":
+		base, err := anytime.ScaleFreeGraph(*n, 2, *seed)
+		if err != nil {
+			fail(err)
+		}
 		s, err := anytime.GenerateStream(base, anytime.StreamConfig{
 			Ticks: *ticks, JoinsPerTick: *joins, ChurnRate: *churn, Seed: *seed,
 		})
@@ -57,6 +67,16 @@ func main() {
 			len(s.Events), *ticks, s.BaseN, s.FinalN())
 	case "replay":
 		s, err := anytime.ReadStream(os.Stdin)
+		if err != nil {
+			fail(err)
+		}
+		if *target != "" {
+			if err := replayRemote(s, *target, *window, *top); err != nil {
+				fail(err)
+			}
+			return
+		}
+		base, err := anytime.ScaleFreeGraph(*n, 2, *seed)
 		if err != nil {
 			fail(err)
 		}
@@ -79,10 +99,71 @@ func main() {
 		fmt.Printf("cost: virtual=%v messages=%d repartitions=%d\n",
 			m.VirtualTime.Round(1000), m.Comm.Messages, m.Repartitions)
 		fmt.Printf("top %d by closeness:\n", *top)
-		for rank, v := range anytime.TopK(snap.Closeness, *top) {
+		for rank, v := range snap.TopK(*top) {
 			fmt.Printf("  %d. vertex %-7d C=%.6g\n", rank+1, v, snap.Closeness[v])
 		}
 	default:
 		fail(fmt.Errorf("unknown mode %q", *mode))
 	}
+}
+
+// replayRemote turns aastream into a load generator: every stream window
+// is POSTed to a running aaserve, retrying with backoff when the server
+// pushes back, then the converged ranking is fetched from the server.
+func replayRemote(s *anytime.Stream, target string, window int64, top int) error {
+	ctx := context.Background()
+	client := &anytime.ServeClient{BaseURL: target}
+	start, err := client.Snapshot(ctx)
+	if err != nil {
+		return fmt.Errorf("probing %s: %w", target, err)
+	}
+	if start.Vertices != s.BaseN {
+		return fmt.Errorf("server graph has %d vertices, stream base is %d (start aaserve with the stream's base graph)",
+			start.Vertices, s.BaseN)
+	}
+	posted, retries := 0, 0
+	for _, evs := range s.Window(window) {
+		for {
+			ack, err := client.PostEvents(ctx, evs)
+			if errors.Is(err, anytime.ErrBackpressure) {
+				retries++
+				time.Sleep(100 * time.Millisecond)
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			posted += ack.Admitted
+			break
+		}
+	}
+	fmt.Printf("posted %d events in %d windows to %s (%d backpressure retries)\n",
+		posted, len(s.Window(window)), target, retries)
+
+	// Wait for the server to absorb everything and re-converge.
+	deadline := time.Now().Add(5 * time.Minute)
+	for {
+		m, err := client.Snapshot(ctx)
+		if err != nil {
+			return err
+		}
+		if m.Converged && m.QueueDepth == 0 && m.Vertices == s.FinalN() {
+			fmt.Printf("server converged: snapshot v%d, %d vertices, %d RC steps\n",
+				m.Version, m.Vertices, m.RCSteps)
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server did not converge (snapshot v%d, depth %d)", m.Version, m.QueueDepth)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	tk, err := client.TopK(ctx, top)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("top %d by closeness (served):\n", tk.K)
+	for rank, r := range tk.Results {
+		fmt.Printf("  %d. vertex %-7d C=%.6g\n", rank+1, r.Vertex, r.Closeness)
+	}
+	return nil
 }

@@ -53,13 +53,13 @@ func main() {
 		e.StepsTaken(), e.Graph().NumVertices())
 
 	fmt.Println("top 5 by closeness:")
-	for rank, v := range anytime.TopK(snap.Closeness, 5) {
+	for rank, v := range snap.TopK(5) {
 		fmt.Printf("  %d. vertex %-6d C=%.6g\n", rank+1, v, snap.Closeness[v])
 	}
 
 	// 6. The recombination phase maintains DVR routing tables, so exact
 	// shortest paths can be reconstructed across the simulated processors.
-	top := anytime.TopK(snap.Closeness, 1)[0]
+	top := snap.TopK(1)[0]
 	newest := int32(e.Graph().NumVertices() - 1) // a dynamically added vertex
 	path, err := e.Path(int32(top), newest)
 	if err != nil {

@@ -71,7 +71,7 @@ func main() {
 
 	snap := e.Snapshot()
 	fmt.Println("most central sensors (routing hotspots):")
-	for rank, v := range anytime.TopK(snap.Closeness, 3) {
+	for rank, v := range snap.TopK(3) {
 		fmt.Printf("  %d. sensor %-6d C=%.6g\n", rank+1, v, snap.Closeness[v])
 	}
 	fmt.Printf("network diameter %d, radius %d\n", snap.Diameter(), snap.Radius())

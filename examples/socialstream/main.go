@@ -51,7 +51,7 @@ func main() {
 		}
 		e.Step()
 		snap := e.Snapshot()
-		top := anytime.TopK(snap.Closeness, 1)[0]
+		top := snap.TopK(1)[0]
 		fmt.Printf("  wave %2d: +%3d members (graph=%d), current top vertex %d (C=%.6g)\n",
 			i+1, wave.NumVertices, e.Graph().NumVertices(), top, snap.Closeness[top])
 	}

@@ -230,25 +230,60 @@ func parallelOver(n int, fn func(i int)) {
 }
 
 // TopK returns the indices of the k largest scores, ties broken by lower
-// index, in descending score order.
+// index, in descending score order. k <= 0 yields an empty result and
+// k > len(scores) is clamped. Selection is heap-based, O(n log k), so
+// building a serving-layer top-k index over a large snapshot stays cheap.
 func TopK(scores []float64, k int) []int {
 	if k > len(scores) {
 		k = len(scores)
 	}
-	idx := make([]int, len(scores))
-	for i := range idx {
-		idx[i] = i
+	if k <= 0 {
+		return nil
 	}
-	// partial selection sort: k is small in practice
-	for i := 0; i < k; i++ {
-		best := i
-		for j := i + 1; j < len(idx); j++ {
-			if scores[idx[j]] > scores[idx[best]] ||
-				(scores[idx[j]] == scores[idx[best]] && idx[j] < idx[best]) {
-				best = j
+	// beats(a, b): index a ranks strictly ahead of index b.
+	beats := func(a, b int) bool {
+		return scores[a] > scores[b] || (scores[a] == scores[b] && a < b)
+	}
+	// min-heap of the k best seen so far; heap[0] is the weakest kept.
+	heap := make([]int, 0, k)
+	siftDown := func(i int) {
+		for {
+			l, r, m := 2*i+1, 2*i+2, i
+			if l < len(heap) && beats(heap[m], heap[l]) {
+				m = l
 			}
+			if r < len(heap) && beats(heap[m], heap[r]) {
+				m = r
+			}
+			if m == i {
+				return
+			}
+			heap[m], heap[i] = heap[i], heap[m]
+			i = m
 		}
-		idx[i], idx[best] = idx[best], idx[i]
 	}
-	return idx[:k]
+	for i := range scores {
+		if len(heap) < k {
+			heap = append(heap, i)
+			for c := len(heap) - 1; c > 0; {
+				p := (c - 1) / 2
+				if !beats(heap[p], heap[c]) {
+					break
+				}
+				heap[p], heap[c] = heap[c], heap[p]
+				c = p
+			}
+		} else if beats(i, heap[0]) {
+			heap[0] = i
+			siftDown(0)
+		}
+	}
+	// pop the weakest repeatedly to emit descending order.
+	out := heap
+	for n := len(heap) - 1; n > 0; n-- {
+		heap[0], heap[n] = heap[n], heap[0]
+		heap = heap[:n]
+		siftDown(0)
+	}
+	return out
 }

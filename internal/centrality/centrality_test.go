@@ -2,6 +2,8 @@ package centrality
 
 import (
 	"math"
+	"math/rand"
+	"sort"
 	"testing"
 
 	"anytime/internal/gen"
@@ -161,5 +163,53 @@ func TestTopK(t *testing.T) {
 	}
 	if len(TopK(scores, 99)) != 5 {
 		t.Fatal("k > n should clamp")
+	}
+}
+
+func TestTopKDegenerate(t *testing.T) {
+	scores := []float64{0.3, 0.9, 0.1}
+	if got := TopK(scores, 0); len(got) != 0 {
+		t.Fatalf("TopK(k=0) = %v, want empty", got)
+	}
+	if got := TopK(scores, -7); len(got) != 0 {
+		t.Fatalf("TopK(k=-7) = %v, want empty", got)
+	}
+	if got := TopK(nil, 5); len(got) != 0 {
+		t.Fatalf("TopK(nil) = %v, want empty", got)
+	}
+	full := TopK(scores, 99)
+	want := []int{1, 0, 2}
+	for i := range want {
+		if full[i] != want[i] {
+			t.Fatalf("TopK clamped = %v, want %v", full, want)
+		}
+	}
+}
+
+func TestTopKMatchesSort(t *testing.T) {
+	// Heap selection must agree with a full sort, including index
+	// tie-breaks, on a score vector with many duplicates.
+	rng := rand.New(rand.NewSource(42))
+	scores := make([]float64, 500)
+	for i := range scores {
+		scores[i] = float64(rng.Intn(20)) / 20
+	}
+	order := make([]int, len(scores))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return scores[order[a]] > scores[order[b]]
+	})
+	for _, k := range []int{1, 7, 50, 499, 500} {
+		got := TopK(scores, k)
+		if len(got) != k {
+			t.Fatalf("k=%d: got %d results", k, len(got))
+		}
+		for i := range got {
+			if got[i] != order[i] {
+				t.Fatalf("k=%d: rank %d = %d, want %d", k, i, got[i], order[i])
+			}
+		}
 	}
 }

@@ -1,6 +1,9 @@
 package core
 
-import "anytime/internal/graph"
+import (
+	"anytime/internal/centrality"
+	"anytime/internal/graph"
+)
 
 // Snapshot is the engine's current (anytime) view of the centrality
 // computation. Before convergence the distances are upper bounds, so
@@ -27,6 +30,12 @@ type Snapshot struct {
 	// reachable targets.
 	Eccentricity []graph.Dist
 }
+
+// TopK returns the IDs of the k highest-closeness vertices in descending
+// order (ties broken by lower ID). k <= 0 yields an empty result and
+// k > n is clamped. Before convergence the ranking reflects the current
+// anytime lower bounds.
+func (s Snapshot) TopK(k int) []int { return centrality.TopK(s.Closeness, k) }
 
 // Radius returns the minimum finite eccentricity (InfDist if none).
 func (s Snapshot) Radius() graph.Dist {

@@ -54,8 +54,9 @@ type Engine struct {
 	converged   bool
 	forceRefine bool // set once a change requires local pivoting for exactness
 
-	metrics Metrics
-	history []StepStats
+	metrics  Metrics
+	history  []StepStats
+	stepHook func(StepStats)
 }
 
 // New builds the engine over a snapshot of g: runs the DD phase
@@ -185,6 +186,19 @@ func (e *Engine) Converged() bool { return e.converged && len(e.queue) == 0 }
 
 // StepsTaken returns the number of RC steps performed so far.
 func (e *Engine) StepsTaken() int { return e.step }
+
+// QueuedEvents returns the number of dynamic-change events admitted via
+// the Queue* methods that no Step has incorporated yet (one event is
+// applied at the end of each RC step).
+func (e *Engine) QueuedEvents() int { return len(e.queue) }
+
+// SetStepHook installs fn to be invoked at the end of every RC step with
+// that step's statistics — the publication point for serving layers that
+// capture a Snapshot after each step regardless of whether the engine is
+// driven by Step or Run. Pass nil to remove the hook. The hook runs on the
+// goroutine calling Step; it must not call Step, Run, or the Queue*
+// methods. Not safe to call concurrently with Step/Run.
+func (e *Engine) SetStepHook(fn func(StepStats)) { e.stepHook = fn }
 
 // Graph returns the engine's current graph (reflecting applied dynamic
 // changes). The caller must not mutate it.
@@ -328,6 +342,9 @@ func (e *Engine) Step() bool {
 	e.recordStep(stats)
 	e.step++
 	e.metrics.WallTime += time.Since(start)
+	if e.stepHook != nil {
+		e.stepHook(stats)
+	}
 	if e.Converged() {
 		e.trace("converged", "no more updates in any processor")
 		return false

@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"testing"
+
+	"anytime/internal/core"
+	"anytime/internal/gen"
+)
+
+func benchServer(b *testing.B, n int) *Server {
+	b.Helper()
+	g, err := gen.BarabasiAlbert(n, 2, gen.Weights{}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen.Connectify(g, 1)
+	opts := core.NewOptions()
+	opts.P = 4
+	e, err := core.New(g, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.Run()
+	// no driver: publication and the read path benched in isolation
+	s, err := newServer(e, Config{TopKIndex: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkSnapshotPublish pins the cost of one publication: gathering the
+// engine snapshot, building the top-k index, and the atomic swap. This is
+// the driver-side overhead added per PublishEvery RC steps; later PRs must
+// not regress it silently.
+func BenchmarkSnapshotPublish(b *testing.B) {
+	s := benchServer(b, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.publish()
+	}
+}
+
+// BenchmarkTopKQuery pins the read path: atomic view load plus top-k index
+// lookup, the per-query cost every HTTP top-k request pays.
+func BenchmarkTopKQuery(b *testing.B) {
+	s := benchServer(b, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var sink int
+		for pb.Next() {
+			top := s.View().TopK(10)
+			sink += top[0]
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkTopKQueryBeyondIndex pins the fallback path: a query wider than
+// the precomputed index heap-selects over the immutable snapshot.
+func BenchmarkTopKQueryBeyondIndex(b *testing.B) {
+	s := benchServer(b, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var sink int
+		for pb.Next() {
+			top := s.View().TopK(200)
+			sink += top[0]
+		}
+		_ = sink
+	})
+}

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"anytime/internal/stream"
+)
+
+// Client is a minimal stdlib-only client for the serving API — the other
+// half of the load-generator pair (aastream -mode replay -target feeds a
+// running aaserve through it).
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTPClient overrides http.DefaultClient when set.
+	HTTPClient *http.Client
+}
+
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, strings.TrimRight(c.BaseURL, "/")+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusAccepted:
+		if out == nil {
+			return nil
+		}
+		return json.NewDecoder(resp.Body).Decode(out)
+	case http.StatusTooManyRequests:
+		return ErrBackpressure
+	case http.StatusServiceUnavailable:
+		return ErrClosed
+	default:
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		if e.Error == "" {
+			e.Error = resp.Status
+		}
+		return fmt.Errorf("serve: %s %s: %s", method, path, e.Error)
+	}
+}
+
+// PostEvents admits a batch of dynamic events. A 429 response surfaces as
+// ErrBackpressure so callers can retry with backoff.
+func (c *Client) PostEvents(ctx context.Context, evs []stream.Event) (EventsResponse, error) {
+	var out EventsResponse
+	err := c.do(ctx, http.MethodPost, "/v1/events", EventsRequest{Events: ToWire(evs)}, &out)
+	return out, err
+}
+
+// TopK fetches the current top-k closeness ranking.
+func (c *Client) TopK(ctx context.Context, k int) (TopKResponse, error) {
+	var out TopKResponse
+	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/topk?k=%d", k), nil, &out)
+	return out, err
+}
+
+// Closeness fetches one vertex's centrality estimates.
+func (c *Client) Closeness(ctx context.Context, vertex int) (ClosenessResponse, error) {
+	var out ClosenessResponse
+	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/closeness/%d", vertex), nil, &out)
+	return out, err
+}
+
+// Snapshot fetches the latest View metadata.
+func (c *Client) Snapshot(ctx context.Context) (SnapshotMeta, error) {
+	var out SnapshotMeta
+	err := c.do(ctx, http.MethodGet, "/v1/snapshot", nil, &out)
+	return out, err
+}
+
+// Metrics fetches the counter map served at /metrics.
+func (c *Client) Metrics(ctx context.Context) (map[string]int64, error) {
+	var out map[string]int64
+	err := c.do(ctx, http.MethodGet, "/metrics", nil, &out)
+	return out, err
+}

@@ -1,0 +1,34 @@
+package serve
+
+import "sync/atomic"
+
+// Counters are the serving subsystem's expvar-style counters, safe for
+// concurrent use. GET /metrics renders them together with the latest
+// View's version, RC steps, and virtual time.
+type Counters struct {
+	// QueriesServed counts answered read queries (closeness, top-k,
+	// snapshot metadata), across HTTP and programmatic access.
+	QueriesServed atomic.Int64
+	// EventsAdmitted / EventsRejected count dynamic events accepted into /
+	// refused from the admission queue (rejections: backpressure or
+	// validation failure).
+	EventsAdmitted atomic.Int64
+	EventsRejected atomic.Int64
+	// EventsIngested counts admitted events handed to the engine;
+	// EventsDropped counts events the engine refused (normally zero —
+	// admission validation mirrors the engine's checks).
+	EventsIngested atomic.Int64
+	EventsDropped  atomic.Int64
+	// Publishes counts View publications (equals the latest version).
+	Publishes atomic.Int64
+	// PendingEvents and EngineQueued are gauges: events sitting in the
+	// admission queue and in the engine's internal change queue.
+	PendingEvents atomic.Int64
+	EngineQueued  atomic.Int64
+}
+
+// QueueDepth is the total ingestion backlog: admission queue plus the
+// engine's internal change queue.
+func (c *Counters) QueueDepth() int64 {
+	return c.PendingEvents.Load() + c.EngineQueued.Load()
+}

@@ -1,0 +1,227 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"anytime/internal/core"
+	"anytime/internal/stream"
+)
+
+// Admit validates a batch of dynamic events against the admitted-so-far
+// graph shape and appends it to the admission queue, blocking up to
+// Config.AdmitWait when the queue is full (bounded backpressure). The
+// batch is admitted atomically: either every event enters the queue in
+// order, or none does. Vertex joins must use dense increasing IDs — the
+// next join's ID is the current vertex count over everything admitted so
+// far (see SnapshotMeta.Vertices plus the queue depth, or generate the
+// events with package stream against the same base graph).
+func (s *Server) Admit(evs []stream.Event) error {
+	if len(evs) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var deadline time.Time
+	for !s.closed && len(s.pending) > 0 && len(s.pending)+len(evs) > s.cfg.QueueCapacity {
+		if deadline.IsZero() {
+			deadline = time.Now().Add(s.cfg.AdmitWait)
+		}
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			s.counters.EventsRejected.Add(int64(len(evs)))
+			return ErrBackpressure
+		}
+		// sync.Cond has no timed wait: arm a broadcast at the deadline so
+		// the loop re-checks and can give up.
+		t := time.AfterFunc(wait, s.cond.Broadcast)
+		s.cond.Wait()
+		t.Stop()
+	}
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.validateLocked(evs); err != nil {
+		s.counters.EventsRejected.Add(int64(len(evs)))
+		return err
+	}
+	s.pending = append(s.pending, evs...)
+	s.counters.EventsAdmitted.Add(int64(len(evs)))
+	s.counters.PendingEvents.Store(int64(len(s.pending)))
+	s.cond.Broadcast()
+	return nil
+}
+
+// validateLocked dry-runs evs against the admitted graph shape (vertex
+// count and deletions), committing the shape change only if every event is
+// valid. Mirrors stream.Validate, but against live state instead of a
+// whole stream.
+func (s *Server) validateLocked(evs []stream.Event) error {
+	n := s.admitN
+	var newlyDeleted map[int32]bool
+	isDeleted := func(v int32) bool { return s.deleted[v] || newlyDeleted[v] }
+	checkPair := func(i int, ev stream.Event) error {
+		if ev.U < 0 || ev.V < 0 || int(ev.U) >= n || int(ev.V) >= n || ev.U == ev.V {
+			return fmt.Errorf("serve: event %d references invalid pair {%d,%d}", i, ev.U, ev.V)
+		}
+		if isDeleted(ev.U) || isDeleted(ev.V) {
+			return fmt.Errorf("serve: event %d references deleted vertex", i)
+		}
+		return nil
+	}
+	for i, ev := range evs {
+		switch ev.Kind {
+		case stream.AddVertex:
+			if int(ev.U) != n {
+				return fmt.Errorf("serve: event %d adds vertex %d, expected next ID %d", i, ev.U, n)
+			}
+			n++
+		case stream.AddEdge, stream.SetWeight:
+			if err := checkPair(i, ev); err != nil {
+				return err
+			}
+			if ev.W <= 0 {
+				return fmt.Errorf("serve: event %d has non-positive weight", i)
+			}
+		case stream.DelEdge:
+			if err := checkPair(i, ev); err != nil {
+				return err
+			}
+		case stream.DelVertex:
+			if int(ev.U) >= n || ev.U < 0 || isDeleted(ev.U) {
+				return fmt.Errorf("serve: event %d deletes invalid vertex %d", i, ev.U)
+			}
+			if newlyDeleted == nil {
+				newlyDeleted = map[int32]bool{}
+			}
+			newlyDeleted[ev.U] = true
+		default:
+			return fmt.Errorf("serve: event %d has unknown kind %d", i, ev.Kind)
+		}
+	}
+	s.admitN = n
+	for v := range newlyDeleted {
+		s.deleted[v] = true
+	}
+	return nil
+}
+
+// drive is the background driver loop: hand admitted events to the engine
+// (at most MaxEventsPerStep per step), take one RC step, repeat; block
+// when converged with nothing admitted; on Close, drain everything,
+// converge, publish the final view, and checkpoint.
+func (s *Server) drive() {
+	defer close(s.driverDone)
+	e := s.eng
+	for {
+		// The engine applies one queued change event per RC step; take new
+		// admitted work only once its internal queue has drained, so event
+		// order (joins before the edges that reference them) is preserved.
+		if e.QueuedEvents() == 0 {
+			evs, closing := s.take(e.Converged())
+			if closing {
+				s.finish(evs)
+				return
+			}
+			s.ingest(evs)
+		}
+		e.Step()
+		s.counters.EngineQueued.Store(int64(e.QueuedEvents()))
+		if d := s.cfg.StepDelay; d > 0 {
+			time.Sleep(d)
+		}
+	}
+}
+
+// take removes up to MaxEventsPerStep admitted events, blocking while the
+// engine is converged and nothing is admitted (the idle state). When the
+// server is closing it returns every remaining event and closing=true.
+func (s *Server) take(converged bool) (evs []stream.Event, closing bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// converged cannot go stale while waiting: the driver is the only
+	// goroutine that mutates the engine.
+	for !s.closed && len(s.pending) == 0 && converged {
+		s.cond.Wait()
+	}
+	n := len(s.pending)
+	if s.closed {
+		evs, s.pending = s.pending, nil
+		closing = true
+	} else {
+		if n > s.cfg.MaxEventsPerStep {
+			n = s.cfg.MaxEventsPerStep
+		}
+		evs = append([]stream.Event(nil), s.pending[:n]...)
+		s.pending = s.pending[n:]
+	}
+	s.counters.PendingEvents.Store(int64(len(s.pending)))
+	if len(evs) > 0 {
+		s.cond.Broadcast() // space freed for blocked admitters
+	}
+	return evs, closing
+}
+
+// ingest hands one window of admitted events to the engine's change queue.
+func (s *Server) ingest(evs []stream.Event) {
+	if len(evs) == 0 {
+		return
+	}
+	if err := stream.QueueWindow(s.eng, evs, &s.nextID); err != nil {
+		// Admission validation makes this unreachable in practice; count
+		// and keep serving rather than tearing the driver down.
+		s.counters.EventsDropped.Add(int64(len(evs)))
+		return
+	}
+	s.counters.EventsIngested.Add(int64(len(evs)))
+}
+
+// finish is the graceful-shutdown path: drain the last admitted events,
+// step the engine until its change queue is empty, converge, force a final
+// publish, and checkpoint.
+func (s *Server) finish(evs []stream.Event) {
+	e := s.eng
+	s.ingest(evs)
+	for e.QueuedEvents() > 0 {
+		e.Step()
+	}
+	e.Run()
+	s.counters.EngineQueued.Store(0)
+	s.publish()
+	if p := s.cfg.CheckpointPath; p != "" {
+		s.closeErr = s.writeCheckpoint(p)
+	}
+}
+
+// onStep is the engine step hook (runs on the driver goroutine, at the end
+// of every RC step): publish every PublishEvery steps, and always on
+// convergence so the exact state becomes visible immediately.
+func (s *Server) onStep(st core.StepStats) {
+	s.sincePublish++
+	if s.sincePublish >= s.cfg.PublishEvery || st.ConvergedAfter {
+		s.publish()
+	}
+}
+
+// publish captures an engine snapshot, builds the top-k index, and swaps
+// the new immutable View in atomically. Driver goroutine only.
+func (s *Server) publish() {
+	snap := s.eng.Snapshot()
+	g := s.eng.Graph()
+	s.version++
+	s.sincePublish = 0
+	v := &View{
+		Version:    s.version,
+		Step:       snap.Step,
+		Converged:  snap.Converged,
+		Vertices:   g.NumVertices(),
+		Edges:      g.NumEdges(),
+		QueueDepth: int(s.counters.PendingEvents.Load()) + s.eng.QueuedEvents(),
+		Published:  time.Now(),
+		Snap:       snap,
+		Metrics:    s.eng.Metrics(),
+		topk:       snap.TopK(s.cfg.TopKIndex),
+	}
+	s.store.publish(v)
+	s.counters.Publishes.Add(1)
+}

@@ -1,0 +1,263 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"anytime/internal/graph"
+	"anytime/internal/stream"
+)
+
+// The HTTP/JSON API (stdlib only):
+//
+//	GET  /healthz                 liveness probe
+//	GET  /metrics                 expvar-style counters
+//	GET  /v1/snapshot             latest View metadata (no scores)
+//	GET  /v1/topk?k=K             top-K closeness vertices
+//	GET  /v1/closeness/{vertex}   one vertex's centrality estimates
+//	POST /v1/events               admit dynamic events (EventsRequest)
+//
+// Reads are served from the latest published View and never block the
+// driver. POST /v1/events returns 202 on admission, 429 under
+// backpressure (with Retry-After), 400 on invalid events, and 503 once
+// the server is closing.
+
+// EventJSON is the wire form of one dynamic event: kind is the stream
+// text-format name (addv, adde, setw, dele, delv); u, v, w are used as the
+// kind requires.
+type EventJSON struct {
+	Kind string       `json:"kind"`
+	U    int32        `json:"u"`
+	V    int32        `json:"v,omitempty"`
+	W    graph.Weight `json:"w,omitempty"`
+}
+
+// EventsRequest is the POST /v1/events body.
+type EventsRequest struct {
+	Events []EventJSON `json:"events"`
+}
+
+// EventsResponse acknowledges an admitted batch.
+type EventsResponse struct {
+	Admitted   int   `json:"admitted"`
+	QueueDepth int64 `json:"queue_depth"`
+}
+
+// SnapshotMeta is the GET /v1/snapshot response: View metadata without the
+// per-vertex score vectors.
+type SnapshotMeta struct {
+	Version       uint64 `json:"version"`
+	Step          int    `json:"step"`
+	Converged     bool   `json:"converged"`
+	Vertices      int    `json:"vertices"`
+	Edges         int    `json:"edges"`
+	QueueDepth    int    `json:"queue_depth"`
+	RCSteps       int    `json:"rc_steps"`
+	VirtualTimeNS int64  `json:"virtual_time_ns"`
+	PublishedUnix int64  `json:"published_unix_ns"`
+}
+
+// TopKEntry is one ranked vertex of a TopKResponse.
+type TopKEntry struct {
+	Vertex    int     `json:"vertex"`
+	Closeness float64 `json:"closeness"`
+}
+
+// TopKResponse is the GET /v1/topk response.
+type TopKResponse struct {
+	Version   uint64      `json:"version"`
+	Step      int         `json:"step"`
+	Converged bool        `json:"converged"`
+	K         int         `json:"k"`
+	Results   []TopKEntry `json:"results"`
+}
+
+// ClosenessResponse is the GET /v1/closeness/{vertex} response.
+type ClosenessResponse struct {
+	Vertex       int     `json:"vertex"`
+	Closeness    float64 `json:"closeness"`
+	Harmonic     float64 `json:"harmonic"`
+	Reachable    int     `json:"reachable"`
+	Eccentricity int32   `json:"eccentricity"` // -1 when unknown/unreachable
+	Version      uint64  `json:"version"`
+	Step         int     `json:"step"`
+	Converged    bool    `json:"converged"`
+}
+
+// ToWire converts stream events to their JSON wire form.
+func ToWire(evs []stream.Event) []EventJSON {
+	out := make([]EventJSON, len(evs))
+	for i, ev := range evs {
+		out[i] = EventJSON{Kind: ev.Kind.String(), U: ev.U, V: ev.V, W: ev.W}
+	}
+	return out
+}
+
+// FromWire converts JSON wire events back to stream events.
+func FromWire(evs []EventJSON) ([]stream.Event, error) {
+	out := make([]stream.Event, len(evs))
+	for i, ev := range evs {
+		k, err := stream.ParseKind(ev.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("serve: event %d: %w", i, err)
+		}
+		out[i] = stream.Event{Kind: k, U: ev.U, V: ev.V, W: ev.W}
+	}
+	return out, nil
+}
+
+// Handler returns the HTTP API over this server. Mount it on any
+// http.Server; shut that server down before calling Close so in-flight
+// requests drain against a live store.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET /v1/topk", s.handleTopK)
+	mux.HandleFunc("GET /v1/closeness/{vertex}", s.handleCloseness)
+	mux.HandleFunc("POST /v1/events", s.handleEvents)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// meta converts a View into its wire metadata.
+func meta(v *View) SnapshotMeta {
+	return SnapshotMeta{
+		Version:       v.Version,
+		Step:          v.Step,
+		Converged:     v.Converged,
+		Vertices:      v.Vertices,
+		Edges:         v.Edges,
+		QueueDepth:    v.QueueDepth,
+		RCSteps:       v.Metrics.RCSteps,
+		VirtualTimeNS: int64(v.Metrics.VirtualTime),
+		PublishedUnix: v.Published.UnixNano(),
+	}
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	s.counters.QueriesServed.Add(1)
+	writeJSON(w, http.StatusOK, meta(s.View()))
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	k := 10
+	if q := r.URL.Query().Get("k"); q != "" {
+		var err error
+		if k, err = strconv.Atoi(q); err != nil || k <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid k %q", q))
+			return
+		}
+	}
+	s.counters.QueriesServed.Add(1)
+	v := s.View()
+	top := v.TopK(k)
+	resp := TopKResponse{
+		Version:   v.Version,
+		Step:      v.Step,
+		Converged: v.Converged,
+		K:         len(top),
+		Results:   make([]TopKEntry, len(top)),
+	}
+	for i, vertex := range top {
+		resp.Results[i] = TopKEntry{Vertex: vertex, Closeness: v.Snap.Closeness[vertex]}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCloseness(w http.ResponseWriter, r *http.Request) {
+	vertex, err := strconv.Atoi(r.PathValue("vertex"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid vertex %q", r.PathValue("vertex")))
+		return
+	}
+	v := s.View()
+	if vertex < 0 || vertex >= len(v.Snap.Closeness) {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("vertex %d outside graph of %d", vertex, len(v.Snap.Closeness)))
+		return
+	}
+	s.counters.QueriesServed.Add(1)
+	ecc := int32(-1)
+	if e := v.Snap.Eccentricity[vertex]; e != graph.InfDist {
+		ecc = e
+	}
+	writeJSON(w, http.StatusOK, ClosenessResponse{
+		Vertex:       vertex,
+		Closeness:    v.Snap.Closeness[vertex],
+		Harmonic:     v.Snap.Harmonic[vertex],
+		Reachable:    v.Snap.Reachable[vertex],
+		Eccentricity: ecc,
+		Version:      v.Version,
+		Step:         v.Step,
+		Converged:    v.Converged,
+	})
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, 16<<20)
+	var req EventsRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding events: %v", err))
+		return
+	}
+	evs, err := FromWire(req.Events)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	switch err := s.Admit(evs); {
+	case errors.Is(err, ErrBackpressure):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err.Error())
+	default:
+		writeJSON(w, http.StatusAccepted, EventsResponse{
+			Admitted:   len(evs),
+			QueueDepth: s.counters.QueueDepth(),
+		})
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	v := s.View()
+	c := &s.counters
+	converged := int64(0)
+	if v.Converged {
+		converged = 1
+	}
+	writeJSON(w, http.StatusOK, map[string]int64{
+		"snapshot_version": int64(v.Version),
+		"rc_steps":         int64(v.Metrics.RCSteps),
+		"virtual_time_ns":  int64(v.Metrics.VirtualTime),
+		"queue_depth":      c.QueueDepth(),
+		"queries_served":   c.QueriesServed.Load(),
+		"events_admitted":  c.EventsAdmitted.Load(),
+		"events_rejected":  c.EventsRejected.Load(),
+		"events_ingested":  c.EventsIngested.Load(),
+		"events_dropped":   c.EventsDropped.Load(),
+		"publishes":        c.Publishes.Load(),
+		"converged":        converged,
+		"vertices":         int64(v.Vertices),
+		"edges":            int64(v.Edges),
+	})
+}

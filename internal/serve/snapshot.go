@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+
+	"anytime/internal/core"
+)
+
+// View is one published, immutable, versioned snapshot of the
+// computation: the engine's anytime closeness estimates plus serving
+// metadata. Readers obtain the latest View from Server.View (an atomic
+// pointer load) and may hold it as long as they like — the driver never
+// mutates a published View, it only swaps in a successor.
+type View struct {
+	// Version increases by one per publication (first View is 1), so
+	// readers can assert monotonic progress.
+	Version uint64
+	// Step is the engine RC-step count at capture time.
+	Step int
+	// Converged reports whether the snapshot is exact (no pending updates
+	// and no queued changes at capture time).
+	Converged bool
+	// Vertices and Edges describe the engine graph at capture time.
+	Vertices, Edges int
+	// QueueDepth is the number of admitted-but-unapplied events at capture
+	// time (admission queue plus the engine's internal change queue).
+	QueueDepth int
+	// Published is the wall-clock publication time.
+	Published time.Time
+	// Snap holds the per-vertex centrality estimates.
+	Snap core.Snapshot
+	// Metrics is the engine cost-counter snapshot at capture time.
+	Metrics core.Metrics
+
+	topk []int // precomputed top-Config.TopKIndex closeness index
+}
+
+// TopK returns the IDs of the k highest-closeness vertices in descending
+// order. Within the precomputed index size this is a slice of the index
+// (O(1)); larger k falls back to a heap selection over the immutable
+// snapshot. The result must not be mutated.
+func (v *View) TopK(k int) []int {
+	if k <= 0 {
+		return nil
+	}
+	if k <= len(v.topk) {
+		return v.topk[:k:k]
+	}
+	return v.Snap.TopK(k)
+}
+
+// store is the single-writer multi-reader publication point: an atomic
+// pointer swap, so readers never lock and never block the driver.
+type store struct {
+	p atomic.Pointer[View]
+}
+
+func (s *store) publish(v *View) { s.p.Store(v) }
+func (s *store) load() *View     { return s.p.Load() }

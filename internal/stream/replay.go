@@ -28,7 +28,7 @@ func Replay(e *core.Engine, s *Stream, window int64) (int, error) {
 			nextID, s.BaseN)
 	}
 	for wi, evs := range windows {
-		if err := queueWindow(e, evs, &nextID); err != nil {
+		if err := QueueWindow(e, evs, &nextID); err != nil {
 			return wi, fmt.Errorf("stream: window %d: %w", wi, err)
 		}
 		e.Step()
@@ -37,13 +37,16 @@ func Replay(e *core.Engine, s *Stream, window int64) (int, error) {
 	return len(windows), nil
 }
 
-// queueWindow converts one window of events into engine change events,
-// preserving stream order: the window's vertex additions form one batch
-// anchored at the first join (edges among new vertices become internal
-// edges, edges to existing vertices external ones); operations on
+// QueueWindow converts one window of events into engine change events and
+// queues them, preserving stream order: the window's vertex additions form
+// one batch anchored at the first join (edges among new vertices become
+// internal edges, edges to existing vertices external ones); operations on
 // pre-existing vertices stay separate events in their original order,
-// coalescing consecutive runs of the same kind.
-func queueWindow(e *core.Engine, evs []Event, nextID *int32) error {
+// coalescing consecutive runs of the same kind. nextID is the global ID the
+// next stream join will receive; it is advanced past the window's joins.
+// Replay uses it per time window; the serving driver uses it to feed
+// admitted live events into the engine between RC steps.
+func QueueWindow(e *core.Engine, evs []Event, nextID *int32) error {
 	firstNew := *nextID
 	var ordered []change.Event
 	var batch *change.VertexBatch

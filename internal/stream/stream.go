@@ -49,7 +49,9 @@ func (k Kind) String() string {
 	}
 }
 
-func kindOf(s string) (Kind, error) {
+// ParseKind parses the textual event-kind names used by the stream text
+// format and the serving layer's JSON wire format.
+func ParseKind(s string) (Kind, error) {
 	switch s {
 	case "addv":
 		return AddVertex, nil
@@ -237,7 +239,7 @@ func Read(r io.Reader) (*Stream, error) {
 		if _, err := fmt.Sscanf(t, "%d %s", &ts, &kindStr); err != nil {
 			return nil, fmt.Errorf("stream: line %d: %q: %w", line, t, err)
 		}
-		k, err := kindOf(kindStr)
+		k, err := ParseKind(kindStr)
 		if err != nil {
 			return nil, fmt.Errorf("stream: line %d: %w", line, err)
 		}
