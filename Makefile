@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race bench clean
+.PHONY: check build test vet race bench bench-json clean
 
 check: build test vet race
 
@@ -23,6 +23,12 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Archive the RC-phase and figure-reproduction benchmarks as JSON
+# (ns/op, allocs/op, and per-step shipping metrics) for diffing runs.
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkRC|BenchmarkFig4|BenchmarkFig8' -benchmem ./... \
+		| $(GO) run ./cmd/benchjson > BENCH_rc.json
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,103 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// JSON document on stdout, so benchmark runs can be archived and diffed
+// (see the bench-json Makefile target, which records the RC-phase and
+// figure-reproduction benchmarks in BENCH_rc.json).
+//
+// Every benchmark result line becomes one entry holding the iteration
+// count and every value/unit pair the benchmark reported (ns/op, B/op,
+// allocs/op, and custom metrics such as rowsshipped/step).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type benchmark struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type document struct {
+	Context    map[string]string `json:"context"`
+	Benchmarks []benchmark       `json:"benchmarks"`
+}
+
+func main() {
+	doc, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) (*document, error) {
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	doc := &document{Context: map[string]string{}}
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch {
+		case len(fields) >= 2 && (fields[0] == "goos:" || fields[0] == "goarch:" || fields[0] == "cpu:"):
+			key := strings.TrimSuffix(fields[0], ":")
+			doc.Context[key] = strings.TrimSpace(strings.TrimPrefix(line, fields[0]))
+		case len(fields) >= 2 && fields[0] == "pkg:":
+			pkg = fields[1]
+		case strings.HasPrefix(fields[0], "Benchmark") && len(fields) >= 4:
+			iters, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				continue // a PASS/FAIL or log line that happens to match
+			}
+			b := benchmark{
+				Name:       trimProcSuffix(fields[0]),
+				Package:    pkg,
+				Iterations: iters,
+				Metrics:    map[string]float64{},
+			}
+			for i := 2; i+1 < len(fields); i += 2 {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					continue
+				}
+				b.Metrics[fields[i+1]] = v
+			}
+			doc.Benchmarks = append(doc.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines on stdin")
+	}
+	return doc, nil
+}
+
+// trimProcSuffix strips the trailing "-N" GOMAXPROCS marker the testing
+// package appends to benchmark names (absent when GOMAXPROCS is 1).
+func trimProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

@@ -1,0 +1,352 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"anytime/internal/change"
+	"anytime/internal/cluster"
+	"anytime/internal/dv"
+	"anytime/internal/gen"
+	"anytime/internal/graph"
+)
+
+// ---------------------------------------------------------------------------
+// Pre-PR reference path: a faithful copy of the serial RC implementation this
+// PR replaced — full-row snapshots grouped through per-row maps, and fused
+// relax/refine loops without bounds-check-elimination hints or workers. Kept
+// test-only as the baseline the BenchmarkRCRelaxPhase* results are measured
+// against.
+// ---------------------------------------------------------------------------
+
+func (e *Engine) prePRShipBoundary() [][]cluster.Message {
+	P := e.opts.P
+	outbox := make([][]cluster.Message, P)
+	e.mach.Parallel(func(pid int) {
+		p := e.procs[pid]
+		var ops int64
+		groups := make(map[int][]*dv.Row)
+		for _, v := range p.sub.LocalBoundary {
+			r := p.table.Row(v)
+			if r == nil {
+				continue
+			}
+			if !r.Dirty && !e.opts.ShipAllBoundary {
+				continue
+			}
+			var snap *dv.Row
+			seen := map[int32]bool{}
+			for _, a := range e.g.Neighbors(int(v)) {
+				q := e.part.Part[a.To]
+				if int(q) == pid || seen[q] {
+					continue
+				}
+				seen[q] = true
+				if snap == nil {
+					snap = dv.CopyRow(r)
+					ops += int64(len(r.D))
+				}
+				groups[int(q)] = append(groups[int(q)], snap)
+			}
+		}
+		for q, rows := range groups {
+			outbox[pid] = append(outbox[pid], cluster.Message{
+				To:      q,
+				Tag:     cluster.TagBoundaryDV,
+				Bytes:   len(rows) * p.table.RowBytes(),
+				Payload: rows,
+			})
+		}
+		e.mach.Charge(pid, ops)
+	})
+	return outbox
+}
+
+func (p *proc) prePRRelaxViaExternal(br *dv.Row) {
+	b := br.Owner
+	bd := br.D
+	for i, u := range p.table.Rows() {
+		d := u.D[b]
+		if d == graph.InfDist {
+			continue
+		}
+		uD := u.D
+		uNH := u.NH
+		nhb := uNH[b]
+		rowChanged := false
+		for t, bt := range bd {
+			if bt == graph.InfDist {
+				continue
+			}
+			if nd := d + bt; nd < uD[t] {
+				uD[t] = nd
+				uNH[t] = nhb
+				rowChanged = true
+			}
+		}
+		p.stepOps += int64(len(bd))
+		if rowChanged {
+			u.Dirty = true
+			p.changed[i] = true
+		}
+	}
+}
+
+func (p *proc) prePRLocalRefine() {
+	rows := p.table.Rows()
+	for wi := range rows {
+		if !p.changed[wi] && !p.pivot[wi] {
+			continue
+		}
+		w := rows[wi]
+		wD := w.D
+		wOwner := w.Owner
+		for ui, u := range rows {
+			if ui == wi {
+				continue
+			}
+			d := u.D[wOwner]
+			if d == graph.InfDist {
+				continue
+			}
+			uD := u.D
+			uNH := u.NH
+			nhw := uNH[wOwner]
+			rowChanged := false
+			for t, wt := range wD {
+				if wt == graph.InfDist {
+					continue
+				}
+				if nd := d + wt; nd < uD[t] {
+					uD[t] = nd
+					uNH[t] = nhw
+					rowChanged = true
+				}
+			}
+			p.stepOps += int64(len(wD))
+			if rowChanged {
+				u.Dirty = true
+				p.changed[ui] = true
+			}
+		}
+	}
+}
+
+func (e *Engine) prePRRelaxAll(inbox [][]cluster.Message) {
+	refine := !e.opts.NoLocalRefine || e.forceRefine
+	e.mach.Parallel(func(pid int) {
+		p := e.procs[pid]
+		p.stepOps = 0
+		rows := p.table.Rows()
+		p.changed = resizeBools(p.changed, len(rows))
+		p.pivot = resizeBools(p.pivot, len(rows))
+		p.startDirty = resizeBools(p.startDirty, len(rows))
+		for i, r := range rows {
+			p.startDirty[i] = r.Dirty
+			p.pivot[i] = refine && r.Dirty
+		}
+		for _, msg := range inbox[pid] {
+			if msg.Tag != cluster.TagBoundaryDV {
+				continue
+			}
+			for _, br := range msg.Payload.([]*dv.Row) {
+				p.prePRRelaxViaExternal(br)
+			}
+		}
+		if refine {
+			p.prePRLocalRefine()
+		}
+		for i, r := range rows {
+			if p.startDirty[i] && !p.changed[i] {
+				r.ClearDirty()
+			}
+		}
+		p.hasUpdate = false
+		for _, v := range p.sub.LocalBoundary {
+			if r := p.table.Row(v); r != nil && r.Dirty {
+				p.hasUpdate = true
+				break
+			}
+		}
+		e.mach.Charge(pid, p.stepOps)
+		addOps(&e.metrics.RCOps, p.stepOps)
+	})
+	e.mach.Barrier()
+}
+
+// prePRStep mirrors Engine.Step over the reference path (no history/hooks),
+// additionally returning the number of boundary rows shipped.
+func (e *Engine) prePRStep() (cont bool, rows int) {
+	if e.Converged() {
+		return false, 0
+	}
+	outbox := e.prePRShipBoundary()
+	for _, msgs := range outbox {
+		for _, msg := range msgs {
+			rows += len(msg.Payload.([]*dv.Row))
+		}
+	}
+	inbox := e.mach.Exchange(outbox)
+	e.prePRRelaxAll(inbox)
+	e.converged = e.reduceConvergence()
+	if len(e.queue) > 0 {
+		ev := e.queue[0]
+		e.queue = e.queue[1:]
+		e.applyEvent(ev)
+	}
+	e.step++
+	return !e.Converged(), rows
+}
+
+// ---------------------------------------------------------------------------
+// RC relax-phase benchmarks: virtual Fig. 4 scale (n=400 Barabási–Albert
+// m=3, P=4) with a 16-vertex batch injected into a converged engine. Each
+// iteration restores the converged pre-injection state from an in-memory
+// checkpoint (untimed), applies the batch (untimed), then times the RC
+// relax cascade to re-convergence.
+// ---------------------------------------------------------------------------
+
+const (
+	benchRCN     = 400
+	benchRCP     = 4
+	benchRCBatch = 16
+)
+
+func rcBenchSetup(b *testing.B, workers int) (ckpt []byte, opts Options, batch *change.VertexBatch) {
+	b.Helper()
+	g, err := gen.BarabasiAlbert(benchRCN, 3, gen.Weights{Min: 1, Max: 4}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen.Connectify(g, 1)
+	opts = NewOptions()
+	opts.P = benchRCP
+	opts.Workers = workers
+	opts.Seed = 1
+	e, err := New(g, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.Run()
+	if !e.Converged() {
+		b.Fatal("setup engine did not converge")
+	}
+	var buf bytes.Buffer
+	if err := e.WriteCheckpoint(&buf); err != nil {
+		b.Fatal(err)
+	}
+	batch, err = gen.PreferentialBatch(e.Graph(), benchRCBatch, 2, 1, gen.Weights{Min: 1, Max: 4}, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes(), opts, batch
+}
+
+func benchRCRelaxPhase(b *testing.B, workers int, prePR bool) {
+	ckpt, opts, batch := rcBenchSetup(b, workers)
+	var steps, rows, shipBytes, relaxOps int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e, err := Restore(bytes.NewReader(ckpt), opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := e.QueueBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+		// The engine restores converged, so this first step ships nothing
+		// and applies the batch at its end (untimed change-incorporation
+		// work, identical on both paths).
+		if prePR {
+			e.prePRStep()
+		} else {
+			e.Step()
+		}
+		m0 := e.Metrics()
+		h0 := len(e.History())
+		b.StartTimer()
+		if prePR {
+			for {
+				cont, r := e.prePRStep()
+				rows += int64(r)
+				if !cont {
+					break
+				}
+			}
+		} else {
+			for e.Step() {
+			}
+		}
+		b.StopTimer()
+		m1 := e.Metrics()
+		steps += int64(m1.RCSteps - m0.RCSteps)
+		for _, s := range e.History()[h0:] {
+			rows += int64(s.RowsShipped)
+		}
+		shipBytes += m1.Comm.ByTag[cluster.TagBoundaryDV].Bytes - m0.Comm.ByTag[cluster.TagBoundaryDV].Bytes
+		relaxOps += m1.RCOps - m0.RCOps
+		b.StartTimer()
+	}
+	b.StopTimer()
+	n := float64(b.N)
+	b.ReportMetric(float64(steps)/n, "steps/op")
+	b.ReportMetric(float64(relaxOps)/n, "relaxops/op")
+	b.ReportMetric(float64(shipBytes)/n, "shipbytes/op")
+	if steps > 0 {
+		b.ReportMetric(float64(rows)/float64(steps), "rowsshipped/step")
+	}
+}
+
+// BenchmarkRCRelaxPhasePrePRSerial is the baseline: the pre-PR serial path.
+func BenchmarkRCRelaxPhasePrePRSerial(b *testing.B) { benchRCRelaxPhase(b, 1, true) }
+
+func BenchmarkRCRelaxPhaseWorkers1(b *testing.B) { benchRCRelaxPhase(b, 1, false) }
+
+func BenchmarkRCRelaxPhaseWorkers4(b *testing.B) { benchRCRelaxPhase(b, 4, false) }
+
+// ---------------------------------------------------------------------------
+// Boundary-shipping benchmarks: steady-state ship of every boundary row with
+// a 32-column pending window. Comparing allocs/op against the pre-PR path
+// shows the per-row map and per-step group allocations are gone (what
+// remains is the unavoidable one snapshot slice per shipped row).
+// ---------------------------------------------------------------------------
+
+var benchOutboxSink [][]cluster.Message
+
+func benchShipBoundary(b *testing.B, prePR bool) {
+	g, err := gen.BarabasiAlbert(benchRCN, 3, gen.Weights{Min: 1, Max: 4}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen.Connectify(g, 1)
+	opts := NewOptions()
+	opts.P = benchRCP
+	opts.Seed = 1
+	e, err := New(g, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range e.procs {
+			for _, v := range p.sub.LocalBoundary {
+				if r := p.table.Row(v); r != nil {
+					r.MarkChanged(64, 96)
+				}
+			}
+		}
+		if prePR {
+			benchOutboxSink = e.prePRShipBoundary()
+		} else {
+			benchOutboxSink = e.shipBoundary()
+		}
+	}
+}
+
+func BenchmarkRCShipBoundary(b *testing.B) { benchShipBoundary(b, false) }
+
+func BenchmarkRCShipBoundaryPrePR(b *testing.B) { benchShipBoundary(b, true) }

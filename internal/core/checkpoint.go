@@ -24,7 +24,7 @@ import (
 // are not serializable), which the caller supplies again at Restore and
 // which must use the same P.
 
-const checkpointMagic = "AACKPT02"
+const checkpointMagic = "AACKPT03"
 
 // WriteCheckpoint serializes the engine state. It fails if dynamic change
 // events are still queued (checkpoint at event boundaries: call after
@@ -67,6 +67,10 @@ func (e *Engine) WriteCheckpoint(w io.Writer) error {
 		for _, r := range rows {
 			enc.i32(r.Owner)
 			enc.bool(r.Dirty)
+			all, lo, hi := r.PendingState()
+			enc.bool(all)
+			enc.i32(lo)
+			enc.i32(hi)
 			for _, d := range r.D[:n] {
 				enc.i32(d)
 			}
@@ -179,8 +183,13 @@ func Restore(r io.Reader, opts Options) (*Engine, error) {
 		for i := 0; i < rows; i++ {
 			owner := dec.i32()
 			dirty := dec.bool()
+			pendAll := dec.bool()
+			pendLo, pendHi := dec.i32(), dec.i32()
 			if dec.err != nil || owner < 0 || int(owner) >= n {
 				return nil, fmt.Errorf("core: corrupt checkpoint row in table %d", pid)
+			}
+			if pendLo < 0 || pendLo > pendHi || int(pendHi) > n {
+				return nil, fmt.Errorf("core: corrupt checkpoint pending window in table %d", pid)
 			}
 			if part.Part[owner] != int32(pid) {
 				return nil, fmt.Errorf("core: checkpoint row %d not owned by processor %d", owner, pid)
@@ -196,6 +205,7 @@ func Restore(r io.Reader, opts Options) (*Engine, error) {
 				return nil, fmt.Errorf("core: checkpoint row %d has nonzero self distance", owner)
 			}
 			row.Dirty = dirty
+			row.SetPendingState(pendAll, pendLo, pendHi)
 		}
 		t.ResizeCopies = dec.i64()
 		e.procs[pid] = &proc{id: pid, sub: sub, table: t}

@@ -5,6 +5,7 @@ import (
 	"anytime/internal/cluster"
 	"anytime/internal/dv"
 	"anytime/internal/graph"
+	"anytime/internal/kernel"
 )
 
 // applyEdgeAdd incorporates one new edge {u,v} (Fig. 3 lines 19-44): the
@@ -40,6 +41,12 @@ func (e *Engine) applyEdgeAdd(u, v int, w graph.Weight, dynamicCut bool) {
 		// deleted endpoint: topology recorded, DV reset handles the rest
 		return
 	}
+	// The edge's endpoints are the only vertices whose part-adjacency the
+	// new edge can change: each may now border a part that has never seen
+	// any version of its row, so their next ship carries the full row.
+	// Every other row keeps its delta window (its receivers are unchanged).
+	rowU.MarkShipAll()
+	rowV.MarkShipAll()
 	// Fig. 3 line 26: only edges that improve the endpoint distance
 	// trigger the update pass.
 	improves := graph.AddDist(rowU.D[int32(v)], 0) > w
@@ -90,55 +97,40 @@ func relaxViaEdge(x *dv.Row, u, v int32, w graph.Weight, du, dvv []graph.Dist) i
 	if x.Owner != v {
 		nhv = x.NH[v]
 	}
-	xD := x.D
-	xNH := x.NH
-	changed := false
-	// Snapshots may be narrower than xD if columns were extended after
+	// Snapshots may be narrower than x.D if columns were extended after
 	// they were taken; the missing tail is InfDist.
-	n := len(xD)
+	n := len(x.D)
 	if len(du) < n {
 		n = len(du)
 	}
 	if len(dvv) < n {
 		n = len(dvv)
 	}
-	for t := 0; t < n; t++ {
-		cur := xD[t]
-		nh := xNH[t]
-		if bt := dvv[t]; xu != graph.InfDist && bt != graph.InfDist {
-			if c := xu + bt; c < cur {
-				cur, nh = c, nhu
-			}
-		}
-		if bt := du[t]; xv != graph.InfDist && bt != graph.InfDist {
-			if c := xv + bt; c < cur {
-				cur, nh = c, nhv
-			}
-		}
-		if cur < xD[t] {
-			xD[t] = cur
-			xNH[t] = nh
-			changed = true
+	xD, xNH := x.D[:n], x.NH[:n]
+	// Two kernel passes over the two compositions. Equivalent to the fused
+	// per-target min: every applied update is a strict decrease, and the
+	// second pass compares against the first pass's result.
+	if xu != graph.InfDist {
+		if lo, hi := kernel.MinPlusHops(xD, xNH, dvv[:n], xu, nhu); lo < hi {
+			x.MarkChanged(lo, hi)
 		}
 	}
-	if changed {
-		x.Dirty = true
+	if xv != graph.InfDist {
+		if lo, hi := kernel.MinPlusHops(xD, xNH, du[:n], xv, nhv); lo < hi {
+			x.MarkChanged(lo, hi)
+		}
 	}
 	return 2 * int64(n)
 }
 
 // afterTopologyChange rebuilds the per-processor boundary structures from
-// the mutated graph and re-marks the boundary rows dirty so the next RC
-// steps propagate the change.
+// the mutated graph. The rows the change disturbed are already marked for
+// shipping at the mutation sites: applyEdgeAdd marks the edge endpoints
+// ship-all (the only rows whose receiver set a new edge can extend) and
+// window-marks every row the relax pass improved; deletion paths rebuild
+// the tables outright (every fresh row ships in full).
 func (e *Engine) afterTopologyChange() {
 	e.rebuildSubs()
-	for _, p := range e.procs {
-		for _, v := range p.sub.LocalBoundary {
-			if r := p.table.Row(v); r != nil {
-				r.Dirty = true
-			}
-		}
-	}
 	e.converged = false
 }
 

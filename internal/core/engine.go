@@ -26,6 +26,14 @@ type proc struct {
 	startDirty []bool
 	stepOps    int64
 	hasUpdate  bool // a local-boundary row is dirty after this step
+
+	// boundary-shipping scratch, reused across steps: shipSeen is a stamp
+	// array over destination parts (shipSeen[q] == shipStamp means part q
+	// already gets this row), shipGroups collects each destination's
+	// deltas.
+	shipSeen   []int64
+	shipStamp  int64
+	shipGroups [][]*dv.Delta
 }
 
 // Engine is the anytime-anywhere closeness-centrality engine.
@@ -257,8 +265,16 @@ func (e *Engine) QueueEdgeAdds(adds ...change.EdgeAdd) error {
 	return nil
 }
 
-// QueueEdgeDels schedules dynamic edge deletions.
+// QueueEdgeDels schedules dynamic edge deletions. Deleting an edge that
+// does not exist when the event applies is a no-op, but the endpoints must
+// name distinct (possibly still-queued) vertices.
 func (e *Engine) QueueEdgeDels(dels ...change.EdgeDel) error {
+	n := e.pendingNumVertices()
+	for _, d := range dels {
+		if int(d.U) >= n || int(d.V) >= n || d.U < 0 || d.V < 0 || d.U == d.V {
+			return fmt.Errorf("core: invalid edge deletion {%d,%d}", d.U, d.V)
+		}
+	}
 	e.queue = append(e.queue, change.Event{EdgeDels: dels})
 	return nil
 }
@@ -313,11 +329,18 @@ func (e *Engine) Step() bool {
 	rcOpsBefore := e.metrics.RCOps
 	commBefore := e.mach.Stats()
 	outbox := e.shipBoundary()
-	shipped, rowsShipped := 0, 0
+	shipped, rowsShipped, fullRows := 0, 0, 0
+	width := e.g.NumVertices()
 	for _, msgs := range outbox {
 		shipped += len(msgs)
 		for _, msg := range msgs {
-			rowsShipped += len(msg.Payload.([]*dv.Row))
+			deltas := msg.Payload.([]*dv.Delta)
+			rowsShipped += len(deltas)
+			for _, d := range deltas {
+				if d.Lo == 0 && len(d.D) == width {
+					fullRows++
+				}
+			}
 		}
 	}
 	inbox := e.mach.Exchange(outbox)
@@ -328,6 +351,7 @@ func (e *Engine) Step() bool {
 		Step:             e.step,
 		BoundaryMessages: shipped,
 		RowsShipped:      rowsShipped,
+		FullRowsShipped:  fullRows,
 		Bytes:            e.mach.Stats().Bytes - commBefore.Bytes,
 		RelaxOps:         e.metrics.RCOps - rcOpsBefore,
 		ConvergedAfter:   e.converged,
@@ -384,14 +408,29 @@ func (e *Engine) Run() int {
 }
 
 // shipBoundary builds the per-processor outboxes of (dirty) local-boundary
-// DV rows, grouped into one message per destination processor.
+// DV updates, grouped into one message per destination processor. Rows
+// ship as deltas: only the column window changed since the row's last ship
+// travels, with a full-row fallback for rows whose change extent is
+// unknown (fresh, migrated, or topology-disturbed rows) and for the
+// ship-all-boundary ablation. The per-proc stamp array and delta groups
+// are reused across steps so the hot path does not allocate per row.
 func (e *Engine) shipBoundary() [][]cluster.Message {
 	P := e.opts.P
 	outbox := make([][]cluster.Message, P)
 	e.mach.Parallel(func(pid int) {
 		p := e.procs[pid]
+		if len(p.shipSeen) < P {
+			p.shipSeen = make([]int64, P)
+			p.shipGroups = make([][]*dv.Delta, P)
+			p.shipStamp = 0
+		}
+		for q := range p.shipGroups {
+			// Truncate, keeping capacity: the previous step's payloads were
+			// consumed by relaxAll within that step, so the backing arrays
+			// are free for reuse.
+			p.shipGroups[q] = p.shipGroups[q][:0]
+		}
 		var ops int64
-		groups := make(map[int][]*dv.Row)
 		for _, v := range p.sub.LocalBoundary {
 			r := p.table.Row(v)
 			if r == nil {
@@ -400,29 +439,44 @@ func (e *Engine) shipBoundary() [][]cluster.Message {
 			if !r.Dirty && !e.opts.ShipAllBoundary {
 				continue
 			}
-			// ship a snapshot to every adjacent part; the dirty mark is
-			// cleared at the end of relaxAll (unless the row changes again)
-			var snap *dv.Row
-			seen := map[int32]bool{}
+			// one snapshot shipped to every adjacent part; the dirty mark
+			// clears at the end of relaxAll (unless the row changes again),
+			// the pending window clears here, once the snapshot is taken
+			p.shipStamp++
+			var snap *dv.Delta
 			for _, a := range e.g.Neighbors(int(v)) {
 				q := e.part.Part[a.To]
-				if int(q) == pid || seen[q] {
+				if int(q) == pid || p.shipSeen[q] == p.shipStamp {
 					continue
 				}
-				seen[q] = true
+				p.shipSeen[q] = p.shipStamp
 				if snap == nil {
-					snap = dv.CopyRow(r)
-					ops += int64(len(r.D))
+					if e.opts.ShipAllBoundary {
+						snap = r.FullDelta()
+					} else {
+						snap = r.ShipDelta()
+					}
+					ops += int64(len(snap.D))
 				}
-				groups[int(q)] = append(groups[int(q)], snap)
+				p.shipGroups[q] = append(p.shipGroups[q], snap)
+			}
+			if snap != nil {
+				r.ClearPending()
 			}
 		}
-		for q, rows := range groups {
+		for q, deltas := range p.shipGroups {
+			if len(deltas) == 0 {
+				continue
+			}
+			bytes := 0
+			for _, d := range deltas {
+				bytes += d.WireBytes()
+			}
 			outbox[pid] = append(outbox[pid], cluster.Message{
 				To:      q,
 				Tag:     cluster.TagBoundaryDV,
-				Bytes:   len(rows) * p.table.RowBytes(),
-				Payload: rows,
+				Bytes:   bytes,
+				Payload: deltas,
 			})
 		}
 		e.mach.Charge(pid, ops)
@@ -430,18 +484,22 @@ func (e *Engine) shipBoundary() [][]cluster.Message {
 	return outbox
 }
 
-// relaxAll applies the received boundary DVs on every processor and runs
-// the recombination strategy (local refinement). Rows that entered the
-// step dirty carry un-propagated content (just shipped, or freshly
-// disturbed by a dynamic change — including *interior* rows such as a new
-// vertex with no cut edge, which are never shipped): with refinement
-// enabled they are pivoted through the local rows, after which their dirty
-// mark is cleared unless they changed again.
+// relaxAll applies the received boundary deltas on every processor and
+// runs the recombination strategy (local refinement), fanning the relax
+// work across opts.Workers goroutines per processor (see parallel.go).
+// Rows that entered the step dirty carry un-propagated content (just
+// shipped, or freshly disturbed by a dynamic change — including *interior*
+// rows such as a new vertex with no cut edge, which are never shipped):
+// with refinement enabled they are pivoted through the local rows, after
+// which their dirty mark is cleared unless they changed again.
 func (e *Engine) relaxAll(inbox [][]cluster.Message) {
 	refine := !e.opts.NoLocalRefine || e.forceRefine
+	workers := e.opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
 	e.mach.Parallel(func(pid int) {
 		p := e.procs[pid]
-		p.stepOps = 0
 		rows := p.table.Rows()
 		p.changed = resizeBools(p.changed, len(rows))
 		p.pivot = resizeBools(p.pivot, len(rows))
@@ -450,23 +508,21 @@ func (e *Engine) relaxAll(inbox [][]cluster.Message) {
 			p.startDirty[i] = r.Dirty
 			p.pivot[i] = refine && r.Dirty
 		}
+		// flatten the received boundary deltas in delivery order
+		var ext []*dv.Delta
 		for _, msg := range inbox[pid] {
 			if msg.Tag != cluster.TagBoundaryDV {
 				continue
 			}
-			for _, br := range msg.Payload.([]*dv.Row) {
-				p.relaxViaExternal(br)
-			}
+			ext = append(ext, msg.Payload.([]*dv.Delta)...)
 		}
-		if refine {
-			p.localRefine()
-		}
+		p.stepOps = p.relaxStep(ext, refine, workers)
 		// startDirty rows were shipped (boundary) and/or locally pivoted:
 		// their content is propagated; keep the mark only if they changed
 		// again this step.
 		for i, r := range rows {
 			if p.startDirty[i] && !p.changed[i] {
-				r.Dirty = false
+				r.ClearDirty()
 			}
 		}
 		p.hasUpdate = false
@@ -476,7 +532,9 @@ func (e *Engine) relaxAll(inbox [][]cluster.Message) {
 				break
 			}
 		}
-		e.mach.Charge(pid, p.stepOps)
+		// The paper's OpenMP accounting: the relax wall-cost of the step
+		// divides over the processor's worker threads.
+		e.mach.Charge(pid, p.stepOps/int64(workers))
 		addOps(&e.metrics.RCOps, p.stepOps)
 	})
 	e.mach.Barrier()
@@ -493,88 +551,6 @@ func resizeBools(b []bool, n int) []bool {
 		b[i] = false
 	}
 	return b
-}
-
-// relaxViaExternal relaxes every local row u against a received external
-// boundary row b: D(u,t) = min(D(u,t), D(u,b) + D_b(t)).
-func (p *proc) relaxViaExternal(br *dv.Row) {
-	b := br.Owner
-	bd := br.D
-	for i, u := range p.table.Rows() {
-		d := u.D[b]
-		if d == graph.InfDist {
-			continue
-		}
-		uD := u.D
-		uNH := u.NH
-		nhb := uNH[b] // first hop toward b; improved paths to t go that way
-		rowChanged := false
-		// bd may be shorter than uD if columns were extended after the
-		// snapshot was shipped; the missing tail is InfDist.
-		for t, bt := range bd {
-			if bt == graph.InfDist {
-				continue
-			}
-			// distances stay far below InfDist/2, so d+bt cannot overflow
-			if nd := d + bt; nd < uD[t] {
-				uD[t] = nd
-				uNH[t] = nhb
-				rowChanged = true
-			}
-		}
-		p.stepOps += int64(len(bd))
-		if rowChanged {
-			u.Dirty = true
-			p.changed[i] = true
-		}
-	}
-}
-
-// localRefine runs the Floyd–Warshall-style recombination strategy: every
-// local row whose DV changed this step — or that entered the step with
-// un-propagated (dirty) content — is used as a pivot to update the other
-// local rows, propagating fresh information through local paths without
-// waiting for further RC steps. Required for exactness after
-// repartitioning and for interior new vertices, whose rows are never
-// shipped.
-func (p *proc) localRefine() {
-	rows := p.table.Rows()
-	for wi := range rows {
-		if !p.changed[wi] && !p.pivot[wi] {
-			continue
-		}
-		w := rows[wi]
-		wD := w.D
-		wOwner := w.Owner
-		for ui, u := range rows {
-			if ui == wi {
-				continue
-			}
-			d := u.D[wOwner]
-			if d == graph.InfDist {
-				continue
-			}
-			uD := u.D
-			uNH := u.NH
-			nhw := uNH[wOwner]
-			rowChanged := false
-			for t, wt := range wD {
-				if wt == graph.InfDist {
-					continue
-				}
-				if nd := d + wt; nd < uD[t] {
-					uD[t] = nd
-					uNH[t] = nhw
-					rowChanged = true
-				}
-			}
-			p.stepOps += int64(len(wD))
-			if rowChanged {
-				u.Dirty = true
-				p.changed[ui] = true
-			}
-		}
-	}
 }
 
 // reduceConvergence performs the "no more updates in any processor"

@@ -11,6 +11,10 @@ type StepStats struct {
 	BoundaryMessages int
 	// RowsShipped is the number of distinct dirty boundary rows shipped.
 	RowsShipped int
+	// FullRowsShipped counts shipped rows that carried their entire width
+	// (fresh, migrated, or disturbed rows); the remainder were delta
+	// windows covering only the columns changed since the last ship.
+	FullRowsShipped int
 	// Bytes is the boundary-DV payload shipped this step.
 	Bytes int64
 	// RelaxOps is the relax/refine work performed this step.

@@ -81,8 +81,11 @@ type Options struct {
 	// Strategy selects the vertex-addition processor-assignment strategy
 	// (default RoundRobinPS).
 	Strategy Strategy
-	// Workers is the number of Dijkstra worker goroutines per processor in
-	// the IA phase — the paper's per-node multithreading (default 2).
+	// Workers is the number of worker goroutines per processor — the
+	// paper's per-node (OpenMP-style) multithreading layered under the
+	// P-way processor parallelism. It drives the IA-phase Dijkstra pool
+	// and the RC-phase relax/refine pool, and divides the per-step
+	// wall-clock charge of both phases (default 2).
 	Workers int
 	// NoLocalRefine disables the Floyd–Warshall-style local refinement
 	// recombination strategy (ablation; the refinement is on by default).
@@ -134,7 +137,7 @@ func (o Options) withDefaults() Options {
 	if o.BatchPartitioner == nil {
 		o.BatchPartitioner = partition.Multilevel{Seed: o.Seed + 1}
 	}
-	if o.Workers == 0 {
+	if o.Workers <= 0 {
 		o.Workers = 2
 	}
 	if o.Model.P == 0 && o.Model.L == 0 && o.Model.O == 0 && o.Model.G == 0 {

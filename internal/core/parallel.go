@@ -1,0 +1,219 @@
+package core
+
+import (
+	"sync"
+
+	"anytime/internal/dv"
+	"anytime/internal/graph"
+	"anytime/internal/kernel"
+)
+
+// This file is the per-processor worker pool of the RC phase: the paper's
+// testbed is a hybrid MPI+OpenMP cluster, so each simulated processor
+// (goroutine) fans its relax work across opts.Workers worker goroutines —
+// the second parallelism layer next to the P-way processor parallelism of
+// cluster.Machine.Parallel.
+//
+// Parallelization preserves the serial semantics exactly, so converged
+// distances (and every intermediate step) are bit-identical for any worker
+// count:
+//
+//   - External relaxation partitions the local rows into contiguous
+//     blocks, one writer per row. Swapping the loop nest (per row, relax
+//     against every received delta in delivery order) keeps each row's
+//     relaxation sequence identical to the serial inbox walk.
+//   - Local refinement parallelizes the inner row loop per pivot; a
+//     barrier between pivots preserves the Floyd–Warshall dependency
+//     structure. The pivot row itself is skipped by every worker, so wD is
+//     never written while read. The next pivot is chosen by the last
+//     worker to arrive at the barrier — a critical section while all
+//     other workers are parked — so every worker agrees on the pivot
+//     sequence even though `changed` evolves during the pass.
+//   - stepOps moves to per-worker scratch merged after the join; `changed`
+//     is written at per-worker disjoint row indices.
+
+// phaser is a cyclic barrier for the worker pool: await parks until all n
+// workers arrive; the last arrival runs advance before the group is
+// released. The mutex ordering makes each worker's writes before await
+// visible to every worker after it.
+type phaser struct {
+	mu    sync.Mutex
+	cond  sync.Cond
+	n     int
+	count int
+	gen   uint64
+}
+
+func newPhaser(n int) *phaser {
+	ph := &phaser{n: n}
+	ph.cond.L = &ph.mu
+	return ph
+}
+
+func (ph *phaser) await(advance func()) {
+	ph.mu.Lock()
+	ph.count++
+	if ph.count == ph.n {
+		if advance != nil {
+			advance()
+		}
+		ph.count = 0
+		ph.gen++
+		ph.cond.Broadcast()
+		ph.mu.Unlock()
+		return
+	}
+	gen := ph.gen
+	for gen == ph.gen {
+		ph.cond.Wait()
+	}
+	ph.mu.Unlock()
+}
+
+// splitBlocks returns w+1 boundaries splitting [0, n) into w near-equal
+// contiguous blocks.
+func splitBlocks(n, w int) []int {
+	b := make([]int, w+1)
+	for k := 0; k <= w; k++ {
+		b[k] = k * n / w
+	}
+	return b
+}
+
+// relaxStep runs one processor's relax phase — external-delta relaxation
+// followed (optionally) by local refinement — across w worker goroutines,
+// returning the total relax ops. w == 1 runs inline with no pool.
+func (p *proc) relaxStep(ext []*dv.Delta, refine bool, w int) int64 {
+	n := p.table.Len()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		ops := p.relaxExternalBlock(ext, 0, n)
+		if refine {
+			ops += p.refineSerial()
+		}
+		return ops
+	}
+	bounds := splitBlocks(n, w)
+	ops := make([]int64, w)
+	ph := newPhaser(w)
+	cur := 0 // shared pivot cursor, advanced only inside ph.await
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			lo, hi := bounds[k], bounds[k+1]
+			o := p.relaxExternalBlock(ext, lo, hi)
+			if refine {
+				// Barrier: refinement reads rows of every block, so all
+				// external relaxation must be complete; the leader picks
+				// the first pivot.
+				ph.await(func() { cur = p.nextPivot(0) })
+				for {
+					wi := cur
+					if wi < 0 {
+						break
+					}
+					o += p.refineBlock(wi, lo, hi)
+					ph.await(func() { cur = p.nextPivot(wi + 1) })
+				}
+			}
+			ops[k] = o
+		}(k)
+	}
+	wg.Wait()
+	var total int64
+	for _, o := range ops {
+		total += o
+	}
+	return total
+}
+
+// relaxExternalBlock relaxes local rows [lo, hi) against every received
+// boundary delta, in delivery order: for a delta of row b covering columns
+// [b.Lo, b.Lo+len(b.D)),
+//
+//	D(u, t) = min(D(u, t), D(u, b) + D_b(t)).
+func (p *proc) relaxExternalBlock(ext []*dv.Delta, lo, hi int) int64 {
+	rows := p.table.Rows()
+	var ops int64
+	for i := lo; i < hi; i++ {
+		u := rows[i]
+		uD := u.D
+		uNH := u.NH
+		for _, br := range ext {
+			b := br.Owner
+			d := uD[b]
+			if d == graph.InfDist {
+				continue
+			}
+			off := int(br.Lo)
+			if off >= len(uD) {
+				continue
+			}
+			// nhb: first hop toward b; improved paths to t go that way
+			clo, chi := kernel.MinPlusHops(uD[off:], uNH[off:], br.D, d, uNH[b])
+			ops += int64(len(br.D))
+			if clo < chi {
+				u.MarkChanged(off+clo, off+chi)
+				p.changed[i] = true
+			}
+		}
+	}
+	return ops
+}
+
+// nextPivot returns the first row index >= from that local refinement must
+// pivot — a row that changed this step or entered it with un-propagated
+// (dirty) content — or -1 when the pass is over. Single forward scan, as in
+// the serial pass.
+func (p *proc) nextPivot(from int) int {
+	for wi := from; wi < len(p.changed); wi++ {
+		if p.changed[wi] || p.pivot[wi] {
+			return wi
+		}
+	}
+	return -1
+}
+
+// refineBlock relaxes local rows [lo, hi) through pivot row wi
+// (Floyd–Warshall-style): D(u, t) = min(D(u, t), D(u, w) + D_w(t)).
+func (p *proc) refineBlock(wi, lo, hi int) int64 {
+	rows := p.table.Rows()
+	w := rows[wi]
+	wD := w.D
+	wOwner := w.Owner
+	var ops int64
+	for ui := lo; ui < hi; ui++ {
+		if ui == wi {
+			continue
+		}
+		u := rows[ui]
+		d := u.D[wOwner]
+		if d == graph.InfDist {
+			continue
+		}
+		clo, chi := kernel.MinPlusHops(u.D, u.NH, wD, d, u.NH[wOwner])
+		ops += int64(len(wD))
+		if clo < chi {
+			u.MarkChanged(clo, chi)
+			p.changed[ui] = true
+		}
+	}
+	return ops
+}
+
+// refineSerial is the w == 1 pivot loop.
+func (p *proc) refineSerial() int64 {
+	n := p.table.Len()
+	var ops int64
+	for wi := 0; wi < n; wi++ {
+		if !p.changed[wi] && !p.pivot[wi] {
+			continue
+		}
+		ops += p.refineBlock(wi, 0, n)
+	}
+	return ops
+}

@@ -173,7 +173,9 @@ func (e *Engine) applyRepartition(b *change.VertexBatch) {
 				ops++
 			}
 			if migrated[r.Owner] || nearDisturbed[r.Owner] {
-				r.Dirty = true
+				// Full ship: the receiving side may never have seen any
+				// version of a migrated or disturbance-adjacent row.
+				r.MarkShipAll()
 			}
 		}
 		e.mach.Charge(pid, ops/int64(e.opts.Workers))

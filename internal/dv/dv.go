@@ -25,6 +25,14 @@ type Row struct {
 	// Dirty marks the row as changed since it was last shipped to
 	// neighboring processors.
 	Dirty bool
+
+	// pendLo/pendHi delimit the half-open window of columns changed since
+	// the row was last shipped; pendAll forces a full-row ship when the
+	// extent of the pending changes is unknown (fresh, migrated, restored,
+	// or topology-disturbed rows). Maintained by MarkChanged/MarkShipAll,
+	// consumed by ShipDelta, reset by ClearPending.
+	pendLo, pendHi int32
+	pendAll        bool
 }
 
 // Relax lowers D[t] to d if d is an improvement, marking the row dirty.
@@ -39,10 +47,64 @@ func (r *Row) RelaxVia(t int32, d graph.Dist, nh int32) bool {
 	if d < r.D[t] {
 		r.D[t] = d
 		r.NH[t] = nh
-		r.Dirty = true
+		r.MarkChanged(int(t), int(t)+1)
 		return true
 	}
 	return false
+}
+
+// MarkChanged records that columns [lo, hi) changed since the last ship,
+// marking the row dirty and widening the pending delta window.
+func (r *Row) MarkChanged(lo, hi int) {
+	if lo >= hi {
+		return
+	}
+	r.Dirty = true
+	if r.pendLo >= r.pendHi {
+		r.pendLo, r.pendHi = int32(lo), int32(hi)
+		return
+	}
+	if int32(lo) < r.pendLo {
+		r.pendLo = int32(lo)
+	}
+	if int32(hi) > r.pendHi {
+		r.pendHi = int32(hi)
+	}
+}
+
+// MarkShipAll marks the row dirty with unknown change extent, forcing the
+// next ship to carry the full row. Used for rows whose receivers may never
+// have seen any version of them: fresh rows, migrated rows, rows disturbed
+// by topology changes, and rows restored from a pre-delta checkpoint.
+func (r *Row) MarkShipAll() {
+	r.Dirty = true
+	r.pendAll = true
+}
+
+// ClearPending resets the pending delta window after the row's snapshot
+// has been shipped. The dirty mark clears separately — at the end of the
+// relax phase, unless the row changed again.
+func (r *Row) ClearPending() {
+	r.pendLo, r.pendHi = 0, 0
+	r.pendAll = false
+}
+
+// ClearDirty clears the dirty mark together with the pending window (the
+// row's content is fully propagated).
+func (r *Row) ClearDirty() {
+	r.Dirty = false
+	r.ClearPending()
+}
+
+// PendingState exposes the raw pending-window fields for checkpointing.
+func (r *Row) PendingState() (all bool, lo, hi int32) {
+	return r.pendAll, r.pendLo, r.pendHi
+}
+
+// SetPendingState restores the raw pending-window fields from a
+// checkpoint.
+func (r *Row) SetPendingState(all bool, lo, hi int32) {
+	r.pendAll, r.pendLo, r.pendHi = all, lo, hi
 }
 
 // Table is the per-processor DV store.
@@ -101,7 +163,8 @@ func (t *Table) AddRow(v int32) *Row {
 	}
 	d[v] = 0
 	nh[v] = v
-	r := &Row{Owner: v, D: d, NH: nh, Dirty: true}
+	r := &Row{Owner: v, D: d, NH: nh}
+	r.MarkShipAll() // fresh content: first ship carries the whole row
 	t.index[v] = len(t.rows)
 	t.rows = append(t.rows, r)
 	return r
@@ -182,10 +245,10 @@ func (t *Table) DirtyRows() []*Row {
 	return out
 }
 
-// ClearDirty resets all dirty marks (after shipping).
+// ClearDirty resets all dirty marks and pending windows (after shipping).
 func (t *Table) ClearDirty() {
 	for _, r := range t.rows {
-		r.Dirty = false
+		r.ClearDirty()
 	}
 }
 
@@ -195,9 +258,45 @@ func (t *Table) ClearDirty() {
 // they do not contribute.
 func (t *Table) RowBytes() int { return 4*t.cols + 8 }
 
-// CopyRow returns a deep copy of row r's shippable content (distances;
-// next hops are processor-local and are not copied) for snapshots that
-// must not alias mutable state.
+// CopyRow returns a deep copy of row r's shippable content — distances
+// only. Next hops are processor-local routing state and the dirty/pending
+// marks are the sender's bookkeeping, so neither travels with a snapshot.
 func CopyRow(r *Row) *Row {
-	return &Row{Owner: r.Owner, D: append([]graph.Dist(nil), r.D...), Dirty: r.Dirty}
+	return &Row{Owner: r.Owner, D: append([]graph.Dist(nil), r.D...)}
+}
+
+// Delta is the wire form of one boundary-row update: the columns
+// [Lo, Lo+len(D)) of Owner's distance vector that changed since the row
+// was last shipped. Like CopyRow snapshots, deltas carry distances only.
+// A full-row ship is simply a delta with Lo == 0 spanning the whole row.
+type Delta struct {
+	Owner int32
+	Lo    int32
+	D     []graph.Dist
+}
+
+// WireBytes is the accounted on-wire size of the delta: 4 bytes per
+// distance plus a 12-byte header (owner, lo, length).
+func (d *Delta) WireBytes() int { return 4*len(d.D) + 12 }
+
+// ShipDelta snapshots the row's pending-change window as a Delta. Rows
+// whose change extent is unknown (MarkShipAll) — and, defensively, dirty
+// rows with an empty window — snapshot the full row. The pending window is
+// not cleared here; the caller does that via ClearPending once the delta
+// is actually sent.
+func (r *Row) ShipDelta() *Delta {
+	if r.pendAll || r.pendLo >= r.pendHi {
+		return r.FullDelta()
+	}
+	lo, hi := int(r.pendLo), int(r.pendHi)
+	if hi > len(r.D) {
+		hi = len(r.D) // defensive: widths only grow, but never read past the row
+	}
+	return &Delta{Owner: r.Owner, Lo: int32(lo), D: append([]graph.Dist(nil), r.D[lo:hi]...)}
+}
+
+// FullDelta snapshots the entire row as a Delta (fresh or migrated rows,
+// and the ship-all-boundary ablation).
+func (r *Row) FullDelta() *Delta {
+	return &Delta{Owner: r.Owner, D: append([]graph.Dist(nil), r.D...)}
 }

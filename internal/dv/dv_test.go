@@ -187,4 +187,87 @@ func TestRowBytesAndCopyRow(t *testing.T) {
 	if c.Owner != 3 {
 		t.Fatal("owner lost")
 	}
+	// Snapshots carry distances only: no next hops, and never the sender's
+	// dirty bookkeeping.
+	if c.NH != nil || c.Dirty {
+		t.Fatalf("CopyRow leaked processor-local state: %+v", c)
+	}
+}
+
+func TestPendingWindowLifecycle(t *testing.T) {
+	tb := NewTable(8)
+	r := tb.AddRow(2)
+	// Fresh rows ship in full.
+	if all, _, _ := r.PendingState(); !all {
+		t.Fatal("fresh row must be marked ship-all")
+	}
+	d := r.ShipDelta()
+	if d.Lo != 0 || len(d.D) != 8 {
+		t.Fatalf("fresh delta = lo=%d len=%d, want full row", d.Lo, len(d.D))
+	}
+	r.ClearPending()
+	r.ClearDirty()
+
+	// Point relaxations accumulate into one window.
+	r.Relax(5, 9)
+	r.Relax(3, 4)
+	if !r.Dirty {
+		t.Fatal("relax must dirty the row")
+	}
+	d = r.ShipDelta()
+	if d.Lo != 3 || len(d.D) != 3 {
+		t.Fatalf("delta = lo=%d len=%d, want window [3,6)", d.Lo, len(d.D))
+	}
+	if d.D[0] != 4 || d.D[2] != 9 {
+		t.Fatalf("delta columns wrong: %v", d.D)
+	}
+	if d.WireBytes() != 4*3+12 {
+		t.Fatalf("WireBytes = %d", d.WireBytes())
+	}
+	// Delta snapshots must not alias the row.
+	d.D[0] = 1
+	if r.D[3] == 1 {
+		t.Fatal("ShipDelta aliases the row")
+	}
+
+	// After shipping, the window resets; new changes start a fresh window.
+	r.ClearPending()
+	r.MarkChanged(6, 7)
+	d = r.ShipDelta()
+	if d.Lo != 6 || len(d.D) != 1 {
+		t.Fatalf("post-ship delta = lo=%d len=%d, want window [6,7)", d.Lo, len(d.D))
+	}
+
+	// MarkShipAll overrides any window.
+	r.MarkShipAll()
+	if d := r.ShipDelta(); d.Lo != 0 || len(d.D) != 8 {
+		t.Fatal("MarkShipAll must force a full-row delta")
+	}
+
+	// Dirty with an empty window (e.g. a restored pre-delta checkpoint)
+	// falls back to a full ship.
+	r.ClearDirty()
+	r.Dirty = true
+	if d := r.ShipDelta(); d.Lo != 0 || len(d.D) != 8 {
+		t.Fatal("dirty row with empty window must ship in full")
+	}
+}
+
+func TestMarkChangedUnionsWindows(t *testing.T) {
+	tb := NewTable(10)
+	r := tb.AddRow(0)
+	r.ClearDirty()
+	r.MarkChanged(4, 6)
+	r.MarkChanged(2, 5)
+	r.MarkChanged(8, 9)
+	d := r.ShipDelta()
+	if d.Lo != 2 || len(d.D) != 7 {
+		t.Fatalf("union window = [%d,%d), want [2,9)", d.Lo, int(d.Lo)+len(d.D))
+	}
+	// Empty marks are no-ops.
+	r.ClearDirty()
+	r.MarkChanged(5, 5)
+	if r.Dirty {
+		t.Fatal("empty MarkChanged must not dirty the row")
+	}
 }

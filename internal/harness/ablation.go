@@ -108,6 +108,10 @@ func buildEngine(cfg Config, opts core.Options) (*core.Engine, error) {
 // with P, so speedup saturates).
 func Scaling(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
+	// Strong scaling isolates the processor axis: one worker per node, so
+	// the curve reflects P alone. (Per-node threading divides the compute
+	// charge of every P equally and would only flatten the comparison.)
+	cfg.Workers = 1
 	g, err := cfg.baseGraph()
 	if err != nil {
 		return nil, err

@@ -1,0 +1,78 @@
+// Package kernel holds the min-plus relaxation inner loops that dominate
+// the engine's recombination (RC) phase. Both RC relaxations — external
+// boundary-delta relaxation and the local Floyd–Warshall-style refinement —
+// and the dense APSP oracle reduce to the same operation: lower a distance
+// row by composing a base distance with a pivot row,
+//
+//	dst[t] = min(dst[t], add + src[t]).
+//
+// The loops are written so the compiler can eliminate the per-iteration
+// bounds checks: every slice is re-sliced to the shared loop bound up
+// front, making the `range src` induction variable provably in range for
+// all of them.
+//
+// Distances use the engine-wide invariant that true distances stay far
+// below InfDist/2 (enforced by the generators keeping weights small
+// relative to n), so `add + src[t]` cannot overflow once both operands are
+// known finite.
+package kernel
+
+import "anytime/internal/graph"
+
+// MinPlusHops relaxes dst through a pivot whose distance column is src:
+// for every index t, dst[t] = min(dst[t], add+src[t]), recording hop as
+// the next hop nh[t] whenever the composition improves. add is the
+// caller's distance to the pivot and must be finite; src entries equal to
+// InfDist are skipped. If src and dst lengths differ, the overlap is
+// relaxed (shipped columns may trail the local width, and delta windows
+// start mid-row via pre-sliced dst/nh).
+//
+// It returns the half-open window [lo, hi) of indices that changed, in
+// src's index space; lo >= hi means nothing improved.
+func MinPlusHops(dst []graph.Dist, nh []int32, src []graph.Dist, add graph.Dist, hop int32) (lo, hi int) {
+	n := len(src)
+	if len(dst) < n {
+		n = len(dst)
+	}
+	src = src[:n]
+	dst = dst[:n]
+	nh = nh[:n]
+	lo, hi = n, 0
+	for t, bt := range src {
+		if bt == graph.InfDist {
+			continue
+		}
+		if nd := add + bt; nd < dst[t] {
+			dst[t] = nd
+			nh[t] = hop
+			if lo > t {
+				lo = t
+			}
+			hi = t + 1
+		}
+	}
+	return lo, hi
+}
+
+// MinPlus is MinPlusHops without next-hop tracking, for dense matrices
+// that carry distances only (the Floyd–Warshall oracle). Reports whether
+// any index improved.
+func MinPlus(dst, src []graph.Dist, add graph.Dist) bool {
+	n := len(src)
+	if len(dst) < n {
+		n = len(dst)
+	}
+	src = src[:n]
+	dst = dst[:n]
+	changed := false
+	for t, bt := range src {
+		if bt == graph.InfDist {
+			continue
+		}
+		if nd := add + bt; nd < dst[t] {
+			dst[t] = nd
+			changed = true
+		}
+	}
+	return changed
+}

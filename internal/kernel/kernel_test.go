@@ -1,0 +1,141 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+
+	"anytime/internal/graph"
+)
+
+// referenceMinPlus is the pre-extraction inner loop from the engine,
+// kept as the semantic oracle for the kernel.
+func referenceMinPlus(dst []graph.Dist, nh []int32, src []graph.Dist, add graph.Dist, hop int32) (lo, hi int) {
+	lo, hi = len(src), 0
+	for t, bt := range src {
+		if t >= len(dst) {
+			break
+		}
+		if bt == graph.InfDist {
+			continue
+		}
+		if nd := add + bt; nd < dst[t] {
+			dst[t] = nd
+			nh[t] = hop
+			if lo > t {
+				lo = t
+			}
+			hi = t + 1
+		}
+	}
+	return lo, hi
+}
+
+func randomRow(rng *rand.Rand, n int, infFrac float64) []graph.Dist {
+	d := make([]graph.Dist, n)
+	for i := range d {
+		if rng.Float64() < infFrac {
+			d[i] = graph.InfDist
+		} else {
+			d[i] = graph.Dist(rng.Intn(1000))
+		}
+	}
+	return d
+}
+
+func TestMinPlusHopsMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(64)
+		srcLen := n
+		if trial%3 == 0 {
+			srcLen = 1 + rng.Intn(n) // shorter shipped snapshot
+		}
+		dst := randomRow(rng, n, 0.2)
+		src := randomRow(rng, srcLen, 0.3)
+		nh := make([]int32, n)
+		for i := range nh {
+			nh[i] = int32(rng.Intn(n))
+		}
+		add := graph.Dist(rng.Intn(500))
+		hop := int32(rng.Intn(n))
+
+		wantDst := append([]graph.Dist(nil), dst...)
+		wantNH := append([]int32(nil), nh...)
+		wlo, whi := referenceMinPlus(wantDst, wantNH, src, add, hop)
+
+		lo, hi := MinPlusHops(dst, nh, src, add, hop)
+		if lo != wlo || hi != whi {
+			t.Fatalf("trial %d: window (%d,%d), want (%d,%d)", trial, lo, hi, wlo, whi)
+		}
+		for i := range dst {
+			if dst[i] != wantDst[i] || nh[i] != wantNH[i] {
+				t.Fatalf("trial %d: index %d: got (%d,%d), want (%d,%d)",
+					trial, i, dst[i], nh[i], wantDst[i], wantNH[i])
+			}
+		}
+	}
+}
+
+func TestMinPlusHopsWindow(t *testing.T) {
+	inf := graph.InfDist
+	dst := []graph.Dist{9, 9, 9, 9, 9}
+	nh := []int32{-1, -1, -1, -1, -1}
+	src := []graph.Dist{inf, 3, inf, 1, inf}
+	lo, hi := MinPlusHops(dst, nh, src, 2, 7)
+	if lo != 1 || hi != 4 {
+		t.Fatalf("window (%d,%d), want (1,4)", lo, hi)
+	}
+	want := []graph.Dist{9, 5, 9, 3, 9}
+	for i := range dst {
+		if dst[i] != want[i] {
+			t.Fatalf("dst[%d] = %d, want %d", i, dst[i], want[i])
+		}
+	}
+	if nh[1] != 7 || nh[3] != 7 || nh[0] != -1 {
+		t.Fatalf("next hops wrong: %v", nh)
+	}
+
+	// no improvement possible: empty window, nothing written
+	lo, hi = MinPlusHops(dst, nh, src, 100, 9)
+	if lo < hi {
+		t.Fatalf("expected empty window, got (%d,%d)", lo, hi)
+	}
+}
+
+func TestMinPlusHopsOffsetSlicing(t *testing.T) {
+	// Delta windows relax via pre-sliced dst/nh; the window comes back in
+	// src index space.
+	dst := []graph.Dist{0, 50, 50, 50}
+	nh := []int32{-1, -1, -1, -1}
+	delta := []graph.Dist{4, graph.InfDist} // columns 2..3 of some row
+	lo, hi := MinPlusHops(dst[2:], nh[2:], delta, 10, 3)
+	if lo != 0 || hi != 1 {
+		t.Fatalf("window (%d,%d), want (0,1)", lo, hi)
+	}
+	if dst[2] != 14 || nh[2] != 3 || dst[3] != 50 {
+		t.Fatalf("offset relax wrong: %v %v", dst, nh)
+	}
+}
+
+func TestMinPlusMatchesHops(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(48)
+		dst := randomRow(rng, n, 0.2)
+		src := randomRow(rng, n, 0.3)
+		add := graph.Dist(rng.Intn(300))
+		dst2 := append([]graph.Dist(nil), dst...)
+		nh := make([]int32, n)
+
+		changed := MinPlus(dst, src, add)
+		lo, hi := MinPlusHops(dst2, nh, src, add, 1)
+		if changed != (lo < hi) {
+			t.Fatalf("trial %d: changed=%v window=(%d,%d)", trial, changed, lo, hi)
+		}
+		for i := range dst {
+			if dst[i] != dst2[i] {
+				t.Fatalf("trial %d: index %d diverges", trial, i)
+			}
+		}
+	}
+}

@@ -1,11 +1,15 @@
 package sssp
 
-import "anytime/internal/graph"
+import (
+	"anytime/internal/graph"
+	"anytime/internal/kernel"
+)
 
 // FloydWarshall computes APSP on a dense distance matrix in place. dist
 // must be square with dist[i][i] == 0 and dist[i][j] the direct edge weight
 // or InfDist. Used as a small-graph verification oracle and as the model
-// for the engine's local refinement strategy.
+// for the engine's local refinement strategy; the inner relaxation is the
+// same min-plus kernel the engine uses.
 func FloydWarshall(dist [][]graph.Dist) {
 	n := len(dist)
 	for k := 0; k < n; k++ {
@@ -16,14 +20,7 @@ func FloydWarshall(dist [][]graph.Dist) {
 			if dik == graph.InfDist {
 				continue
 			}
-			for j := 0; j < n; j++ {
-				if dk[j] == graph.InfDist {
-					continue
-				}
-				if nd := dik + dk[j]; nd < di[j] {
-					di[j] = nd
-				}
-			}
+			kernel.MinPlus(di, dk, dik)
 		}
 	}
 }
