@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race bench bench-json clean
+.PHONY: check build test vet race chaos bench bench-json clean
 
 check: build test vet race
 
@@ -20,6 +20,13 @@ vet:
 # engine underneath it are exercised under the race detector.
 race:
 	$(GO) test -race ./internal/serve ./internal/core
+
+# Chaos soak: the seeded fault-injection sweep (crash timings × message-
+# fault mixes) plus the fault and cluster layers, under the race detector.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos' ./internal/core
+	$(GO) test -race -count=1 ./internal/fault ./internal/cluster
+	$(GO) test -race -count=1 -run 'TestServer|TestHealthz|TestClient' ./internal/serve
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -28,6 +28,7 @@ import (
 	"anytime/internal/clique"
 	"anytime/internal/community"
 	"anytime/internal/core"
+	"anytime/internal/fault"
 	"anytime/internal/gen"
 	"anytime/internal/graph"
 	"anytime/internal/logp"
@@ -99,6 +100,18 @@ type (
 // BaselineRestart is the paper's comparator: full recomputation on every
 // dynamic change.
 type BaselineRestart = core.Restart
+
+// FaultPlan is a seeded, reproducible fault-injection schedule for the
+// simulated cluster: message drop/duplicate/delay/corrupt rates on the
+// boundary-DV plane plus scheduled processor crashes. Set Options.Faults
+// to run the engine under it; the engine still reconverges to the exact
+// sequential oracle (see DESIGN.md §9).
+type FaultPlan = fault.Plan
+
+// FaultCrash schedules one processor crash inside a FaultPlan: the
+// processor loses everything since its last recovery shard and rejoins
+// after DownFor steps.
+type FaultCrash = fault.Crash
 
 // Partitioner splits a graph into k balanced parts (Domain Decomposition).
 type Partitioner = partition.Partitioner

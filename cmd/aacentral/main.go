@@ -114,14 +114,7 @@ func main() {
 		m.Comm.Messages, m.Comm.Bytes, m.NewCutEdges)
 
 	if *ckptOut != "" {
-		f, err := os.Create(*ckptOut)
-		if err != nil {
-			fail(err)
-		}
-		if err := e.WriteCheckpoint(f); err != nil {
-			fail(err)
-		}
-		if err := f.Close(); err != nil {
+		if err := e.WriteCheckpointFile(*ckptOut); err != nil {
 			fail(err)
 		}
 		fmt.Printf("checkpoint written to %s\n", *ckptOut)

@@ -45,6 +45,53 @@ type TagStats struct {
 	Bytes    int64
 }
 
+// Fate is the outcome the fault layer assigns to one delivery attempt of a
+// message on a lossy link.
+type Fate uint8
+
+const (
+	// FateDeliver delivers the attempt normally.
+	FateDeliver Fate = iota
+	// FateDrop loses the attempt in the network; the sender's ack timeout
+	// triggers a retransmission (bounded by ResendBudget).
+	FateDrop
+	// FateDuplicate delivers the message twice (a spurious retransmission
+	// after a lost ack). Receivers must be idempotent.
+	FateDuplicate
+	// FateDelay holds the message in flight; it is delivered at the start
+	// of the next Exchange instead of this one.
+	FateDelay
+	// FateCorrupt flips bits on the wire; the receiver's transport checksum
+	// detects it and nacks, triggering a retransmission like FateDrop.
+	FateCorrupt
+)
+
+// FaultHook is consulted by Exchange for every delivery attempt, making the
+// simulated network lossy in a reproducible way. Implementations must be
+// deterministic functions of their arguments (the engine's results must not
+// depend on goroutine scheduling); internal/fault provides the seeded
+// reference implementation.
+//
+// Fault injection applies to the boundary-DV data plane only: Exchange asks
+// the hook for TagBoundaryDV messages, while migration/control traffic and
+// Broadcast use reliable delivery regardless of the hook (their loss would
+// tear engine state rather than delay convergence, and real systems put
+// them on a reliable channel).
+type FaultHook interface {
+	// Fate returns the outcome of delivery attempt `attempt` (0-based) of
+	// the msgIndex-th message from processor `from` to `to` within exchange
+	// number xid.
+	Fate(xid int64, from, to, msgIndex, attempt int, tag Tag) Fate
+	// Down reports whether processor p is currently crashed. Boundary-DV
+	// messages addressed to a down processor are dropped without retry (the
+	// engine's rejoin protocol re-ships everything the processor missed).
+	Down(p int) bool
+	// ResendBudget is the maximum number of delivery attempts per message
+	// (>= 1). When the budget is exhausted the message is abandoned and
+	// reported through TakeFailed.
+	ResendBudget() int
+}
+
 // NumTags is the number of message kinds tracked in Stats.ByTag.
 const NumTags = int(TagControl) + 1
 
@@ -59,6 +106,15 @@ type Stats struct {
 	Barriers   int64
 	Steps      int64
 	ByTag      [NumTags]TagStats
+
+	// Fault-injection counters (all zero on a perfect network).
+	Resends     int64 // retransmissions after drops/corruption
+	Dropped     int64 // attempts lost in the network
+	Duplicated  int64 // messages delivered twice
+	Delayed     int64 // messages deferred to the next exchange
+	Corrupted   int64 // attempts rejected by the receiver's checksum
+	Failed      int64 // messages abandoned after the resend budget
+	DroppedDown int64 // boundary messages addressed to a crashed processor
 }
 
 // Config configures a Machine.
@@ -74,14 +130,30 @@ type Config struct {
 	Serialized bool
 	// Workers bounds the real goroutines used by Parallel (0 = P).
 	Workers int
+	// Fault, when non-nil, makes Exchange's boundary-DV data plane lossy:
+	// every delivery attempt consults the hook, lost attempts are resent up
+	// to the hook's budget with every attempt charged to the LogP clock,
+	// and abandoned messages surface through TakeFailed. nil = the perfect
+	// network (bit-identical to the pre-fault-layer path).
+	Fault FaultHook
+}
+
+// delayedMsg is a message held in flight by FateDelay until a later
+// exchange.
+type delayedMsg struct {
+	release int64 // exchange number at which the message is delivered
+	msg     Message
 }
 
 // Machine is the simulated cluster.
 type Machine struct {
-	cfg    Config
-	clocks []*logp.Clock
-	stats  Stats
-	mu     sync.Mutex
+	cfg     Config
+	clocks  []*logp.Clock
+	stats   Stats
+	mu      sync.Mutex
+	xid     int64        // exchange sequence number (fault determinism key)
+	delayed []delayedMsg // in-flight messages deferred by FateDelay
+	failed  []Message    // abandoned messages awaiting TakeFailed
 }
 
 // New creates a machine with the given configuration.
@@ -197,14 +269,22 @@ func (m *Machine) msgCost(bytes int) time.Duration {
 // outbox[p] holds processor p's outgoing messages (To must be a valid
 // processor, From is overwritten). It returns inbox[q], the messages
 // delivered to each processor, in deterministic (round, sender) order, and
-// advances the virtual clocks according to the configured schedule.
+// advances the virtual clocks according to the configured schedule. A
+// message addressed outside [0, P) aborts the exchange with an error and
+// delivers nothing.
 //
 // The schedule runs P-1 rounds; in round r, processor p sends its messages
 // addressed to (p+r) mod P. With Serialized accounting (the paper's
 // "only one message traverses the network at any time"), message slots are
 // charged one after another globally; otherwise each round is charged as P
 // concurrent pairwise transfers.
-func (m *Machine) Exchange(outbox [][]Message) [][]Message {
+//
+// With a FaultHook configured, each boundary-DV message runs the lossy-link
+// protocol: attempts are charged to the clock until one is delivered,
+// duplicated, or delayed, or the resend budget runs out (the message is
+// then abandoned and reported via TakeFailed). Messages delayed by a
+// previous exchange are delivered first, in their original order.
+func (m *Machine) Exchange(outbox [][]Message) ([][]Message, error) {
 	P := m.P()
 	inbox := make([][]Message, P)
 	// index outgoing by (from, to)
@@ -215,7 +295,7 @@ func (m *Machine) Exchange(outbox [][]Message) [][]Message {
 			msg := outbox[p][i]
 			msg.From = p
 			if msg.To < 0 || msg.To >= P {
-				panic(fmt.Sprintf("cluster: message to invalid processor %d", msg.To))
+				return nil, fmt.Errorf("cluster: message from processor %d to invalid processor %d", p, msg.To)
 			}
 			if msg.To == p {
 				// local delivery, no network cost
@@ -225,6 +305,8 @@ func (m *Machine) Exchange(outbox [][]Message) [][]Message {
 			byDest[p][msg.To] = append(byDest[p][msg.To], msg)
 		}
 	}
+	m.xid++
+	m.releaseDelayed(inbox)
 	start := m.Barrier() // exchange begins when every processor arrives
 	var serialClock time.Duration
 	for r := 1; r < P; r++ {
@@ -236,18 +318,8 @@ func (m *Machine) Exchange(outbox [][]Message) [][]Message {
 				continue
 			}
 			var cost time.Duration
-			var bytes int64
-			for _, msg := range msgs {
-				cost += m.msgCost(msg.Bytes)
-				bytes += int64(msg.Bytes)
-				m.mu.Lock()
-				m.stats.Messages++
-				m.stats.Chunks += m.chunks(msg.Bytes)
-				m.stats.Bytes += int64(msg.Bytes)
-				m.stats.ByTag[msg.Tag].Messages++
-				m.stats.ByTag[msg.Tag].Bytes += int64(msg.Bytes)
-				m.mu.Unlock()
-				inbox[q] = append(inbox[q], msg)
+			for mi, msg := range msgs {
+				cost += m.transmit(&inbox[q], msg, mi)
 			}
 			if m.cfg.Serialized {
 				serialClock += cost
@@ -262,15 +334,139 @@ func (m *Machine) Exchange(outbox [][]Message) [][]Message {
 	for _, c := range m.clocks {
 		c.AdvanceTo(start + serialClock)
 	}
-	return inbox
+	return inbox, nil
+}
+
+// account records one delivered copy of msg in the counters.
+func (m *Machine) account(msg Message) {
+	m.mu.Lock()
+	m.stats.Messages++
+	m.stats.Chunks += m.chunks(msg.Bytes)
+	m.stats.Bytes += int64(msg.Bytes)
+	m.stats.ByTag[msg.Tag].Messages++
+	m.stats.ByTag[msg.Tag].Bytes += int64(msg.Bytes)
+	m.mu.Unlock()
+}
+
+// transmit moves one logical message across its link and returns the
+// virtual cost charged to the link's message slot. Without a fault hook it
+// is a single delivered attempt. With one, boundary-DV messages run the
+// ack/retry protocol; all other tags stay on the reliable plane.
+func (m *Machine) transmit(dst *[]Message, msg Message, msgIndex int) time.Duration {
+	base := m.msgCost(msg.Bytes)
+	hook := m.cfg.Fault
+	if hook == nil || msg.Tag != TagBoundaryDV {
+		m.account(msg)
+		*dst = append(*dst, msg)
+		return base
+	}
+	if hook.Down(msg.To) {
+		// Dead receiver: the send is charged (the sender cannot know), the
+		// payload is lost, and the rejoin protocol re-ships later.
+		m.mu.Lock()
+		m.stats.DroppedDown++
+		m.mu.Unlock()
+		return base
+	}
+	budget := hook.ResendBudget()
+	if budget < 1 {
+		budget = 1
+	}
+	var cost time.Duration
+	for attempt := 0; attempt < budget; attempt++ {
+		cost += base
+		if attempt > 0 {
+			m.mu.Lock()
+			m.stats.Resends++
+			m.mu.Unlock()
+		}
+		switch hook.Fate(m.xid, msg.From, msg.To, msgIndex, attempt, msg.Tag) {
+		case FateDeliver:
+			m.account(msg)
+			*dst = append(*dst, msg)
+			return cost
+		case FateDuplicate:
+			// Lost ack: the retransmission delivers a second copy.
+			cost += base
+			m.account(msg)
+			m.account(msg)
+			m.mu.Lock()
+			m.stats.Duplicated++
+			m.mu.Unlock()
+			*dst = append(*dst, msg, msg)
+			return cost
+		case FateDelay:
+			// Held in flight; delivered at the start of the next exchange.
+			m.mu.Lock()
+			m.stats.Delayed++
+			m.mu.Unlock()
+			m.account(msg)
+			m.delayed = append(m.delayed, delayedMsg{release: m.xid + 1, msg: msg})
+			return cost
+		case FateDrop:
+			m.mu.Lock()
+			m.stats.Dropped++
+			m.mu.Unlock()
+		case FateCorrupt:
+			m.mu.Lock()
+			m.stats.Corrupted++
+			m.mu.Unlock()
+		}
+	}
+	m.mu.Lock()
+	m.stats.Failed++
+	m.mu.Unlock()
+	m.failed = append(m.failed, msg)
+	return cost
+}
+
+// releaseDelayed delivers messages whose delay has elapsed into the inbox
+// (before this exchange's own traffic — they are older). Messages to a
+// processor that crashed in the meantime are lost.
+func (m *Machine) releaseDelayed(inbox [][]Message) {
+	if len(m.delayed) == 0 {
+		return
+	}
+	keep := m.delayed[:0]
+	for _, dm := range m.delayed {
+		if dm.release > m.xid {
+			keep = append(keep, dm)
+			continue
+		}
+		if m.cfg.Fault != nil && m.cfg.Fault.Down(dm.msg.To) {
+			m.mu.Lock()
+			m.stats.DroppedDown++
+			m.mu.Unlock()
+			continue
+		}
+		inbox[dm.msg.To] = append(inbox[dm.msg.To], dm.msg)
+	}
+	m.delayed = keep
+}
+
+// InFlight returns the number of delayed messages not yet delivered. The
+// engine must not declare convergence while messages are in flight.
+func (m *Machine) InFlight() int { return len(m.delayed) }
+
+// TakeFailed returns the messages abandoned after the resend budget since
+// the last call, and clears the list. The sender uses it to re-mark the
+// affected rows for re-shipping.
+func (m *Machine) TakeFailed() []Message {
+	f := m.failed
+	m.failed = nil
+	return f
 }
 
 // Broadcast charges a binomial-tree broadcast of a payload of the given
 // size from root to all other processors and returns the per-processor
 // copies of the message. ceil(log2 P) rounds, each a point-to-point
-// message cost.
-func (m *Machine) Broadcast(root int, msg Message) [][]Message {
+// message cost. An out-of-range root is an error. Broadcast rides the
+// reliable plane: it is not subject to fault injection (see FaultHook).
+func (m *Machine) Broadcast(root int, msg Message) ([][]Message, error) {
 	P := m.P()
+	if root < 0 || root >= P {
+		return nil, fmt.Errorf("cluster: broadcast from invalid processor %d", root)
+	}
 	out := make([][]Message, P)
 	msg.From = root
 	for q := 0; q < P; q++ {
@@ -297,7 +493,7 @@ func (m *Machine) Broadcast(root int, msg Message) [][]Message {
 	m.stats.ByTag[msg.Tag].Messages += int64(P - 1)
 	m.stats.ByTag[msg.Tag].Bytes += int64(P-1) * int64(msg.Bytes)
 	m.mu.Unlock()
-	return out
+	return out, nil
 }
 
 // ResetClocks zeroes all virtual clocks (used by the baseline-restart
@@ -309,11 +505,15 @@ func (m *Machine) ResetClocks() {
 }
 
 // Restore sets every clock to the given virtual time and replaces the
-// counters — used when resuming from a checkpoint.
+// counters — used when resuming from a checkpoint. Any in-flight or
+// abandoned messages are discarded (checkpoints are taken at quiescent
+// step boundaries).
 func (m *Machine) Restore(virtual time.Duration, st Stats) {
 	for _, c := range m.clocks {
 		c.AdvanceTo(virtual)
 	}
+	m.delayed = nil
+	m.failed = nil
 	m.mu.Lock()
 	m.stats = st
 	m.mu.Unlock()

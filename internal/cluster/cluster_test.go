@@ -74,7 +74,10 @@ func TestExchangeDelivery(t *testing.T) {
 			})
 		}
 	}
-	inbox := m.Exchange(outbox)
+	inbox, err := m.Exchange(outbox)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for q := 0; q < P; q++ {
 		if len(inbox[q]) != P {
 			t.Fatalf("processor %d received %d messages", q, len(inbox[q]))
@@ -115,7 +118,10 @@ func TestExchangeDeterministicOrder(t *testing.T) {
 				}
 			}
 		}
-		inbox := m.Exchange(outbox)
+		inbox, err := m.Exchange(outbox)
+		if err != nil {
+			t.Fatal(err)
+		}
 		var order []int
 		for _, msg := range inbox[0] {
 			order = append(order, msg.From)
@@ -143,7 +149,9 @@ func TestSerializedCostsMore(t *testing.T) {
 				}
 			}
 		}
-		m.Exchange(outbox)
+		if _, err := m.Exchange(outbox); err != nil {
+			t.Fatal(err)
+		}
 		return m.VirtualTime()
 	}
 	ser := traffic(testMachine(t, 6, true, 0))
@@ -159,7 +167,9 @@ func TestMaxMsgBytesChunking(t *testing.T) {
 	m := testMachine(t, 2, true, 100)
 	outbox := make([][]Message, 2)
 	outbox[0] = []Message{{To: 1, Bytes: 950}}
-	m.Exchange(outbox)
+	if _, err := m.Exchange(outbox); err != nil {
+		t.Fatal(err)
+	}
 	st := m.Stats()
 	if st.Messages != 1 {
 		t.Fatalf("messages = %d", st.Messages)
@@ -171,7 +181,10 @@ func TestMaxMsgBytesChunking(t *testing.T) {
 
 func TestBroadcast(t *testing.T) {
 	m := testMachine(t, 8, true, 0)
-	out := m.Broadcast(3, Message{Tag: TagNewVertexRow, Bytes: 64, Payload: "row"})
+	out, err := m.Broadcast(3, Message{Tag: TagNewVertexRow, Bytes: 64, Payload: "row"})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for q := 0; q < 8; q++ {
 		if q == 3 {
 			if len(out[q]) != 0 {
@@ -203,14 +216,28 @@ func TestResetClocks(t *testing.T) {
 	}
 }
 
-func TestExchangePanicsOnBadDestination(t *testing.T) {
+func TestExchangeErrorsOnBadDestination(t *testing.T) {
 	m := testMachine(t, 2, true, 0)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	m.Exchange([][]Message{{{To: 5}}, nil})
+	inbox, err := m.Exchange([][]Message{{{To: 5}}, nil})
+	if err == nil {
+		t.Fatal("expected an error for an out-of-range destination")
+	}
+	if inbox != nil {
+		t.Fatal("a failed exchange must deliver nothing")
+	}
+	if _, err := m.Exchange([][]Message{{{To: -1}}, nil}); err == nil {
+		t.Fatal("expected an error for a negative destination")
+	}
+}
+
+func TestBroadcastErrorsOnBadRoot(t *testing.T) {
+	m := testMachine(t, 2, true, 0)
+	if _, err := m.Broadcast(2, Message{Tag: TagControl}); err == nil {
+		t.Fatal("expected an error for an out-of-range root")
+	}
+	if _, err := m.Broadcast(-1, Message{Tag: TagControl}); err == nil {
+		t.Fatal("expected an error for a negative root")
+	}
 }
 
 func TestPerTagAccounting(t *testing.T) {
@@ -220,8 +247,12 @@ func TestPerTagAccounting(t *testing.T) {
 		{To: 1, Tag: TagBoundaryDV, Bytes: 100},
 		{To: 2, Tag: TagMigrateRows, Bytes: 50},
 	}
-	m.Exchange(outbox)
-	m.Broadcast(1, Message{Tag: TagNewVertexRow, Bytes: 10})
+	if _, err := m.Exchange(outbox); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Broadcast(1, Message{Tag: TagNewVertexRow, Bytes: 10}); err != nil {
+		t.Fatal(err)
+	}
 	st := m.Stats()
 	if st.ByTag[TagBoundaryDV].Bytes != 100 || st.ByTag[TagBoundaryDV].Messages != 1 {
 		t.Fatalf("boundary tag stats = %+v", st.ByTag[TagBoundaryDV])
@@ -238,5 +269,202 @@ func TestPerTagAccounting(t *testing.T) {
 	}
 	if total != st.Bytes {
 		t.Fatalf("tag bytes %d != total %d", total, st.Bytes)
+	}
+}
+
+// scriptHook is a test FaultHook that replays a fixed fate sequence for
+// boundary-DV attempts (then delivers), with a configurable down set.
+type scriptHook struct {
+	fates  []Fate
+	next   int
+	budget int
+	down   map[int]bool
+}
+
+func (h *scriptHook) Fate(xid int64, from, to, msgIndex, attempt int, tag Tag) Fate {
+	if tag != TagBoundaryDV || h.next >= len(h.fates) {
+		return FateDeliver
+	}
+	f := h.fates[h.next]
+	h.next++
+	return f
+}
+
+func (h *scriptHook) Down(p int) bool { return h.down[p] }
+
+func (h *scriptHook) ResendBudget() int {
+	if h.budget <= 0 {
+		return 8
+	}
+	return h.budget
+}
+
+func faultMachine(t *testing.T, p int, hook FaultHook) *Machine {
+	t.Helper()
+	m, err := New(Config{
+		Model:      logp.Model{L: 100, O: 10, G: 1, P: p, Compute: 1},
+		Serialized: true,
+		Fault:      hook,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func boundaryOutbox(p int) [][]Message {
+	outbox := make([][]Message, p)
+	outbox[0] = []Message{{To: 1, Tag: TagBoundaryDV, Bytes: 40, Payload: "dv"}}
+	return outbox
+}
+
+// A dropped attempt must cost a full message slot and be retransmitted.
+func TestFaultDropRetriesAndCharges(t *testing.T) {
+	hook := &scriptHook{fates: []Fate{FateDrop, FateDrop, FateDeliver}}
+	m := faultMachine(t, 2, hook)
+	inbox, err := m.Exchange(boundaryOutbox(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inbox[1]) != 1 {
+		t.Fatalf("delivered %d copies, want 1", len(inbox[1]))
+	}
+	st := m.Stats()
+	if st.Dropped != 2 || st.Resends != 2 || st.Messages != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// 3 attempts at (o+L+o) + bytes*G each
+	perAttempt := time.Duration(1)*(10+100+10) + 40*1
+	if m.VirtualTime() != 3*perAttempt {
+		t.Fatalf("virtual = %v, want %v", m.VirtualTime(), 3*perAttempt)
+	}
+}
+
+// A duplicated message must arrive twice (receivers are idempotent).
+func TestFaultDuplicateDeliversTwice(t *testing.T) {
+	hook := &scriptHook{fates: []Fate{FateDuplicate}}
+	m := faultMachine(t, 2, hook)
+	inbox, err := m.Exchange(boundaryOutbox(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inbox[1]) != 2 {
+		t.Fatalf("delivered %d copies, want 2", len(inbox[1]))
+	}
+	st := m.Stats()
+	if st.Duplicated != 1 || st.Messages != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// A delayed message must miss its exchange, count as in flight, and arrive
+// at the start of the next one.
+func TestFaultDelayDefersToNextExchange(t *testing.T) {
+	hook := &scriptHook{fates: []Fate{FateDelay}}
+	m := faultMachine(t, 2, hook)
+	inbox, err := m.Exchange(boundaryOutbox(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inbox[1]) != 0 {
+		t.Fatal("delayed message arrived early")
+	}
+	if m.InFlight() != 1 {
+		t.Fatalf("InFlight = %d, want 1", m.InFlight())
+	}
+	inbox, err = m.Exchange(make([][]Message, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inbox[1]) != 1 || inbox[1][0].Payload.(string) != "dv" {
+		t.Fatalf("delayed message not released: %+v", inbox[1])
+	}
+	if m.InFlight() != 0 {
+		t.Fatalf("InFlight = %d after release", m.InFlight())
+	}
+}
+
+// Exhausting the resend budget must abandon the message and surface it
+// through TakeFailed.
+func TestFaultBudgetExhaustionSurfacesFailure(t *testing.T) {
+	hook := &scriptHook{fates: []Fate{FateDrop, FateCorrupt, FateDrop}, budget: 3}
+	m := faultMachine(t, 2, hook)
+	inbox, err := m.Exchange(boundaryOutbox(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inbox[1]) != 0 {
+		t.Fatal("abandoned message was delivered")
+	}
+	st := m.Stats()
+	if st.Failed != 1 || st.Dropped != 2 || st.Corrupted != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	failed := m.TakeFailed()
+	if len(failed) != 1 || failed[0].From != 0 || failed[0].To != 1 {
+		t.Fatalf("TakeFailed = %+v", failed)
+	}
+	if len(m.TakeFailed()) != 0 {
+		t.Fatal("TakeFailed did not drain")
+	}
+}
+
+// Boundary traffic to a down processor is lost without retries; reliable
+// tags still deliver (the engine never sends them to down processors).
+func TestFaultDownReceiverDropsBoundaryOnly(t *testing.T) {
+	hook := &scriptHook{down: map[int]bool{1: true}}
+	m := faultMachine(t, 3, hook)
+	outbox := make([][]Message, 3)
+	outbox[0] = []Message{
+		{To: 1, Tag: TagBoundaryDV, Bytes: 8},
+		{To: 2, Tag: TagBoundaryDV, Bytes: 8},
+	}
+	inbox, err := m.Exchange(outbox)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inbox[1]) != 0 {
+		t.Fatal("down processor received boundary traffic")
+	}
+	if len(inbox[2]) != 1 {
+		t.Fatal("up processor missed its message")
+	}
+	if st := m.Stats(); st.DroppedDown != 1 {
+		t.Fatalf("DroppedDown = %d, want 1", st.DroppedDown)
+	}
+}
+
+// With a hook that always delivers, stats and costs must be bit-identical
+// to the no-hook machine (the zero-fault plan property at cluster level).
+func TestFaultZeroPlanBitIdentical(t *testing.T) {
+	run := func(hook FaultHook) (Stats, time.Duration) {
+		m, err := New(Config{
+			Model:      logp.Model{L: 100, O: 10, G: 1, P: 4, Compute: 1},
+			Serialized: true,
+			Fault:      hook,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		outbox := make([][]Message, 4)
+		for p := 0; p < 4; p++ {
+			for q := 0; q < 4; q++ {
+				if q != p {
+					outbox[p] = append(outbox[p], Message{To: q, Tag: TagBoundaryDV, Bytes: 100})
+				}
+			}
+		}
+		if _, err := m.Exchange(outbox); err != nil {
+			t.Fatal(err)
+		}
+		return m.Stats(), m.VirtualTime()
+	}
+	plain, vtPlain := run(nil)
+	hooked, vtHooked := run(&scriptHook{})
+	if plain != hooked {
+		t.Fatalf("stats differ:\nplain  %+v\nhooked %+v", plain, hooked)
+	}
+	if vtPlain != vtHooked {
+		t.Fatalf("virtual time differs: %v vs %v", vtPlain, vtHooked)
 	}
 }

@@ -186,7 +186,10 @@ func (e *Engine) prePRStep() (cont bool, rows int) {
 			rows += len(msg.Payload.([]*dv.Row))
 		}
 	}
-	inbox := e.mach.Exchange(outbox)
+	inbox, err := e.mach.Exchange(outbox)
+	if err != nil {
+		panic(err)
+	}
 	e.prePRRelaxAll(inbox)
 	e.converged = e.reduceConvergence()
 	if len(e.queue) > 0 {

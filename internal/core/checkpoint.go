@@ -2,13 +2,19 @@ package core
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"os"
+	"path/filepath"
 	"time"
 
 	"anytime/internal/cluster"
 	"anytime/internal/dv"
+	"anytime/internal/fault"
 	"anytime/internal/graph"
 )
 
@@ -24,20 +30,62 @@ import (
 // are not serializable), which the caller supplies again at Restore and
 // which must use the same P.
 
-const checkpointMagic = "AACKPT03"
+const (
+	// checkpointMagic is the current format: the v3 payload extended with
+	// fault/recovery counters and guarded by a CRC32-IEEE trailer (8-byte
+	// little-endian) over everything between the magic and the trailer.
+	checkpointMagic = "AACKPT04"
+	// checkpointMagicV3 is the legacy unguarded format, still readable.
+	checkpointMagicV3 = "AACKPT03"
+)
+
+// ErrCorruptCheckpoint reports a checkpoint whose CRC32 trailer does not
+// match its payload: the file was truncated or bit-flipped and must not be
+// restored.
+var ErrCorruptCheckpoint = errors.New("core: corrupt checkpoint (CRC32 mismatch)")
 
 // WriteCheckpoint serializes the engine state. It fails if dynamic change
 // events are still queued (checkpoint at event boundaries: call after
-// Step/Run, before queueing more changes).
+// Step/Run, before queueing more changes), if a processor is crashed (wait
+// for the rejoin), or if the engine has an unrecoverable error.
 func (e *Engine) WriteCheckpoint(w io.Writer) error {
+	if e.err != nil {
+		return fmt.Errorf("core: checkpoint of a failed engine: %w", e.err)
+	}
+	if e.anyDown() {
+		return fmt.Errorf("core: checkpoint with processors %v down; wait for the rejoin", e.DownProcs())
+	}
 	if len(e.queue) > 0 {
 		return fmt.Errorf("core: checkpoint with %d queued events; drain the queue first", len(e.queue))
+	}
+	var buf bytes.Buffer
+	enc := &binWriter{w: &buf}
+	e.encodePayload(enc)
+	if enc.err != nil {
+		return enc.err
 	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(checkpointMagic); err != nil {
 		return err
 	}
-	enc := &binWriter{w: bw}
+	if _, err := bw.Write(buf.Bytes()); err != nil {
+		return err
+	}
+	tail := &binWriter{w: bw}
+	tail.i64(int64(crc32.ChecksumIEEE(buf.Bytes())))
+	if tail.err != nil {
+		return tail.err
+	}
+	return bw.Flush()
+}
+
+// encodePayload writes everything between the magic and the CRC trailer.
+func (e *Engine) encodePayload(enc *binWriter) { e.encodePayloadVersion(enc, true) }
+
+// encodePayloadVersion writes the payload in the current (v4) or legacy
+// (v3) layout — the latter only so tests can author legacy streams and pin
+// the compatibility path.
+func (e *Engine) encodePayloadVersion(enc *binWriter, v4 bool) {
 	n := e.g.NumVertices()
 	enc.i64(int64(n))
 	enc.i64(int64(e.g.NumEdges()))
@@ -80,14 +128,12 @@ func (e *Engine) WriteCheckpoint(w io.Writer) error {
 		}
 		enc.i64(p.table.ResizeCopies)
 	}
-	e.writeMetrics(enc)
-	if enc.err != nil {
-		return enc.err
-	}
-	return bw.Flush()
+	e.writeMetrics(enc, v4)
 }
 
-func (e *Engine) writeMetrics(enc *binWriter) {
+// writeMetrics serializes the cost counters; v4 appends the fault-injection
+// and recovery counters the v3 format predates.
+func (e *Engine) writeMetrics(enc *binWriter, v4 bool) {
 	m := e.metrics
 	st := e.mach.Stats()
 	vals := []int64{
@@ -104,11 +150,25 @@ func (e *Engine) writeMetrics(enc *binWriter) {
 		enc.i64(ts.Messages)
 		enc.i64(ts.Bytes)
 	}
+	if !v4 {
+		return
+	}
+	for _, v := range []int64{
+		st.Resends, st.Dropped, st.Duplicated, st.Delayed, st.Corrupted,
+		st.Failed, st.DroppedDown,
+		int64(m.Crashes), int64(m.Recoveries), int64(m.ShardsWritten), m.ShardBytes,
+	} {
+		enc.i64(v)
+	}
+	enc.bool(e.degraded)
 }
 
-// Restore reconstructs an engine from a checkpoint. opts must use the same
-// P as the checkpointed engine; the partitioners and LogP model may differ
-// (they affect only future events and accounting).
+// Restore reconstructs an engine from a checkpoint — current (AACKPT04,
+// CRC32-verified before any decoding: a flipped byte yields
+// ErrCorruptCheckpoint, never a silently wrong engine) or legacy AACKPT03
+// (unguarded). opts must use the same P as the checkpointed engine; the
+// partitioners and LogP model may differ (they affect only future events
+// and accounting).
 func Restore(r io.Reader, opts Options) (*Engine, error) {
 	opts = opts.withDefaults()
 	br := bufio.NewReader(r)
@@ -116,10 +176,28 @@ func Restore(r io.Reader, opts Options) (*Engine, error) {
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("core: reading checkpoint magic: %w", err)
 	}
-	if string(magic) != checkpointMagic {
+	var dec *binReader
+	v4 := false
+	switch string(magic) {
+	case checkpointMagic:
+		v4 = true
+		payload, err := io.ReadAll(br)
+		if err != nil {
+			return nil, fmt.Errorf("core: reading checkpoint payload: %w", err)
+		}
+		if len(payload) < 8 {
+			return nil, ErrCorruptCheckpoint
+		}
+		body, tail := payload[:len(payload)-8], payload[len(payload)-8:]
+		if binary.LittleEndian.Uint64(tail) != uint64(crc32.ChecksumIEEE(body)) {
+			return nil, ErrCorruptCheckpoint
+		}
+		dec = &binReader{r: bytes.NewReader(body)}
+	case checkpointMagicV3:
+		dec = &binReader{r: br}
+	default:
 		return nil, fmt.Errorf("core: not an engine checkpoint (magic %q)", magic)
 	}
-	dec := &binReader{r: br}
 	n := int(dec.i64())
 	m := int(dec.i64())
 	if dec.err != nil || n < 0 || m < 0 || n > graph.MaxParseVertices ||
@@ -144,11 +222,21 @@ func Restore(r io.Reader, opts Options) (*Engine, error) {
 	if p != opts.P {
 		return nil, fmt.Errorf("core: checkpoint has P=%d, options have P=%d", p, opts.P)
 	}
-	mach, err := cluster.New(opts.clusterConfig())
+	cfg := opts.clusterConfig()
+	var inj *fault.Injector
+	if opts.Faults != nil {
+		var ferr error
+		if inj, ferr = fault.NewInjector(*opts.Faults, opts.P); ferr != nil {
+			return nil, ferr
+		}
+		cfg.Fault = inj
+	}
+	mach, err := cluster.New(cfg)
 	if err != nil {
 		return nil, err
 	}
 	e := &Engine{opts: opts, g: g, mach: mach, alive: alive}
+	e.initFaults(inj)
 	e.step = int(dec.i64())
 	e.converged = dec.bool()
 	e.forceRefine = dec.bool()
@@ -210,7 +298,7 @@ func Restore(r io.Reader, opts Options) (*Engine, error) {
 		t.ResizeCopies = dec.i64()
 		e.procs[pid] = &proc{id: pid, sub: sub, table: t}
 	}
-	e.readMetrics(dec)
+	e.readMetrics(dec, v4)
 	if dec.err != nil {
 		return nil, fmt.Errorf("core: corrupt checkpoint: %w", dec.err)
 	}
@@ -229,10 +317,11 @@ func Restore(r io.Reader, opts Options) (*Engine, error) {
 		return nil, fmt.Errorf("core: checkpoint has %d rows for %d alive vertices", seen, want)
 	}
 	e.refreshLoadMetrics()
+	e.writeShards() // fresh recovery shards (no-op without Options.Faults)
 	return e, nil
 }
 
-func (e *Engine) readMetrics(dec *binReader) {
+func (e *Engine) readMetrics(dec *binReader, v4 bool) {
 	virtual := dec.i64()
 	e.metrics.WallTime = time.Duration(dec.i64())
 	restored := cluster.Stats{
@@ -252,9 +341,66 @@ func (e *Engine) readMetrics(dec *binReader) {
 		restored.ByTag[i].Messages = dec.i64()
 		restored.ByTag[i].Bytes = dec.i64()
 	}
+	if v4 {
+		restored.Resends = dec.i64()
+		restored.Dropped = dec.i64()
+		restored.Duplicated = dec.i64()
+		restored.Delayed = dec.i64()
+		restored.Corrupted = dec.i64()
+		restored.Failed = dec.i64()
+		restored.DroppedDown = dec.i64()
+		e.metrics.Crashes = int(dec.i64())
+		e.metrics.Recoveries = int(dec.i64())
+		e.metrics.ShardsWritten = int(dec.i64())
+		e.metrics.ShardBytes = dec.i64()
+		e.degraded = dec.bool()
+	}
 	if dec.err == nil {
 		e.mach.Restore(time.Duration(virtual), restored)
 	}
+}
+
+// WriteCheckpointFile writes a checkpoint to path atomically: the bytes go
+// to a temporary file in the same directory, which is fsynced and then
+// renamed over path. A crash at any point leaves either the previous
+// checkpoint or the complete new one — never a torn file.
+func (e *Engine) WriteCheckpointFile(path string) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := e.WriteCheckpoint(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// RestoreFile reconstructs an engine from a checkpoint file written by
+// WriteCheckpointFile (or any WriteCheckpoint output on disk).
+func RestoreFile(path string, opts Options) (*Engine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Restore(f, opts)
 }
 
 // binWriter/binReader are little-endian encoders with sticky errors.

@@ -2,8 +2,13 @@ package core
 
 import (
 	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
 	"testing"
 
+	"anytime/internal/change"
+	"anytime/internal/fault"
 	"anytime/internal/gen"
 )
 
@@ -188,6 +193,176 @@ func TestCheckpointWithDeletedVertex(t *testing.T) {
 	}
 	if r.Alive(5) {
 		t.Fatal("restored engine resurrected deleted vertex")
+	}
+	requireExact(t, r)
+}
+
+// writeCheckpointV3 authors a legacy AACKPT03 stream (no CRC trailer, no
+// fault counters) so the compatibility read path stays pinned.
+func writeCheckpointV3(t *testing.T, e *Engine) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.WriteString(checkpointMagicV3)
+	enc := &binWriter{w: &buf}
+	e.encodePayloadVersion(enc, false)
+	if enc.err != nil {
+		t.Fatal(enc.err)
+	}
+	return buf.Bytes()
+}
+
+func checkpointTestEngine(t *testing.T) *Engine {
+	t.Helper()
+	e, err := New(testGraph(t, 60, 17), defaultTestOptions(4, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if !e.Converged() {
+		t.Fatal("engine did not converge")
+	}
+	return e
+}
+
+// TestCheckpointCorruptionDetected flips single bytes across an AACKPT04
+// stream: every corruption must surface as ErrCorruptCheckpoint — never a
+// silently wrong engine — and truncation must fail too.
+func TestCheckpointCorruptionDetected(t *testing.T) {
+	e := checkpointTestEngine(t)
+	var buf bytes.Buffer
+	if err := e.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	if _, err := Restore(bytes.NewReader(good), e.Options()); err != nil {
+		t.Fatalf("pristine checkpoint failed to restore: %v", err)
+	}
+	for _, off := range []int{len(checkpointMagic), len(good) / 3, len(good) / 2, len(good) - 9, len(good) - 1} {
+		bad := append([]byte(nil), good...)
+		bad[off] ^= 0x01
+		_, err := Restore(bytes.NewReader(bad), e.Options())
+		if !errors.Is(err, ErrCorruptCheckpoint) {
+			t.Fatalf("flip at offset %d: got %v, want ErrCorruptCheckpoint", off, err)
+		}
+	}
+	_, err := Restore(bytes.NewReader(good[:len(good)-20]), e.Options())
+	if !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatalf("truncated checkpoint: got %v, want ErrCorruptCheckpoint", err)
+	}
+}
+
+// TestCheckpointLegacyV3Read pins the compatibility path: an unguarded
+// AACKPT03 stream still restores, distances intact.
+func TestCheckpointLegacyV3Read(t *testing.T) {
+	e := checkpointTestEngine(t)
+	v3 := writeCheckpointV3(t, e)
+	r, err := Restore(bytes.NewReader(v3), e.Options())
+	if err != nil {
+		t.Fatalf("legacy v3 restore: %v", err)
+	}
+	requireExact(t, r)
+	od, rd := e.Distances(), r.Distances()
+	for v := range od {
+		for u := range od[v] {
+			if od[v][u] != rd[v][u] {
+				t.Fatalf("v3 restore diverged at [%d][%d]", v, u)
+			}
+		}
+	}
+	if r.StepsTaken() != e.StepsTaken() {
+		t.Fatalf("v3 restore steps = %d, want %d", r.StepsTaken(), e.StepsTaken())
+	}
+}
+
+// TestCheckpointFileAtomic covers the atomic write path: a successful
+// write restores; a failed write leaves the previous checkpoint intact and
+// no temp litter; a torn (truncated) file is refused by the CRC.
+func TestCheckpointFileAtomic(t *testing.T) {
+	e := checkpointTestEngine(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "engine.ckpt")
+	if err := e.WriteCheckpointFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreFile(path, e.Options()); err != nil {
+		t.Fatalf("restore from file: %v", err)
+	}
+	prev, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A writer that dies mid-checkpoint (here: the engine refuses because
+	// events are queued) must not touch the existing file or leave temps.
+	if err := e.QueueEdgeAdds(change.EdgeAdd{U: 0, V: 5, Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.WriteCheckpointFile(path); err == nil {
+		t.Fatal("checkpoint with queued events unexpectedly succeeded")
+	}
+	e.Run() // drain the queue for later writes
+	cur, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(prev, cur) {
+		t.Fatal("failed write modified the existing checkpoint")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "engine.ckpt" {
+		names := make([]string, len(ents))
+		for i, en := range ents {
+			names[i] = en.Name()
+		}
+		t.Fatalf("temp litter after failed write: %v", names)
+	}
+
+	// A torn file — as a crash between write and rename could never
+	// produce at path, but a crashed direct writer could — fails the CRC.
+	if err := os.WriteFile(path, prev[:len(prev)-16], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreFile(path, e.Options()); !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatalf("torn checkpoint file: got %v, want ErrCorruptCheckpoint", err)
+	}
+}
+
+// TestCheckpointRoundTripsFaultState pins the v4 extension: fault counters,
+// recovery metrics, and the degraded flag survive a checkpoint round trip.
+func TestCheckpointRoundTripsFaultState(t *testing.T) {
+	opts := defaultTestOptions(4, 11)
+	opts.Faults = &fault.Plan{
+		Seed:     3,
+		DropRate: 0.05,
+		Crashes:  []fault.Crash{{Proc: 1, Step: 1, DownFor: 1}},
+	}
+	opts.ShardEvery = 2
+	e, err := New(testGraph(t, 60, 11), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if !e.Converged() || e.Err() != nil {
+		t.Fatalf("converged=%v err=%v", e.Converged(), e.Err())
+	}
+	var buf bytes.Buffer
+	if err := e.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore(bytes.NewReader(buf.Bytes()), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	om, rm := e.Metrics(), r.Metrics()
+	if om.Crashes != rm.Crashes || om.Recoveries != rm.Recoveries ||
+		om.Comm.Dropped != rm.Comm.Dropped || om.Comm.Resends != rm.Comm.Resends {
+		t.Fatalf("fault state diverged: %+v vs %+v", om, rm)
+	}
+	if r.Degraded() != e.Degraded() {
+		t.Fatalf("degraded flag diverged: %v vs %v", r.Degraded(), e.Degraded())
 	}
 	requireExact(t, r)
 }

@@ -29,6 +29,15 @@ type Snapshot struct {
 	// a lower bound on the true eccentricity restricted to currently
 	// reachable targets.
 	Eccentricity []graph.Dist
+	// Degraded reports that a processor crash restored state from an older
+	// recovery shard and the engine has not reconverged since: estimates
+	// for the affected rows may have regressed relative to earlier
+	// snapshots (the anytime monotonicity guarantee is suspended until the
+	// flag clears). Always false without fault injection.
+	Degraded bool
+	// DownProcs lists the processors crashed at capture time (nil when all
+	// are up). Their rows serve the values recovered from their shards.
+	DownProcs []int
 }
 
 // TopK returns the IDs of the k highest-closeness vertices in descending
@@ -74,6 +83,8 @@ func (e *Engine) Snapshot() Snapshot {
 		Harmonic:     make([]float64, n),
 		Reachable:    make([]int, n),
 		Eccentricity: make([]graph.Dist, n),
+		Degraded:     e.degraded,
+		DownProcs:    e.DownProcs(),
 	}
 	for i := range s.Eccentricity {
 		s.Eccentricity[i] = graph.InfDist

@@ -53,8 +53,14 @@ func (e *Engine) applyEdgeAdd(u, v int, w graph.Weight, dynamicCut bool) {
 	snapU := dv.CopyRow(rowU)
 	snapV := dv.CopyRow(rowV)
 	bytes := 4*e.g.NumVertices() + 8
-	e.mach.Broadcast(ownerU, cluster.Message{Tag: cluster.TagNewVertexRow, Bytes: bytes})
-	e.mach.Broadcast(ownerV, cluster.Message{Tag: cluster.TagNewVertexRow, Bytes: bytes})
+	if _, err := e.mach.Broadcast(ownerU, cluster.Message{Tag: cluster.TagNewVertexRow, Bytes: bytes}); err != nil {
+		e.fail(err)
+		return
+	}
+	if _, err := e.mach.Broadcast(ownerV, cluster.Message{Tag: cluster.TagNewVertexRow, Bytes: bytes}); err != nil {
+		e.fail(err)
+		return
+	}
 	if !improves {
 		return
 	}
@@ -198,6 +204,10 @@ func (e *Engine) resetDVs() {
 		p.table = t
 	})
 	e.initialApproximation()
+	// The reset invalidated the monotone upper-bound invariant for any
+	// older state: stale recovery shards could restore distances through
+	// now-deleted edges, so every shard is rewritten from the fresh tables.
+	e.writeShards()
 	e.forceRefine = true
 	e.converged = false
 }

@@ -9,6 +9,7 @@ import (
 	"anytime/internal/change"
 	"anytime/internal/cluster"
 	"anytime/internal/dv"
+	"anytime/internal/fault"
 	"anytime/internal/graph"
 	"anytime/internal/sssp"
 )
@@ -62,6 +63,13 @@ type Engine struct {
 	converged   bool
 	forceRefine bool // set once a change requires local pivoting for exactness
 
+	// Fault-injection and recovery state (nil/empty without Options.Faults).
+	inj      *fault.Injector
+	rejoinAt []int    // per processor: step at which it rejoins (-1 = up)
+	shards   [][]byte // per processor: last recovery shard (see recovery.go)
+	degraded bool     // a crash occurred and the engine has not reconverged
+	err      error    // first unrecoverable error; the engine refuses to step
+
 	metrics  Metrics
 	history  []StepStats
 	stepHook func(StepStats)
@@ -78,7 +86,16 @@ func New(g *graph.Graph, opts Options) (*Engine, error) {
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid input graph: %w", err)
 	}
-	mach, err := cluster.New(opts.clusterConfig())
+	cfg := opts.clusterConfig()
+	var inj *fault.Injector
+	if opts.Faults != nil {
+		var ferr error
+		if inj, ferr = fault.NewInjector(*opts.Faults, opts.P); ferr != nil {
+			return nil, ferr
+		}
+		cfg.Fault = inj
+	}
+	mach, err := cluster.New(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -88,6 +105,7 @@ func New(g *graph.Graph, opts Options) (*Engine, error) {
 		mach:  mach,
 		alive: make([]bool, g.NumVertices()),
 	}
+	e.initFaults(inj)
 	for i := range e.alive {
 		e.alive[i] = true
 	}
@@ -101,6 +119,7 @@ func New(g *graph.Graph, opts Options) (*Engine, error) {
 		return nil, err
 	}
 	e.initialApproximation()
+	e.writeShards() // initial recovery shards (no-op without Options.Faults)
 	e.metrics.WallTime += time.Since(start)
 	e.metrics.VirtualTime = e.mach.VirtualTime()
 	e.refreshLoadMetrics()
@@ -191,6 +210,44 @@ func (e *Engine) chargeAll(ops int64) {
 // Converged reports whether all updates have been propagated and no
 // dynamic changes are pending: the DV state equals exact APSP.
 func (e *Engine) Converged() bool { return e.converged && len(e.queue) == 0 }
+
+// Err returns the first unrecoverable error the engine hit (an invalid
+// communication schedule, typically indicating internal corruption), or
+// nil. After a non-nil Err the engine refuses to step; restore a
+// checkpoint into a fresh engine to continue.
+func (e *Engine) Err() error { return e.err }
+
+// fail records the first unrecoverable error.
+func (e *Engine) fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+	e.trace("error", err.Error())
+}
+
+// Options returns the engine's options with defaults applied — what a
+// supervisor needs to Restore a checkpoint of this engine.
+func (e *Engine) Options() Options { return e.opts }
+
+// Degraded reports whether a processor crash has occurred that the engine
+// has not yet fully reconverged from: anytime snapshots may be serving
+// values restored from an older recovery shard. It clears on the first
+// convergence with every processor up.
+func (e *Engine) Degraded() bool { return e.degraded }
+
+// DownProcs returns the processors currently crashed (nil when all are up).
+func (e *Engine) DownProcs() []int {
+	if e.inj == nil {
+		return nil
+	}
+	var out []int
+	for p := 0; p < e.opts.P; p++ {
+		if e.inj.Down(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
 
 // StepsTaken returns the number of RC steps performed so far.
 func (e *Engine) StepsTaken() int { return e.step }
@@ -320,14 +377,16 @@ func (e *Engine) QueueRebalance() {
 //  3. a convergence reduction determines whether updates remain,
 //  4. queued dynamic changes are incorporated.
 //
-// It returns false once the engine is converged and no changes are pending.
+// It returns false once the engine is converged and no changes are pending,
+// or when an unrecoverable error occurred (see Err).
 func (e *Engine) Step() bool {
-	if e.Converged() {
+	if e.err != nil || e.Converged() {
 		return false
 	}
 	start := time.Now()
 	rcOpsBefore := e.metrics.RCOps
 	commBefore := e.mach.Stats()
+	e.applyFaultSchedule()
 	outbox := e.shipBoundary()
 	shipped, rowsShipped, fullRows := 0, 0, 0
 	width := e.g.NumVertices()
@@ -343,9 +402,17 @@ func (e *Engine) Step() bool {
 			}
 		}
 	}
-	inbox := e.mach.Exchange(outbox)
+	inbox, xerr := e.mach.Exchange(outbox)
+	if xerr != nil {
+		e.fail(xerr)
+		return false
+	}
 	e.relaxAll(inbox)
+	e.handleFailedDeliveries()
 	e.converged = e.reduceConvergence()
+	if e.converged && !e.anyDown() {
+		e.degraded = false
+	}
 	e.trace("rc-step", fmt.Sprintf("%d boundary-DV messages, converged=%v", shipped, e.converged))
 	stats := StepStats{
 		Step:             e.step,
@@ -361,6 +428,9 @@ func (e *Engine) Step() bool {
 		e.queue = e.queue[1:]
 		stats.ChangeApplied = describeEvent(ev)
 		e.applyEvent(ev)
+	}
+	if e.inj != nil && (e.step+1)%e.opts.ShardEvery == 0 {
+		e.writeShards()
 	}
 	stats.Virtual = e.mach.VirtualTime()
 	e.recordStep(stats)
@@ -396,11 +466,12 @@ func describeEvent(ev change.Event) string {
 	}
 }
 
-// Run performs RC steps until convergence (or MaxRCSteps). It returns the
-// number of steps taken in this call.
+// Run performs RC steps until convergence (or MaxRCSteps, or an
+// unrecoverable error — see Err). It returns the number of steps taken in
+// this call.
 func (e *Engine) Run() int {
 	steps := 0
-	for !e.Converged() && steps < e.opts.MaxRCSteps {
+	for e.err == nil && !e.Converged() && steps < e.opts.MaxRCSteps {
 		e.Step()
 		steps++
 	}
@@ -418,6 +489,9 @@ func (e *Engine) shipBoundary() [][]cluster.Message {
 	P := e.opts.P
 	outbox := make([][]cluster.Message, P)
 	e.mach.Parallel(func(pid int) {
+		if e.down(pid) {
+			return // crashed processor: ships nothing until it rejoins
+		}
 		p := e.procs[pid]
 		if len(p.shipSeen) < P {
 			p.shipSeen = make([]int64, P)
@@ -425,6 +499,14 @@ func (e *Engine) shipBoundary() [][]cluster.Message {
 			p.shipStamp = 0
 		}
 		for q := range p.shipGroups {
+			if e.inj != nil {
+				// The lossy network can hold a message payload across the
+				// step boundary (a delayed delivery releases at the NEXT
+				// exchange, after this truncation); the backing array must
+				// not be reused while such a message may still alias it.
+				p.shipGroups[q] = nil
+				continue
+			}
 			// Truncate, keeping capacity: the previous step's payloads were
 			// consumed by relaxAll within that step, so the backing arrays
 			// are free for reuse.
@@ -499,6 +581,9 @@ func (e *Engine) relaxAll(inbox [][]cluster.Message) {
 		workers = 1
 	}
 	e.mach.Parallel(func(pid int) {
+		if e.down(pid) {
+			return // crashed processor: no relax work until it rejoins
+		}
 		p := e.procs[pid]
 		rows := p.table.Rows()
 		p.changed = resizeBools(p.changed, len(rows))
@@ -567,6 +652,11 @@ func (e *Engine) reduceConvergence() bool {
 		e.mach.ChargeDuration(p, time.Duration(2*rounds)*(md.O+md.L+md.O))
 	}
 	e.mach.Barrier()
+	// A crashed processor has un-reshipped state and delayed messages carry
+	// undelivered updates: neither situation can be convergence.
+	if e.anyDown() || e.mach.InFlight() > 0 {
+		return false
+	}
 	for _, p := range e.procs {
 		if p.hasUpdate {
 			return false

@@ -30,6 +30,12 @@ type Metrics struct {
 	RowsMigrated  int   // DV rows relocated by repartitioning
 	ResizeCopies  int64 // element copies from DV column extension
 
+	// Fault-tolerance accounting (all zero without Options.Faults).
+	Crashes       int   // scheduled processor crashes applied
+	Recoveries    int   // rejoin protocols completed
+	ShardsWritten int   // recovery shards serialized
+	ShardBytes    int64 // total bytes of recovery shards written
+
 	// Per-processor load after the most recent change (vertex counts and
 	// cut sizes), for the load-balance analyses.
 	ProcVertices []int
@@ -58,6 +64,10 @@ func (m *Metrics) add(o Metrics) {
 	m.Repartitions += o.Repartitions
 	m.RowsMigrated += o.RowsMigrated
 	m.ResizeCopies += o.ResizeCopies
+	m.Crashes += o.Crashes
+	m.Recoveries += o.Recoveries
+	m.ShardsWritten += o.ShardsWritten
+	m.ShardBytes += o.ShardBytes
 	m.ProcVertices = o.ProcVertices
 	m.ProcCutSizes = o.ProcCutSizes
 }

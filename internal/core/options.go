@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"anytime/internal/cluster"
+	"anytime/internal/fault"
 	"anytime/internal/logp"
 	"anytime/internal/partition"
 )
@@ -117,6 +118,16 @@ type Options struct {
 	// assignment. From-scratch repartitioning migrates far more rows
 	// (ablation).
 	FullRepartition bool
+	// Faults, when set, installs a deterministic fault-injection plan:
+	// seeded message chaos on the boundary-DV data plane and scheduled
+	// processor crashes with shard-based recovery (see internal/fault).
+	// It also enables per-processor recovery shards every ShardEvery
+	// steps. nil = perfect network, no shards — the pre-fault-layer path.
+	Faults *fault.Plan
+	// ShardEvery is the recovery-shard cadence in RC steps when Faults is
+	// set: each processor serializes its DV table every K steps, and a
+	// crashed processor restarts from its last shard (default 4).
+	ShardEvery int
 	// Trace, when set, receives engine execution events (phase
 	// transitions, RC steps, change applications) for observability.
 	Trace Tracer
@@ -149,6 +160,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxRCSteps == 0 {
 		o.MaxRCSteps = 10_000
+	}
+	if o.ShardEvery <= 0 {
+		o.ShardEvery = 4
 	}
 	if o.AutoThreshold == 0 {
 		o.AutoThreshold = 0.05

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+
+	"anytime/internal/dv"
+	"anytime/internal/fault"
+)
+
+// Crash recovery (the paper's stated fault-tolerance future work, realized
+// over the simulated cluster).
+//
+// With Options.Faults set, every processor serializes its DV table into an
+// in-memory recovery shard — the stand-in for its local checkpoint disk —
+// every ShardEvery RC steps. A scheduled crash replaces the processor's
+// table with its last shard at the step boundary (everything since the
+// shard is lost); while down, the processor ships nothing, relaxes nothing,
+// and the cluster drops boundary traffic addressed to it. Dynamic changes
+// applied during the downtime mutate the restored table like a journaled
+// replay, so the upper-bound invariant is preserved: shard distances are
+// older and therefore no smaller than current ones, except across the
+// non-monotone reset paths (deletions, weight increases), after which
+// resetDVs rewrites every shard from the fresh tables.
+//
+// The rejoin protocol is the row-migration pattern of applyRepartition
+// applied to the crash: every restored row ships in full (its neighbors
+// must re-relax against whatever the shard lost), every other processor's
+// boundary row adjacent to the crashed part ships in full (the restored
+// rows must re-receive them), and local refinement is forced so the dirty
+// cascade closes the remaining compositions. The engine therefore
+// reconverges to the exact sequential oracle — the chaos soak pins this.
+
+// shardMagic versions the recovery-shard encoding: a CRC32-guarded subset
+// of the AACKPT checkpoint row encoding, one processor's table only.
+const shardMagic = "AASHRD01"
+
+// ErrCorruptShard reports a recovery shard whose CRC32 trailer does not
+// match its payload.
+var ErrCorruptShard = fmt.Errorf("core: recovery shard CRC mismatch")
+
+// initFaults wires the fault injector into a freshly built engine.
+func (e *Engine) initFaults(inj *fault.Injector) {
+	e.inj = inj
+	if inj == nil {
+		return
+	}
+	e.rejoinAt = make([]int, e.opts.P)
+	for i := range e.rejoinAt {
+		e.rejoinAt[i] = -1
+	}
+	e.shards = make([][]byte, e.opts.P)
+}
+
+// down reports whether processor p is currently crashed.
+func (e *Engine) down(p int) bool { return e.inj != nil && e.inj.Down(p) }
+
+// anyDown reports whether any processor is currently crashed.
+func (e *Engine) anyDown() bool { return e.inj != nil && e.inj.AnyDown() }
+
+// encodeShard serializes processor p's DV table: magic, step, width, rows
+// (owner, dirty, pending window, distances, next hops), ResizeCopies, and
+// a CRC32-IEEE trailer over everything after the magic.
+func (e *Engine) encodeShard(p *proc) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(shardMagic)
+	enc := &binWriter{w: &buf}
+	n := p.table.Cols()
+	rows := p.table.Rows()
+	enc.i64(int64(e.step))
+	enc.i64(int64(n))
+	enc.i64(int64(len(rows)))
+	for _, r := range rows {
+		enc.i32(r.Owner)
+		enc.bool(r.Dirty)
+		all, lo, hi := r.PendingState()
+		enc.bool(all)
+		enc.i32(lo)
+		enc.i32(hi)
+		for _, d := range r.D[:n] {
+			enc.i32(d)
+		}
+		for _, h := range r.NH[:n] {
+			enc.i32(h)
+		}
+	}
+	enc.i64(p.table.ResizeCopies)
+	sum := crc32.ChecksumIEEE(buf.Bytes()[len(shardMagic):])
+	enc.i64(int64(sum))
+	return buf.Bytes()
+}
+
+// writeShards serializes every processor's table into its recovery shard,
+// charging the serialization to each processor's LogP clock (the simulated
+// local checkpoint-disk write). No-op without fault injection. Shards of
+// down processors are rewritten too: their tables evolve with the journaled
+// replay of dynamic changes, and resetDVs relies on the rewrite to
+// invalidate stale pre-reset state everywhere.
+func (e *Engine) writeShards() {
+	if e.inj == nil {
+		return
+	}
+	e.mach.Parallel(func(pid int) {
+		p := e.procs[pid]
+		shard := e.encodeShard(p)
+		e.shards[pid] = shard
+		e.mach.Charge(pid, int64(len(shard)))
+		addOps(&e.metrics.ShardBytes, int64(len(shard)))
+	})
+	e.mach.Barrier()
+	e.metrics.ShardsWritten += e.opts.P
+}
+
+// restoreShard replaces processor pid's table with its last recovery shard,
+// reconciled against the current graph: shard rows still locally owned and
+// alive are installed (columns added since the shard stay at InfDist);
+// current local vertices missing from the shard (added or migrated in
+// during the shard interval) get fresh rows re-seeded with their direct
+// edges. Every resulting value is a valid upper bound, so the min-plus
+// relaxation reconverges from it.
+func (e *Engine) restoreShard(pid int) error {
+	shard := e.shards[pid]
+	if len(shard) < len(shardMagic)+8 {
+		return fmt.Errorf("core: processor %d has no recovery shard", pid)
+	}
+	if string(shard[:len(shardMagic)]) != shardMagic {
+		return fmt.Errorf("core: not a recovery shard (magic %q)", shard[:len(shardMagic)])
+	}
+	payload := shard[len(shardMagic) : len(shard)-8]
+	var sumBuf binReader
+	sumBuf.r = bytes.NewReader(shard[len(shard)-8:])
+	if crc32.ChecksumIEEE(payload) != uint32(sumBuf.i64()) {
+		return ErrCorruptShard
+	}
+	dec := &binReader{r: bytes.NewReader(payload)}
+	dec.i64() // shard step: informational
+	w := int(dec.i64())
+	rowCount := int(dec.i64())
+	n := e.g.NumVertices()
+	if dec.err != nil || w < 0 || w > n || rowCount < 0 || rowCount > w {
+		return fmt.Errorf("core: corrupt recovery shard header for processor %d", pid)
+	}
+	p := e.procs[pid]
+	t := dv.NewTable(n)
+	for i := 0; i < rowCount; i++ {
+		owner := dec.i32()
+		dirty := dec.bool()
+		all := dec.bool()
+		lo, hi := dec.i32(), dec.i32()
+		_, _, _, _ = dirty, all, lo, hi // superseded: rejoin re-marks ship-all
+		if dec.err != nil || owner < 0 || int(owner) >= w {
+			return fmt.Errorf("core: corrupt recovery shard row for processor %d", pid)
+		}
+		if !e.alive[owner] || e.part.Part[owner] != int32(pid) {
+			// Deleted or migrated away since the shard: skip its values.
+			for j := 0; j < 2*w; j++ {
+				dec.i32()
+			}
+			continue
+		}
+		row := t.AddRow(owner)
+		for j := 0; j < w; j++ {
+			row.D[j] = dec.i32()
+		}
+		for j := 0; j < w; j++ {
+			row.NH[j] = dec.i32()
+		}
+		if dec.err != nil || row.D[owner] != 0 {
+			return fmt.Errorf("core: corrupt recovery shard row %d for processor %d", owner, pid)
+		}
+	}
+	t.ResizeCopies = dec.i64()
+	if dec.err != nil {
+		return fmt.Errorf("core: corrupt recovery shard for processor %d: %w", pid, dec.err)
+	}
+	// Local vertices with no shard row: added or migrated in after the
+	// shard was written. They get fresh (all-InfDist) rows here and are
+	// seeded below with everything else.
+	for _, v := range p.sub.Local {
+		if e.alive[v] && !t.Has(v) {
+			t.AddRow(v)
+		}
+	}
+	// Re-seed every row's incident direct edges (the IA seed). This is
+	// what makes restore-from-shard sound: an edge added after the shard
+	// was written is represented in neither endpoint's restored row, and
+	// row-composition relaxation can never rediscover a direct edge on
+	// its own — relaxing through row v requires a finite D[v] first.
+	// Exactness of the min-plus fixed point needs every live edge
+	// represented in its endpoints' rows; one-hop re-seeding restores
+	// that invariant, and each seed is a valid upper bound.
+	var ops int64
+	for _, row := range t.Rows() {
+		for _, a := range e.g.Neighbors(int(row.Owner)) {
+			row.RelaxVia(a.To, a.Weight, a.To)
+			ops++
+		}
+	}
+	e.mach.Charge(pid, ops)
+	p.table = t
+	return nil
+}
+
+// applyFaultSchedule runs at the start of every RC step: due rejoins are
+// processed first, then crashes scheduled for this step.
+func (e *Engine) applyFaultSchedule() {
+	if e.inj == nil {
+		return
+	}
+	for p, at := range e.rejoinAt {
+		if at >= 0 && e.step >= at {
+			e.rejoin(p)
+		}
+	}
+	for _, c := range e.inj.CrashesAt(e.step) {
+		e.crash(c)
+	}
+}
+
+// crash fails a processor at a step boundary: its in-memory state since the
+// last recovery shard is lost, the shard is reloaded (the reboot-and-read
+// cost charged to its clock), and the processor stops participating until
+// its rejoin step. Snapshots turn degraded: the restored rows serve older —
+// but still valid upper-bound — distances until reconvergence.
+func (e *Engine) crash(c fault.Crash) {
+	pid := c.Proc
+	if err := e.restoreShard(pid); err != nil {
+		e.fail(err)
+		return
+	}
+	downFor := c.DownFor
+	if downFor <= 0 {
+		downFor = 1
+	}
+	rejoin := e.step + downFor
+	if e.down(pid) {
+		// Crashing again while already down only extends the outage.
+		if rejoin > e.rejoinAt[pid] {
+			e.rejoinAt[pid] = rejoin
+		}
+		return
+	}
+	e.inj.SetDown(pid, true)
+	e.rejoinAt[pid] = rejoin
+	e.mach.Charge(pid, int64(len(e.shards[pid]))) // reboot: reload the shard
+	e.degraded = true
+	e.converged = false
+	e.metrics.Crashes++
+	e.trace("crash", fmt.Sprintf("processor %d down at step %d for %d steps (shard restored)", pid, e.step, downFor))
+}
+
+// rejoin brings a crashed processor back: all its rows are marked for a
+// full re-ship (their receivers must re-relax against the restored values
+// and whatever improves from here), every other processor's boundary row
+// adjacent to the crashed part is marked for a full re-ship (the restored
+// rows must re-receive what they missed), and local refinement is forced —
+// the applyRepartition migration pattern, whose dirty cascade provably
+// reconverges the engine to the sequential oracle.
+func (e *Engine) rejoin(pid int) {
+	e.inj.SetDown(pid, false)
+	e.rejoinAt[pid] = -1
+	e.mach.Parallel(func(q int) {
+		p := e.procs[q]
+		var ops int64
+		if q == pid {
+			for _, r := range p.table.Rows() {
+				r.MarkShipAll()
+				ops++
+			}
+			p.hasUpdate = p.table.Len() > 0
+		} else {
+			for _, v := range p.sub.LocalBoundary {
+				r := p.table.Row(v)
+				if r == nil {
+					continue
+				}
+				adjacent := false
+				for _, a := range e.g.Neighbors(int(v)) {
+					ops++
+					if e.part.Part[a.To] == int32(pid) {
+						adjacent = true
+						break
+					}
+				}
+				if adjacent {
+					r.MarkShipAll()
+					p.hasUpdate = true
+				}
+			}
+		}
+		e.mach.Charge(q, ops)
+	})
+	e.mach.Barrier()
+	e.forceRefine = true
+	e.converged = false
+	e.metrics.Recoveries++
+	e.trace("rejoin", fmt.Sprintf("processor %d back at step %d, boundary re-ship scheduled", pid, e.step))
+}
+
+// handleFailedDeliveries re-marks the rows of boundary messages the lossy
+// network abandoned (resend budget exhausted) for a full re-ship. The
+// sender cleared their pending windows when it shipped them, so without the
+// re-mark the receivers would never see the lost updates. It runs after
+// relaxAll so the marks survive the end-of-step dirty clearing.
+func (e *Engine) handleFailedDeliveries() {
+	if e.inj == nil {
+		return
+	}
+	for _, msg := range e.mach.TakeFailed() {
+		p := e.procs[msg.From]
+		for _, d := range msg.Payload.([]*dv.Delta) {
+			if r := p.table.Row(d.Owner); r != nil {
+				r.MarkShipAll()
+				p.hasUpdate = true
+			}
+		}
+	}
+}

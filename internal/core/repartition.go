@@ -114,10 +114,30 @@ func (e *Engine) applyRepartition(b *change.VertexBatch) {
 			Payload: r,
 		})
 	}
-	inbox := e.mach.Exchange(outbox)
+	inbox, xerr := e.mach.Exchange(outbox)
+	if xerr != nil {
+		e.fail(xerr)
+		return
+	}
 	for pid, msgs := range inbox {
 		for _, msg := range msgs {
-			e.procs[pid].table.AdoptRow(msg.Payload.(*dv.Row))
+			switch msg.Tag {
+			case cluster.TagMigrateRows:
+				e.procs[pid].table.AdoptRow(msg.Payload.(*dv.Row))
+			case cluster.TagBoundaryDV:
+				// A boundary delta delayed by the lossy network releases at
+				// the next exchange — which can be this migration exchange.
+				// Treat it as a failed delivery: re-mark the sender's rows
+				// for a full re-ship (migrated rows are marked ship-all
+				// below regardless).
+				p := e.procs[msg.From]
+				for _, d := range msg.Payload.([]*dv.Delta) {
+					if r := p.table.Row(d.Owner); r != nil {
+						r.MarkShipAll()
+						p.hasUpdate = true
+					}
+				}
+			}
 		}
 	}
 	e.metrics.RowsMigrated += migCount

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"anytime/internal/core"
+	"anytime/internal/fault"
 	"anytime/internal/gen"
 	"anytime/internal/partition"
 )
@@ -34,6 +35,16 @@ func Ablations(cfg Config) (*Result, error) {
 		mutate(&o)
 		return variant{name, o}
 	}
+	// Probe the fault-free baseline for its pre-batch step count, so the
+	// crash variant can be scheduled early in the batch recombination.
+	probe, err := buildEngine(cfg, base)
+	if err != nil {
+		return nil, err
+	}
+	probe.Run()
+	// The batch may absorb in as few as two RC steps, so the crash must
+	// land on the first of them to be inside the recombination at all.
+	crashStep := probe.StepsTaken()
 	variants := []variant{
 		{"baseline (paper defaults)", base},
 		with("no local refinement", func(o *core.Options) { o.NoLocalRefine = true }),
@@ -52,6 +63,20 @@ func Ablations(cfg Config) (*Result, error) {
 		with("Repartition-S from-scratch", func(o *core.Options) {
 			o.Strategy = core.RepartitionS
 			o.FullRepartition = true
+		}),
+		// The cost of resilience: the fault layer with a zero-fault plan
+		// charges only the periodic recovery-shard writes; the chaos row
+		// adds a mid-recombination crash plus 5% message loss and measures
+		// the recovery traffic on top.
+		with("fault layer on, zero-fault plan", func(o *core.Options) {
+			o.Faults = &fault.Plan{Seed: cfg.Seed}
+		}),
+		with("crash + 5% drop during batch", func(o *core.Options) {
+			o.Faults = &fault.Plan{
+				Seed:     cfg.Seed,
+				DropRate: 0.05,
+				Crashes:  []fault.Crash{{Proc: 1, Step: crashStep, DownFor: 2}},
+			}
 		}),
 	}
 
@@ -85,7 +110,11 @@ func Ablations(cfg Config) (*Result, error) {
 		cuts.Y = append(cuts.Y, float64(m.NewCutEdges))
 		migrated.X = append(migrated.X, float64(i))
 		migrated.Y = append(migrated.Y, float64(m.RowsMigrated))
-		res.Notes = append(res.Notes, fmt.Sprintf("variant %d = %s", i, v.name))
+		note := fmt.Sprintf("variant %d = %s", i, v.name)
+		if m.ShardsWritten > 0 {
+			note += fmt.Sprintf(" (crashes=%d recoveries=%d shards=%d)", m.Crashes, m.Recoveries, m.ShardsWritten)
+		}
+		res.Notes = append(res.Notes, note)
 	}
 	res.Series = []Series{minutes, cuts, migrated}
 	return res, nil

@@ -152,13 +152,22 @@ func TestAblationsRun(t *testing.T) {
 		t.Fatalf("series = %d", len(r.Series))
 	}
 	overhead := r.Series[0].Y
-	if len(overhead) != 12 {
+	if len(overhead) != 14 {
 		t.Fatalf("variants = %d", len(overhead))
 	}
 	for i, y := range overhead {
 		if y <= 0 {
 			t.Fatalf("variant %d has non-positive overhead", i)
 		}
+	}
+	// The fault layer with a zero-fault plan adds only shard-write time:
+	// at least the baseline, and the chaos row costs more still (crash
+	// recovery re-ships and retries on top).
+	if overhead[12] < overhead[0]*0.95 {
+		t.Errorf("zero-fault plan %.4g unexpectedly below fault-layer-off %.4g", overhead[12], overhead[0])
+	}
+	if overhead[13] < overhead[12] {
+		t.Errorf("crash+drop %.4g below zero-fault plan %.4g", overhead[13], overhead[12])
 	}
 	// ship-all must cost at least as much as dirty-only (variant 2 vs 0)
 	if overhead[2] < overhead[0]*0.95 {

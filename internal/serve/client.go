@@ -6,36 +6,133 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
+	"time"
 
 	"anytime/internal/stream"
 )
 
 // Client is a minimal stdlib-only client for the serving API — the other
 // half of the load-generator pair (aastream -mode replay -target feeds a
-// running aaserve through it).
+// running aaserve through it). It is hardened against a flaky server:
+// every attempt runs under a per-request timeout, and failed attempts are
+// retried with exponential backoff plus jitter. Reads (GET) retry on
+// transport errors, 5xx responses, and 429; writes (POST /v1/events)
+// retry only on 429 — admission is not idempotent, and a transport error
+// after the server received the body could double-apply the batch.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://localhost:8080".
 	BaseURL string
 	// HTTPClient overrides http.DefaultClient when set.
 	HTTPClient *http.Client
+	// Timeout bounds each individual attempt (default 5s).
+	Timeout time.Duration
+	// MaxRetries is the number of retries after the first attempt
+	// (default 3, so up to 4 attempts). Negative disables retries.
+	MaxRetries int
+	// RetryBase is the first backoff delay (default 100ms); attempt i
+	// sleeps RetryBase·2ⁱ plus up to RetryBase of jitter.
+	RetryBase time.Duration
+	// rng overrides the jitter source in tests.
+	rng func() float64
+}
+
+func (c *Client) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return 5 * time.Second
+}
+
+func (c *Client) maxRetries() int {
+	if c.MaxRetries != 0 {
+		if c.MaxRetries < 0 {
+			return 0
+		}
+		return c.MaxRetries
+	}
+	return 3
+}
+
+func (c *Client) retryBase() time.Duration {
+	if c.RetryBase > 0 {
+		return c.RetryBase
+	}
+	return 100 * time.Millisecond
+}
+
+// backoff sleeps for attempt i's delay (exponential plus jitter),
+// returning early with the context error if ctx is done first.
+func (c *Client) backoff(ctx context.Context, attempt int) error {
+	jitter := rand.Float64()
+	if c.rng != nil {
+		jitter = c.rng()
+	}
+	base := c.retryBase()
+	d := base<<attempt + time.Duration(jitter*float64(base))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// retryable reports whether an attempt outcome warrants another attempt
+// for the given method. err != nil with status == 0 is a transport error.
+func retryable(method string, status int, err error) bool {
+	if status == http.StatusTooManyRequests {
+		return true // backpressure: both reads and writes retry
+	}
+	if method != http.MethodGet {
+		return false
+	}
+	return err != nil || status >= 500
 }
 
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	var payload []byte
 	if in != nil {
 		b, err := json.Marshal(in)
 		if err != nil {
 			return err
 		}
-		body = bytes.NewReader(b)
+		payload = b
 	}
-	req, err := http.NewRequestWithContext(ctx, method, strings.TrimRight(c.BaseURL, "/")+path, body)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		status, err := c.attempt(ctx, method, path, payload, in != nil, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if attempt >= c.maxRetries() || !retryable(method, status, err) {
+			return lastErr
+		}
+		if berr := c.backoff(ctx, attempt); berr != nil {
+			return lastErr
+		}
+	}
+}
+
+// attempt runs one HTTP round trip. The returned status is 0 on transport
+// errors (no response).
+func (c *Client) attempt(ctx context.Context, method, path string, payload []byte, hasBody bool, out any) (int, error) {
+	actx, cancel := context.WithTimeout(ctx, c.timeout())
+	defer cancel()
+	var body io.Reader
+	if hasBody {
+		body = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(actx, method, strings.TrimRight(c.BaseURL, "/")+path, body)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	if in != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	hc := c.HTTPClient
@@ -44,19 +141,19 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 	resp, err := hc.Do(req)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer resp.Body.Close()
 	switch resp.StatusCode {
 	case http.StatusOK, http.StatusAccepted:
 		if out == nil {
-			return nil
+			return resp.StatusCode, nil
 		}
-		return json.NewDecoder(resp.Body).Decode(out)
+		return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
 	case http.StatusTooManyRequests:
-		return ErrBackpressure
+		return resp.StatusCode, ErrBackpressure
 	case http.StatusServiceUnavailable:
-		return ErrClosed
+		return resp.StatusCode, ErrClosed
 	default:
 		var e struct {
 			Error string `json:"error"`
@@ -65,12 +162,13 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if e.Error == "" {
 			e.Error = resp.Status
 		}
-		return fmt.Errorf("serve: %s %s: %s", method, path, e.Error)
+		return resp.StatusCode, fmt.Errorf("serve: %s %s: %s", method, path, e.Error)
 	}
 }
 
 // PostEvents admits a batch of dynamic events. A 429 response surfaces as
-// ErrBackpressure so callers can retry with backoff.
+// ErrBackpressure after the retry budget; other write failures are never
+// retried (admission is not idempotent).
 func (c *Client) PostEvents(ctx context.Context, evs []stream.Event) (EventsResponse, error) {
 	var out EventsResponse
 	err := c.do(ctx, http.MethodPost, "/v1/events", EventsRequest{Events: ToWire(evs)}, &out)
@@ -103,4 +201,14 @@ func (c *Client) Metrics(ctx context.Context) (map[string]int64, error) {
 	var out map[string]int64
 	err := c.do(ctx, http.MethodGet, "/metrics", nil, &out)
 	return out, err
+}
+
+// Healthz fetches the health probe: "ok", "degraded", or an error when the
+// serving layer is down.
+func (c *Client) Healthz(ctx context.Context) (string, error) {
+	var out struct {
+		Status string `json:"status"`
+	}
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &out)
+	return out.Status, err
 }

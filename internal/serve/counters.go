@@ -21,6 +21,15 @@ type Counters struct {
 	EventsDropped  atomic.Int64
 	// Publishes counts View publications (equals the latest version).
 	Publishes atomic.Int64
+	// EngineRestarts counts driver recoveries: a failed RC step replaced
+	// the engine with one restored from the last checkpoint.
+	EngineRestarts atomic.Int64
+	// CheckpointsWritten counts periodic and shutdown checkpoints.
+	CheckpointsWritten atomic.Int64
+	// EventsLost counts events dropped by engine restarts: everything
+	// applied or admitted after the checkpoint the driver restarted from
+	// (the at-most-once trade the hardened serving path makes).
+	EventsLost atomic.Int64
 	// PendingEvents and EngineQueued are gauges: events sitting in the
 	// admission queue and in the engine's internal change queue.
 	PendingEvents atomic.Int64

@@ -110,10 +110,18 @@ func (s *Server) validateLocked(evs []stream.Event) error {
 // (at most MaxEventsPerStep per step), take one RC step, repeat; block
 // when converged with nothing admitted; on Close, drain everything,
 // converge, publish the final view, and checkpoint.
+//
+// The loop is hardened against engine failure: a panicking or erroring
+// step triggers a restart from the last checkpoint (Config.CheckpointPath)
+// — events applied since that checkpoint are lost and counted in
+// Counters.EventsLost, the availability/at-most-once trade the hardened
+// path makes. Without a restorable checkpoint the driver dies: admission
+// stops with ErrClosed, reads keep serving the last published View, and
+// /healthz turns 503.
 func (s *Server) drive() {
 	defer close(s.driverDone)
-	e := s.eng
 	for {
+		e := s.engine()
 		// The engine applies one queued change event per RC step; take new
 		// admitted work only once its internal queue has drained, so event
 		// order (joins before the edges that reference them) is preserved.
@@ -125,12 +133,114 @@ func (s *Server) drive() {
 			}
 			s.ingest(evs)
 		}
-		e.Step()
+		if err := s.safeStep(e); err != nil {
+			if rerr := s.restart(err); rerr != nil {
+				s.die(rerr)
+				return
+			}
+			continue
+		}
 		s.counters.EngineQueued.Store(int64(e.QueuedEvents()))
+		s.maybeCheckpoint(e)
 		if d := s.cfg.StepDelay; d > 0 {
 			time.Sleep(d)
 		}
 	}
+}
+
+// engine returns the current engine (it is swapped by restart; driver
+// goroutine and tests read it through here).
+func (s *Server) engine() *core.Engine {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng
+}
+
+// safeStep takes one RC step with a panic guard, surfacing both panics and
+// the engine's own unrecoverable errors as step failures.
+func (s *Server) safeStep(e *core.Engine) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("serve: engine panic: %v", r)
+		}
+	}()
+	if s.failNextStep.CompareAndSwap(true, false) {
+		return errInducedFailure
+	}
+	e.Step()
+	return e.Err()
+}
+
+// errInducedFailure is the test hook's step failure (see failNextStep).
+var errInducedFailure = fmt.Errorf("serve: induced step failure (test hook)")
+
+// maybeCheckpoint writes a periodic checkpoint every CheckpointEvery
+// successful steps (atomic temp-file + rename). Steps where the engine
+// cannot checkpoint (queued events, crashed processors) are skipped and
+// retried on the next one.
+func (s *Server) maybeCheckpoint(e *core.Engine) {
+	if s.cfg.CheckpointPath == "" || s.cfg.CheckpointEvery <= 0 {
+		return
+	}
+	s.sinceCheckpoint++
+	if s.sinceCheckpoint < s.cfg.CheckpointEvery || e.QueuedEvents() > 0 {
+		return
+	}
+	if err := s.writeCheckpoint(s.cfg.CheckpointPath); err != nil {
+		return // e.g. a processor is down; retry next step
+	}
+	s.sinceCheckpoint = 0
+	s.counters.CheckpointsWritten.Add(1)
+}
+
+// restart recovers from a failed step: the engine is rebuilt from the last
+// checkpoint and the serving layer resynchronizes to it. Everything the
+// dead engine had not durably checkpointed — its internal change queue and
+// the whole admission queue (their vertex IDs were assigned against the
+// lost state) — is dropped and counted in EventsLost.
+func (s *Server) restart(cause error) error {
+	path := s.cfg.CheckpointPath
+	if path == "" {
+		return fmt.Errorf("serve: engine failed with no checkpoint configured: %w", cause)
+	}
+	lost := int64(s.eng.QueuedEvents())
+	ne, err := core.RestoreFile(path, s.eng.Options())
+	if err != nil {
+		return fmt.Errorf("serve: restoring checkpoint after engine failure (%v): %w", cause, err)
+	}
+	s.mu.Lock()
+	lost += int64(len(s.pending))
+	s.pending = nil
+	n := ne.Graph().NumVertices()
+	s.admitN = n
+	s.nextID = int32(n)
+	s.deleted = map[int32]bool{}
+	for v := int32(0); int(v) < n; v++ {
+		if !ne.Alive(v) {
+			s.deleted[v] = true
+		}
+	}
+	s.eng = ne
+	s.cond.Broadcast() // space freed for blocked admitters
+	s.mu.Unlock()
+	s.counters.EventsLost.Add(lost)
+	s.counters.PendingEvents.Store(0)
+	s.counters.EngineQueued.Store(0)
+	s.counters.EngineRestarts.Add(1)
+	ne.SetStepHook(s.onStep)
+	s.publish()
+	return nil
+}
+
+// die is the unrecoverable path: record the error, stop admission, and let
+// reads keep serving the last published View.
+func (s *Server) die(err error) {
+	s.mu.Lock()
+	s.closed = true
+	s.dead = true
+	s.closeErr = err
+	s.cond.Broadcast()
+	s.mu.Unlock()
 }
 
 // take removes up to MaxEventsPerStep admitted events, blocking while the
@@ -189,7 +299,9 @@ func (s *Server) finish(evs []stream.Event) {
 	s.counters.EngineQueued.Store(0)
 	s.publish()
 	if p := s.cfg.CheckpointPath; p != "" {
-		s.closeErr = s.writeCheckpoint(p)
+		if s.closeErr = s.writeCheckpoint(p); s.closeErr == nil {
+			s.counters.CheckpointsWritten.Add(1)
+		}
 	}
 }
 

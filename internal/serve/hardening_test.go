@@ -1,0 +1,252 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"anytime/internal/core"
+	"anytime/internal/fault"
+	"anytime/internal/stream"
+)
+
+func fastClient(base string) *Client {
+	return &Client{
+		BaseURL:   base,
+		Timeout:   2 * time.Second,
+		RetryBase: time.Millisecond,
+		rng:       func() float64 { return 0 },
+	}
+}
+
+// TestClientRetriesGetOn5xx: reads retry transport-level and 5xx failures
+// with backoff until the server recovers.
+func TestClientRetriesGetOn5xx(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		json.NewEncoder(w).Encode(TopKResponse{K: 1, Results: []TopKEntry{{Vertex: 3}}})
+	}))
+	defer ts.Close()
+	resp, err := fastClient(ts.URL).TopK(context.Background(), 1)
+	if err != nil {
+		t.Fatalf("TopK after flaky responses: %v", err)
+	}
+	if resp.Results[0].Vertex != 3 {
+		t.Fatalf("unexpected payload: %+v", resp)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3", got)
+	}
+}
+
+// TestClientRetryBudgetExhausted: a persistently failing GET surfaces the
+// last error after MaxRetries+1 attempts.
+func TestClientRetryBudgetExhausted(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "down", http.StatusBadGateway)
+	}))
+	defer ts.Close()
+	c := fastClient(ts.URL)
+	c.MaxRetries = 2
+	if _, err := c.Snapshot(context.Background()); err == nil {
+		t.Fatal("expected error from persistently failing server")
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (1 + 2 retries)", got)
+	}
+}
+
+// TestClientPostRetriesOnlyOnBackpressure: POST /v1/events retries a 429
+// (safe: the server rejected the batch) but never a 5xx (the server may
+// have applied it).
+func TestClientPostRetriesOnlyOnBackpressure(t *testing.T) {
+	evs := []stream.Event{{Kind: stream.AddEdge, U: 0, V: 1, W: 1}}
+
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			http.Error(w, "full", http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(EventsResponse{Admitted: 1})
+	}))
+	defer ts.Close()
+	if _, err := fastClient(ts.URL).PostEvents(context.Background(), evs); err != nil {
+		t.Fatalf("PostEvents after one 429: %v", err)
+	}
+	if got := hits.Load(); got != 2 {
+		t.Fatalf("server saw %d requests, want 2", got)
+	}
+
+	var hits5 atomic.Int64
+	ts5 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits5.Add(1)
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer ts5.Close()
+	if _, err := fastClient(ts5.URL).PostEvents(context.Background(), evs); err == nil {
+		t.Fatal("expected error from 500 on POST")
+	}
+	if got := hits5.Load(); got != 1 {
+		t.Fatalf("non-idempotent POST was retried: %d requests", got)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestServerRestartsEngineFromCheckpoint: a failing RC step must not kill
+// the serving layer — the driver restores the engine from the periodic
+// checkpoint, counts the lost events, and keeps serving and admitting.
+func TestServerRestartsEngineFromCheckpoint(t *testing.T) {
+	base := testBase(t, 80, 3)
+	path := filepath.Join(t.TempDir(), "serve.ckpt")
+	srv, err := New(testEngine(t, base, 4, 3), Config{
+		CheckpointPath:  path,
+		CheckpointEvery: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Drive some work through so a periodic checkpoint lands.
+	if err := srv.Admit([]stream.Event{{Kind: stream.AddEdge, U: 1, V: 40, W: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "periodic checkpoint", func() bool { return srv.Counters().CheckpointsWritten.Load() >= 1 })
+
+	srv.failNextStep.Store(true)
+	if err := srv.Admit([]stream.Event{{Kind: stream.AddEdge, U: 2, V: 50, W: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "engine restart", func() bool { return srv.Counters().EngineRestarts.Load() == 1 })
+
+	if err := srv.DriverErr(); err != nil {
+		t.Fatalf("driver reported dead after successful restart: %v", err)
+	}
+	if lost := srv.Counters().EventsLost.Load(); lost < 1 {
+		t.Fatalf("restart lost %d events, want >= 1", lost)
+	}
+
+	// The restarted engine must keep serving and admitting.
+	if err := srv.Admit([]stream.Event{{Kind: stream.AddEdge, U: 3, V: 60, W: 1}}); err != nil {
+		t.Fatalf("admission after restart: %v", err)
+	}
+	waitFor(t, "post-restart convergence", func() bool {
+		v := srv.View()
+		return v.Converged && v.QueueDepth == 0
+	})
+	h := httptest.NewServer(srv.Handler())
+	defer h.Close()
+	status, err := fastClient(h.URL).Healthz(context.Background())
+	if err != nil || status != "ok" {
+		t.Fatalf("healthz after restart: status=%q err=%v", status, err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close after restart: %v", err)
+	}
+}
+
+// TestServerDriverDeathWithoutCheckpoint: with no checkpoint to restart
+// from, a failing step kills the driver — admission stops with ErrClosed,
+// /healthz turns 503, and reads still serve the last published View.
+func TestServerDriverDeathWithoutCheckpoint(t *testing.T) {
+	base := testBase(t, 60, 5)
+	srv, err := New(testEngine(t, base, 4, 5), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.failNextStep.Store(true)
+	if err := srv.Admit([]stream.Event{{Kind: stream.AddEdge, U: 0, V: 30, W: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "driver death", func() bool { return srv.DriverErr() != nil })
+
+	if err := srv.Admit([]stream.Event{{Kind: stream.AddEdge, U: 1, V: 31, W: 1}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("admission after driver death: %v, want ErrClosed", err)
+	}
+	if v := srv.View(); v == nil {
+		t.Fatal("reads must keep serving the last View after driver death")
+	}
+
+	h := httptest.NewServer(srv.Handler())
+	defer h.Close()
+	resp, err := http.Get(h.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz status = %d, want 503", resp.StatusCode)
+	}
+	var body struct{ Status, Error string }
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Status != "dead" || !strings.Contains(body.Error, "induced") {
+		t.Fatalf("healthz body = %+v", body)
+	}
+	if err := srv.Close(); err == nil {
+		t.Fatal("Close after driver death must surface the cause")
+	}
+}
+
+// TestHealthzReportsDegraded: while a crashed processor serves shard-
+// restored values, /healthz and /v1/snapshot must say so.
+func TestHealthzReportsDegraded(t *testing.T) {
+	base := testBase(t, 60, 9)
+	opts := core.NewOptions()
+	opts.P = 4
+	opts.Seed = 9
+	opts.Faults = &fault.Plan{Seed: 1, Crashes: []fault.Crash{{Proc: 1, Step: 0, DownFor: 50}}}
+	e, err := core.New(base, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Step() // crash fires at the step-0 boundary
+	if !e.Degraded() {
+		t.Fatal("engine not degraded after scheduled crash")
+	}
+	// newServer publishes the initial (degraded) View without a driver.
+	srv, err := newServer(e, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := httptest.NewServer(srv.Handler())
+	defer h.Close()
+	status, err := fastClient(h.URL).Healthz(context.Background())
+	if err != nil || status != "degraded" {
+		t.Fatalf("healthz = %q, %v; want \"degraded\"", status, err)
+	}
+	meta, err := fastClient(h.URL).Snapshot(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !meta.Degraded || len(meta.DownProcs) != 1 || meta.DownProcs[0] != 1 {
+		t.Fatalf("snapshot meta degraded=%v down=%v", meta.Degraded, meta.DownProcs)
+	}
+}

@@ -58,6 +58,12 @@ type SnapshotMeta struct {
 	RCSteps       int    `json:"rc_steps"`
 	VirtualTimeNS int64  `json:"virtual_time_ns"`
 	PublishedUnix int64  `json:"published_unix_ns"`
+	// Degraded mirrors the engine snapshot's degraded flag: a processor
+	// crash restored older shard state and reconvergence is pending, so
+	// the anytime monotonicity guarantee is suspended.
+	Degraded bool `json:"degraded,omitempty"`
+	// DownProcs lists crashed processors at capture time.
+	DownProcs []int `json:"down_procs,omitempty"`
 }
 
 // TopKEntry is one ranked vertex of a TopKResponse.
@@ -133,8 +139,22 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, map[string]string{"error": msg})
 }
 
+// handleHealthz is the hardened health probe: 503 with status "dead" when
+// the background driver died unrecoverably (reads still serve the last
+// View), 200 with status "degraded" while the engine serves values
+// restored from recovery shards (a crashed processor has not reconverged),
+// and 200 "ok" otherwise.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	if err := s.DriverErr(); err != nil {
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]string{"status": "dead", "error": err.Error()})
+		return
+	}
+	status := "ok"
+	if s.View().Snap.Degraded {
+		status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": status})
 }
 
 // meta converts a View into its wire metadata.
@@ -149,6 +169,8 @@ func meta(v *View) SnapshotMeta {
 		RCSteps:       v.Metrics.RCSteps,
 		VirtualTimeNS: int64(v.Metrics.VirtualTime),
 		PublishedUnix: v.Published.UnixNano(),
+		Degraded:      v.Snap.Degraded,
+		DownProcs:     v.Snap.DownProcs,
 	}
 }
 
@@ -255,7 +277,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		"events_rejected":  c.EventsRejected.Load(),
 		"events_ingested":  c.EventsIngested.Load(),
 		"events_dropped":   c.EventsDropped.Load(),
+		"events_lost":      c.EventsLost.Load(),
 		"publishes":        c.Publishes.Load(),
+		"engine_restarts":  c.EngineRestarts.Load(),
+		"checkpoints":      c.CheckpointsWritten.Load(),
 		"converged":        converged,
 		"vertices":         int64(v.Vertices),
 		"edges":            int64(v.Edges),

@@ -21,9 +21,8 @@ package serve
 import (
 	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"anytime/internal/core"
@@ -63,8 +62,13 @@ type Config struct {
 	// larger k falls back to a heap selection over the immutable snapshot.
 	TopKIndex int
 	// CheckpointPath, when set, makes Close write an engine checkpoint
-	// (atomically, via temp file + rename) after draining and converging.
+	// (atomically, via temp file + fsync + rename) after draining and
+	// converging, and is where the driver restarts a crashed engine from.
 	CheckpointPath string
+	// CheckpointEvery, with CheckpointPath set, writes a periodic
+	// checkpoint every K successful RC steps (0: only at Close). The
+	// fresher the checkpoint, the fewer events a driver restart loses.
+	CheckpointEvery int
 	// StepDelay inserts an artificial pause after every RC step —
 	// a throttle for demos and for deterministic backpressure tests.
 	StepDelay time.Duration
@@ -103,13 +107,19 @@ type Server struct {
 	cond    *sync.Cond
 	pending []stream.Event // admitted, not yet handed to the engine
 	closed  bool
+	dead    bool // driver died unrecoverably (closeErr holds the cause)
 	admitN  int            // vertex count after all admitted events apply
 	deleted map[int32]bool // vertices deleted (engine past + admitted)
 
 	// driver-goroutine-only state
-	nextID       int32 // next global ID a stream join receives
-	version      uint64
-	sincePublish int
+	nextID          int32 // next global ID a stream join receives
+	version         uint64
+	sincePublish    int
+	sinceCheckpoint int
+
+	// failNextStep makes the next safeStep fail — the test hook behind the
+	// crash-recovery and driver-death tests.
+	failNextStep atomic.Bool
 
 	driverDone chan struct{}
 	closeErr   error
@@ -182,27 +192,23 @@ func (s *Server) Close() error {
 	return s.closeErr
 }
 
-// writeCheckpoint writes the engine checkpoint atomically: temp file in
-// the target directory, fsync-free rename over the destination.
+// writeCheckpoint writes the engine checkpoint atomically (temp file in
+// the target directory, fsync, rename over the destination).
 func (s *Server) writeCheckpoint(path string) error {
-	dir := filepath.Dir(path)
-	f, err := os.CreateTemp(dir, ".aaserve-ckpt-*")
-	if err != nil {
-		return fmt.Errorf("serve: checkpoint temp file: %w", err)
-	}
-	tmp := f.Name()
-	if err := s.eng.WriteCheckpoint(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
+	if err := s.eng.WriteCheckpointFile(path); err != nil {
 		return fmt.Errorf("serve: writing checkpoint: %w", err)
 	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("serve: closing checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("serve: publishing checkpoint: %w", err)
+	return nil
+}
+
+// DriverErr reports the error that killed the background driver, or nil
+// while it is running (or after a clean Close). While non-nil the server
+// rejects admission and serves reads from the last published View.
+func (s *Server) DriverErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dead {
+		return s.closeErr
 	}
 	return nil
 }
