@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race chaos bench bench-json clean
+.PHONY: check build test vet race chaos bench bench-json bench-compare clean
 
 check: build test vet race
 
@@ -33,9 +33,18 @@ bench:
 
 # Archive the RC-phase and figure-reproduction benchmarks as JSON
 # (ns/op, allocs/op, and per-step shipping metrics) for diffing runs.
+# BENCHTIME trades archival stability for runtime: the figure benches run
+# few iterations per second, so 1s runs are noisy.
+BENCHTIME ?= 2s
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkRC|BenchmarkFig4|BenchmarkFig8' -benchmem ./... \
+	$(GO) test -run '^$$' -bench 'BenchmarkRC|BenchmarkFig4|BenchmarkFig8' -benchtime $(BENCHTIME) -benchmem ./... \
 		| $(GO) run ./cmd/benchjson > BENCH_rc.json
+
+# Regression gate: rerun the RC relax/refine-phase benchmarks and fail if
+# any ns/op regresses more than 15% against the committed baseline.
+bench-compare:
+	$(GO) test -run '^$$' -bench 'BenchmarkRCRelaxPhase|BenchmarkRCRefinePhase' -benchmem ./internal/core \
+		| $(GO) run ./cmd/benchjson -compare BENCH_rc.json
 
 clean:
 	$(GO) clean ./...

@@ -6,11 +6,17 @@
 // Every benchmark result line becomes one entry holding the iteration
 // count and every value/unit pair the benchmark reported (ns/op, B/op,
 // allocs/op, and custom metrics such as rowsshipped/step).
+//
+// With -compare BASELINE.json, the parsed run is instead checked against
+// an archived baseline: every RC relax/refine-phase benchmark present in
+// both runs must keep its ns/op within the regression threshold (15%), or
+// the command exits nonzero (see the bench-compare Makefile target).
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -30,10 +36,20 @@ type document struct {
 }
 
 func main() {
+	baseline := flag.String("compare", "", "baseline JSON file: check RC relax/refine ns/op against it instead of emitting JSON")
+	threshold := flag.Float64("threshold", 0.15, "allowed fractional ns/op regression in -compare mode")
+	flag.Parse()
 	doc, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if *baseline != "" {
+		if err := compare(doc, *baseline, *threshold); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -41,6 +57,73 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// gated reports whether a benchmark participates in the regression gate:
+// the RC relax-phase and refine-phase benchmarks, whose ns/op is the
+// committed performance contract.
+func gated(name string) bool {
+	return strings.HasPrefix(name, "BenchmarkRCRelaxPhase") ||
+		strings.HasPrefix(name, "BenchmarkRCRefinePhase")
+}
+
+// compare checks the parsed run's gated benchmarks against the archived
+// baseline, printing one line per comparison. Benchmarks absent from the
+// baseline (newly added) or from the run pass with a note; a gated ns/op
+// above baseline*(1+threshold) fails the whole comparison.
+func compare(run *document, baselinePath string, threshold float64) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base document
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing %s: %w", baselinePath, err)
+	}
+	baseNS := map[string]float64{}
+	for _, b := range base.Benchmarks {
+		if ns, ok := b.Metrics["ns/op"]; ok && gated(b.Name) {
+			baseNS[b.Name] = ns
+		}
+	}
+	compared, failed := 0, 0
+	for _, b := range run.Benchmarks {
+		if !gated(b.Name) {
+			continue
+		}
+		ns, ok := b.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		old, ok := baseNS[b.Name]
+		delete(baseNS, b.Name)
+		if !ok {
+			fmt.Printf("  new  %-44s %14.0f ns/op (no baseline)\n", b.Name, ns)
+			continue
+		}
+		compared++
+		delta := (ns - old) / old
+		verdict := "ok"
+		if delta > threshold {
+			verdict = "FAIL"
+			failed++
+		}
+		fmt.Printf("  %-4s %-44s %14.0f ns/op  baseline %14.0f  %+6.1f%%\n",
+			verdict, b.Name, ns, old, 100*delta)
+	}
+	for name := range baseNS {
+		fmt.Printf("  gone %-44s (in baseline, not in this run)\n", name)
+	}
+	if compared == 0 {
+		return fmt.Errorf("no gated benchmarks in common with %s", baselinePath)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d gated benchmarks regressed more than %.0f%%",
+			failed, compared, 100*threshold)
+	}
+	fmt.Printf("benchjson: %d gated benchmarks within %.0f%% of %s\n",
+		compared, 100*threshold, baselinePath)
+	return nil
 }
 
 func parse(sc *bufio.Scanner) (*document, error) {

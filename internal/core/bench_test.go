@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"testing"
+	"time"
 
 	"anytime/internal/change"
 	"anytime/internal/cluster"
@@ -308,6 +309,88 @@ func BenchmarkRCRelaxPhasePrePRSerial(b *testing.B) { benchRCRelaxPhase(b, 1, tr
 func BenchmarkRCRelaxPhaseWorkers1(b *testing.B) { benchRCRelaxPhase(b, 1, false) }
 
 func BenchmarkRCRelaxPhaseWorkers4(b *testing.B) { benchRCRelaxPhase(b, 4, false) }
+
+// ---------------------------------------------------------------------------
+// Refine-phase benchmarks: the tiled blocked-Floyd–Warshall pass in
+// isolation. A converged engine's rows are all marked changed, so every
+// pivot is active and the pass streams the full O((n/P)² · n) relax work —
+// but, being converged, no distance improves, so iterations are identical
+// and nothing needs restoring. Processors run one after another: the number
+// measures how one processor's refine scales across its worker pool.
+// ---------------------------------------------------------------------------
+
+func benchRCRefinePhase(b *testing.B, workers, tile int, prePR bool) {
+	g, err := gen.BarabasiAlbert(benchRCN, 3, gen.Weights{Min: 1, Max: 4}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen.Connectify(g, 1)
+	opts := NewOptions()
+	opts.P = benchRCP
+	opts.Seed = 1
+	opts.Workers = workers
+	if tile > 0 {
+		opts.TileSize = tile
+	}
+	e, err := New(g, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.Run()
+	if !e.Converged() {
+		b.Fatal("setup engine did not converge")
+	}
+	var relaxOps int64
+	var virt float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		relaxOps = 0
+		var worst time.Duration
+		for _, p := range e.procs {
+			rows := p.table.Rows()
+			p.changed = resizeBools(p.changed, len(rows))
+			p.pivot = resizeBools(p.pivot, len(rows))
+			for j := range p.changed {
+				p.changed[j] = true
+			}
+			var ops int64
+			if prePR {
+				p.stepOps = 0
+				p.prePRLocalRefine()
+				ops = p.stepOps
+			} else {
+				ops = p.relaxStep(nil, true, workers, e.opts.TileSize)
+			}
+			relaxOps += ops
+			// The engine's LogP charge for the relax phase: ops divided
+			// across the per-processor worker pool, slowest processor
+			// setting the simulated clock (see relaxAll).
+			if d := e.mach.Model().Work(ops / int64(workers)); d > worst {
+				worst = d
+			}
+		}
+		virt += worst.Seconds() * 1000
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(relaxOps), "relaxops/op")
+	b.ReportMetric(virt/float64(b.N), "virt-ms/op")
+}
+
+// BenchmarkRCRefinePhasePrePR is the pre-PR fused serial refine loop over
+// the same workload.
+func BenchmarkRCRefinePhasePrePR(b *testing.B) { benchRCRefinePhase(b, 1, 0, true) }
+
+func BenchmarkRCRefinePhaseWorkers1(b *testing.B) { benchRCRefinePhase(b, 1, 0, false) }
+
+func BenchmarkRCRefinePhaseWorkers4(b *testing.B) { benchRCRefinePhase(b, 4, 0, false) }
+
+// BenchmarkRCRefinePhaseUntiledWorkers4 spans all rows with one tile: phase
+// A (serial) covers everything, so this isolates what the tiling itself
+// buys the parallel pass.
+func BenchmarkRCRefinePhaseUntiledWorkers4(b *testing.B) {
+	benchRCRefinePhase(b, 4, 1<<30, false)
+}
 
 // ---------------------------------------------------------------------------
 // Boundary-shipping benchmarks: steady-state ship of every boundary row with

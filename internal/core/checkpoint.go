@@ -31,10 +31,17 @@ import (
 // which must use the same P.
 
 const (
-	// checkpointMagic is the current format: the v3 payload extended with
-	// fault/recovery counters and guarded by a CRC32-IEEE trailer (8-byte
-	// little-endian) over everything between the magic and the trailer.
-	checkpointMagic = "AACKPT04"
+	// checkpointMagic is the current format (v5): like v4 it carries the
+	// fault/recovery counters and is guarded by a CRC32-IEEE trailer
+	// (8-byte little-endian) over everything between the magic and the
+	// trailer, but each processor's DV rows are laid out arena-style — all
+	// row headers, then every distance row back to back, then every
+	// next-hop row — so encode and decode stream the dv.Matrix arena
+	// instead of interleaving tiny fields per row.
+	checkpointMagic = "AACKPT05"
+	// checkpointMagicV4 is the previous CRC-guarded format with
+	// interleaved per-row encoding, still readable.
+	checkpointMagicV4 = "AACKPT04"
 	// checkpointMagicV3 is the legacy unguarded format, still readable.
 	checkpointMagicV3 = "AACKPT03"
 )
@@ -80,12 +87,12 @@ func (e *Engine) WriteCheckpoint(w io.Writer) error {
 }
 
 // encodePayload writes everything between the magic and the CRC trailer.
-func (e *Engine) encodePayload(enc *binWriter) { e.encodePayloadVersion(enc, true) }
+func (e *Engine) encodePayload(enc *binWriter) { e.encodePayloadVersion(enc, 5) }
 
-// encodePayloadVersion writes the payload in the current (v4) or legacy
-// (v3) layout — the latter only so tests can author legacy streams and pin
-// the compatibility path.
-func (e *Engine) encodePayloadVersion(enc *binWriter, v4 bool) {
+// encodePayloadVersion writes the payload in the current (v5) or a legacy
+// (v3/v4) layout — the legacy paths only so tests can author old streams
+// and pin the compatibility reader.
+func (e *Engine) encodePayloadVersion(enc *binWriter, version int) {
 	n := e.g.NumVertices()
 	enc.i64(int64(n))
 	enc.i64(int64(e.g.NumEdges()))
@@ -112,27 +119,50 @@ func (e *Engine) encodePayloadVersion(enc *binWriter, v4 bool) {
 	for _, p := range e.procs {
 		rows := p.table.Rows()
 		enc.i64(int64(len(rows)))
-		for _, r := range rows {
-			enc.i32(r.Owner)
-			enc.bool(r.Dirty)
-			all, lo, hi := r.PendingState()
-			enc.bool(all)
-			enc.i32(lo)
-			enc.i32(hi)
-			for _, d := range r.D[:n] {
-				enc.i32(d)
+		if version >= 5 {
+			// Arena layout: headers first, then the distance rows back to
+			// back, then the next-hop rows — three linear streams.
+			for _, r := range rows {
+				enc.i32(r.Owner)
+				enc.bool(r.Dirty)
+				all, lo, hi := r.PendingState()
+				enc.bool(all)
+				enc.i32(lo)
+				enc.i32(hi)
 			}
-			for _, h := range r.NH[:n] {
-				enc.i32(h)
+			for _, r := range rows {
+				for _, d := range r.D[:n] {
+					enc.i32(d)
+				}
+			}
+			for _, r := range rows {
+				for _, h := range r.NH[:n] {
+					enc.i32(h)
+				}
+			}
+		} else {
+			for _, r := range rows {
+				enc.i32(r.Owner)
+				enc.bool(r.Dirty)
+				all, lo, hi := r.PendingState()
+				enc.bool(all)
+				enc.i32(lo)
+				enc.i32(hi)
+				for _, d := range r.D[:n] {
+					enc.i32(d)
+				}
+				for _, h := range r.NH[:n] {
+					enc.i32(h)
+				}
 			}
 		}
 		enc.i64(p.table.ResizeCopies)
 	}
-	e.writeMetrics(enc, v4)
+	e.writeMetrics(enc, version >= 4)
 }
 
-// writeMetrics serializes the cost counters; v4 appends the fault-injection
-// and recovery counters the v3 format predates.
+// writeMetrics serializes the cost counters; v4+ appends the
+// fault-injection and recovery counters the v3 format predates.
 func (e *Engine) writeMetrics(enc *binWriter, v4 bool) {
 	m := e.metrics
 	st := e.mach.Stats()
@@ -163,12 +193,12 @@ func (e *Engine) writeMetrics(enc *binWriter, v4 bool) {
 	enc.bool(e.degraded)
 }
 
-// Restore reconstructs an engine from a checkpoint — current (AACKPT04,
+// Restore reconstructs an engine from a checkpoint — current (AACKPT05,
 // CRC32-verified before any decoding: a flipped byte yields
-// ErrCorruptCheckpoint, never a silently wrong engine) or legacy AACKPT03
-// (unguarded). opts must use the same P as the checkpointed engine; the
-// partitioners and LogP model may differ (they affect only future events
-// and accounting).
+// ErrCorruptCheckpoint, never a silently wrong engine), the previous
+// CRC-guarded AACKPT04, or legacy AACKPT03 (unguarded). opts must use the
+// same P as the checkpointed engine; the partitioners and LogP model may
+// differ (they affect only future events and accounting).
 func Restore(r io.Reader, opts Options) (*Engine, error) {
 	opts = opts.withDefaults()
 	br := bufio.NewReader(r)
@@ -177,10 +207,19 @@ func Restore(r io.Reader, opts Options) (*Engine, error) {
 		return nil, fmt.Errorf("core: reading checkpoint magic: %w", err)
 	}
 	var dec *binReader
-	v4 := false
+	version := 0
 	switch string(magic) {
 	case checkpointMagic:
-		v4 = true
+		version = 5
+	case checkpointMagicV4:
+		version = 4
+	case checkpointMagicV3:
+		version = 3
+		dec = &binReader{r: br}
+	default:
+		return nil, fmt.Errorf("core: not an engine checkpoint (magic %q)", magic)
+	}
+	if version >= 4 {
 		payload, err := io.ReadAll(br)
 		if err != nil {
 			return nil, fmt.Errorf("core: reading checkpoint payload: %w", err)
@@ -193,10 +232,6 @@ func Restore(r io.Reader, opts Options) (*Engine, error) {
 			return nil, ErrCorruptCheckpoint
 		}
 		dec = &binReader{r: bytes.NewReader(body)}
-	case checkpointMagicV3:
-		dec = &binReader{r: br}
-	default:
-		return nil, fmt.Errorf("core: not an engine checkpoint (magic %q)", magic)
 	}
 	n := int(dec.i64())
 	m := int(dec.i64())
@@ -263,12 +298,12 @@ func Restore(r io.Reader, opts Options) (*Engine, error) {
 	e.procs = make([]*proc, p)
 	for pid := 0; pid < p; pid++ {
 		sub := graph.ExtractSub(g, part, int32(pid))
-		t := dv.NewTable(n)
+		t := dv.NewMatrix(n)
 		rows := int(dec.i64())
 		if dec.err != nil || rows < 0 || rows > n {
 			return nil, fmt.Errorf("core: corrupt checkpoint table %d", pid)
 		}
-		for i := 0; i < rows; i++ {
+		readHeader := func() (*dv.Row, error) {
 			owner := dec.i32()
 			dirty := dec.bool()
 			pendAll := dec.bool()
@@ -283,22 +318,55 @@ func Restore(r io.Reader, opts Options) (*Engine, error) {
 				return nil, fmt.Errorf("core: checkpoint row %d not owned by processor %d", owner, pid)
 			}
 			row := t.AddRow(owner)
+			row.Dirty = dirty
+			row.SetPendingState(pendAll, pendLo, pendHi)
+			return row, nil
+		}
+		fillD := func(row *dv.Row) error {
 			for j := 0; j < n; j++ {
 				row.D[j] = dec.i32()
 			}
+			if dec.err == nil && row.D[row.Owner] != 0 {
+				return fmt.Errorf("core: checkpoint row %d has nonzero self distance", row.Owner)
+			}
+			return nil
+		}
+		fillNH := func(row *dv.Row) {
 			for j := 0; j < n; j++ {
 				row.NH[j] = dec.i32()
 			}
-			if row.D[owner] != 0 {
-				return nil, fmt.Errorf("core: checkpoint row %d has nonzero self distance", owner)
+		}
+		if version >= 5 {
+			// Arena layout: all headers, then all D rows, then all NH rows.
+			for i := 0; i < rows; i++ {
+				if _, err := readHeader(); err != nil {
+					return nil, err
+				}
 			}
-			row.Dirty = dirty
-			row.SetPendingState(pendAll, pendLo, pendHi)
+			for _, row := range t.Rows() {
+				if err := fillD(row); err != nil {
+					return nil, err
+				}
+			}
+			for _, row := range t.Rows() {
+				fillNH(row)
+			}
+		} else {
+			for i := 0; i < rows; i++ {
+				row, err := readHeader()
+				if err != nil {
+					return nil, err
+				}
+				if err := fillD(row); err != nil {
+					return nil, err
+				}
+				fillNH(row)
+			}
 		}
 		t.ResizeCopies = dec.i64()
 		e.procs[pid] = &proc{id: pid, sub: sub, table: t}
 	}
-	e.readMetrics(dec, v4)
+	e.readMetrics(dec, version >= 4)
 	if dec.err != nil {
 		return nil, fmt.Errorf("core: corrupt checkpoint: %w", dec.err)
 	}
@@ -316,6 +384,7 @@ func Restore(r io.Reader, opts Options) (*Engine, error) {
 	if seen != want {
 		return nil, fmt.Errorf("core: checkpoint has %d rows for %d alive vertices", seen, want)
 	}
+	e.refreshWeightProfile()
 	e.refreshLoadMetrics()
 	e.writeShards() // fresh recovery shards (no-op without Options.Faults)
 	return e, nil

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"errors"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"testing"
@@ -204,9 +205,31 @@ func writeCheckpointV3(t *testing.T, e *Engine) []byte {
 	var buf bytes.Buffer
 	buf.WriteString(checkpointMagicV3)
 	enc := &binWriter{w: &buf}
-	e.encodePayloadVersion(enc, false)
+	e.encodePayloadVersion(enc, 3)
 	if enc.err != nil {
 		t.Fatal(enc.err)
+	}
+	return buf.Bytes()
+}
+
+// writeCheckpointV4 authors a legacy AACKPT04 stream (CRC trailer, fault
+// counters, interleaved per-row layout) so that compatibility path stays
+// pinned too.
+func writeCheckpointV4(t *testing.T, e *Engine) []byte {
+	t.Helper()
+	var payload bytes.Buffer
+	enc := &binWriter{w: &payload}
+	e.encodePayloadVersion(enc, 4)
+	if enc.err != nil {
+		t.Fatal(enc.err)
+	}
+	var buf bytes.Buffer
+	buf.WriteString(checkpointMagicV4)
+	buf.Write(payload.Bytes())
+	tail := &binWriter{w: &buf}
+	tail.i64(int64(crc32.ChecksumIEEE(payload.Bytes())))
+	if tail.err != nil {
+		t.Fatal(tail.err)
 	}
 	return buf.Bytes()
 }
@@ -271,6 +294,35 @@ func TestCheckpointLegacyV3Read(t *testing.T) {
 	}
 	if r.StepsTaken() != e.StepsTaken() {
 		t.Fatalf("v3 restore steps = %d, want %d", r.StepsTaken(), e.StepsTaken())
+	}
+}
+
+// TestCheckpointLegacyV4Read pins the previous CRC-guarded format: an
+// AACKPT04 stream with the interleaved per-row layout still restores,
+// distances intact, and its corruption detection still works.
+func TestCheckpointLegacyV4Read(t *testing.T) {
+	e := checkpointTestEngine(t)
+	v4 := writeCheckpointV4(t, e)
+	r, err := Restore(bytes.NewReader(v4), e.Options())
+	if err != nil {
+		t.Fatalf("legacy v4 restore: %v", err)
+	}
+	requireExact(t, r)
+	od, rd := e.Distances(), r.Distances()
+	for v := range od {
+		for u := range od[v] {
+			if od[v][u] != rd[v][u] {
+				t.Fatalf("v4 restore diverged at [%d][%d]", v, u)
+			}
+		}
+	}
+	if r.StepsTaken() != e.StepsTaken() {
+		t.Fatalf("v4 restore steps = %d, want %d", r.StepsTaken(), e.StepsTaken())
+	}
+	bad := append([]byte(nil), v4...)
+	bad[len(bad)/2] ^= 0x01
+	if _, err := Restore(bytes.NewReader(bad), e.Options()); !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatalf("corrupt v4: got %v, want ErrCorruptCheckpoint", err)
 	}
 }
 

@@ -194,7 +194,7 @@ func (e *Engine) resetDVs() {
 	e.rebuildSubs()
 	e.mach.Parallel(func(pid int) {
 		p := e.procs[pid]
-		t := dv.NewTable(e.g.NumVertices())
+		t := dv.NewMatrix(e.g.NumVertices())
 		for _, v := range p.sub.Local {
 			if e.alive[v] {
 				t.AddRow(v)

@@ -19,7 +19,7 @@ import (
 type proc struct {
 	id    int
 	sub   *graph.Sub
-	table *dv.Table
+	table *dv.Matrix
 
 	// per-step scratch, owned by this processor's goroutine
 	changed    []bool // parallel to table.Rows(): row improved this step
@@ -62,6 +62,7 @@ type Engine struct {
 	step        int
 	converged   bool
 	forceRefine bool // set once a change requires local pivoting for exactness
+	unitWeight  bool // every live edge weighs 1: IA runs BFS instead of Dijkstra
 
 	// Fault-injection and recovery state (nil/empty without Options.Faults).
 	inj      *fault.Injector
@@ -114,6 +115,7 @@ func New(g *graph.Graph, opts Options) (*Engine, error) {
 	// forced on for the strategies that may repartition, regardless of the
 	// ablation flag.
 	e.forceRefine = opts.Strategy == RepartitionS || opts.Strategy == AutoPS
+	e.refreshWeightProfile()
 	start := time.Now()
 	if err := e.domainDecomposition(); err != nil {
 		return nil, err
@@ -154,7 +156,7 @@ func (e *Engine) buildProcs() {
 	e.procs = make([]*proc, e.opts.P)
 	for p := 0; p < e.opts.P; p++ {
 		sub := graph.ExtractSub(e.g, e.part, int32(p))
-		t := dv.NewTable(n)
+		t := dv.NewMatrix(n)
 		for _, v := range sub.Local {
 			if e.alive[v] {
 				t.AddRow(v)
@@ -179,7 +181,7 @@ func (e *Engine) initialApproximation() {
 			slices[i] = r.D
 			hops[i] = r.NH
 		}
-		ops := sssp.MultiSourceHops(e.g, sources, slices, hops, p.sub.IsLocal, e.opts.Workers)
+		ops := e.multiSource(sources, slices, hops, p.sub.IsLocal)
 		// The paper's multithreaded IA: wall time divides over the worker
 		// threads of the processor.
 		e.mach.Charge(pid, ops/int64(e.opts.Workers))
@@ -188,6 +190,23 @@ func (e *Engine) initialApproximation() {
 	e.mach.Barrier()
 	e.converged = false
 	e.trace("ia", fmt.Sprintf("local APSP over %d processors", e.opts.P))
+}
+
+// multiSource is the IA sweep dispatcher: unit-weight graphs (detected at
+// construction and re-checked after every dynamic change) degenerate
+// Dijkstra to plain BFS, dropping the heap entirely.
+func (e *Engine) multiSource(sources []int32, dist [][]graph.Dist, hops [][]int32, mask []bool) int64 {
+	if e.unitWeight {
+		return sssp.MultiSourceHopsBFS(e.g, sources, dist, hops, mask, e.opts.Workers)
+	}
+	return sssp.MultiSourceHops(e.g, sources, dist, hops, mask, e.opts.Workers)
+}
+
+// refreshWeightProfile re-detects the unit-weight fast-path eligibility
+// from the current topology (an O(m) scan, negligible next to a relax
+// phase).
+func (e *Engine) refreshWeightProfile() {
+	e.unitWeight = graph.Stats(e.g).UnitWeights
 }
 
 // partitionOps approximates the work of one multilevel partitioning run
@@ -601,7 +620,7 @@ func (e *Engine) relaxAll(inbox [][]cluster.Message) {
 			}
 			ext = append(ext, msg.Payload.([]*dv.Delta)...)
 		}
-		p.stepOps = p.relaxStep(ext, refine, workers)
+		p.stepOps = p.relaxStep(ext, refine, workers, e.opts.TileSize)
 		// startDirty rows were shipped (boundary) and/or locally pivoted:
 		// their content is propagated; keep the mark only if they changed
 		// again this step.
@@ -688,6 +707,7 @@ func (e *Engine) applyEvent(ev change.Event) {
 		e.applyRepartition(&change.VertexBatch{})
 	}
 	e.converged = false
+	e.refreshWeightProfile()
 	e.refreshLoadMetrics()
 }
 

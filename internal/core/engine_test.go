@@ -54,6 +54,63 @@ func defaultTestOptions(p int, seed int64) Options {
 	return o
 }
 
+// Unit-weight graphs take the heap-free BFS fast path in the IA phase. The
+// switch must be invisible in results (exact distances), and the
+// dynamic-change funnel must re-detect eligibility: adding a non-unit edge
+// turns it off, deleting that edge turns it back on — staying exact
+// throughout.
+func TestUnitWeightBFSFastPath(t *testing.T) {
+	g, err := gen.BarabasiAlbert(100, 2, gen.Weights{Min: 1, Max: 1}, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen.Connectify(g, 19)
+	e, err := New(g, defaultTestOptions(4, 19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.unitWeight {
+		t.Fatal("unit-weight graph not detected")
+	}
+	e.Run()
+	requireExact(t, e)
+
+	// a batch of unit-weight vertices keeps the fast path on (its IA sweep
+	// runs BFS) and stays exact
+	b, err := gen.PreferentialBatch(e.Graph(), 10, 2, 1, gen.Weights{Min: 1, Max: 1}, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.QueueBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if !e.unitWeight {
+		t.Fatal("unit-weight batch disabled the fast path")
+	}
+	requireExact(t, e)
+
+	// a weight-3 edge disqualifies the graph; Dijkstra takes over
+	if err := e.QueueEdgeAdds(change.EdgeAdd{U: 0, V: 50, Weight: 3}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if e.unitWeight {
+		t.Fatal("non-unit edge did not disable the fast path")
+	}
+	requireExact(t, e)
+
+	// deleting it makes the graph unit-weight again
+	if err := e.QueueEdgeDels(change.EdgeDel{U: 0, V: 50}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if !e.unitWeight {
+		t.Fatal("fast path did not re-enable after deletion")
+	}
+	requireExact(t, e)
+}
+
 func TestStaticConvergence(t *testing.T) {
 	g := testGraph(t, 150, 7)
 	e, err := New(g, defaultTestOptions(4, 7))

@@ -88,6 +88,14 @@ type Options struct {
 	// and the RC-phase relax/refine pool, and divides the per-step
 	// wall-clock charge of both phases (default 2).
 	Workers int
+	// TileSize is the pivot-tile edge of the blocked Floyd–Warshall local
+	// refinement: pivots are processed in tiles of this many consecutive
+	// arena rows, with one worker barrier per tile round instead of per
+	// pivot, and the external-relax pass walks received deltas in chunks of
+	// the same size. Converged results are identical for every tile size;
+	// the default (32) keeps a tile's pivot rows L1/L2-resident for the
+	// graph sizes the benchmarks exercise.
+	TileSize int
 	// NoLocalRefine disables the Floyd–Warshall-style local refinement
 	// recombination strategy (ablation; the refinement is on by default).
 	NoLocalRefine bool
@@ -150,6 +158,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Workers <= 0 {
 		o.Workers = 2
+	}
+	if o.TileSize <= 0 {
+		o.TileSize = 32
 	}
 	if o.Model.P == 0 && o.Model.L == 0 && o.Model.O == 0 && o.Model.G == 0 {
 		o.Model = logp.GigabitCluster(o.P)

@@ -14,23 +14,47 @@ import (
 // the second parallelism layer next to the P-way processor parallelism of
 // cluster.Machine.Parallel.
 //
-// Parallelization preserves the serial semantics exactly, so converged
-// distances (and every intermediate step) are bit-identical for any worker
-// count:
+// The refine pass is tiled blocked Floyd–Warshall (Venkataraman et al.,
+// JEA 2003): pivots are grouped into tiles of opts.TileSize consecutive
+// arena rows, and each round splits into
+//
+//   - phase A (diagonal): the tile's own rows are refined through the
+//     tile's active pivots, one pivot at a time in index order. This runs
+//     serially — inside the phaser's advance critical section, while the
+//     other workers are parked — because tile rows both read and write
+//     each other.
+//   - phase B (remainder): every row outside the tile is relaxed through
+//     the round's active pivots via kernel.MinPlusTile, streaming the
+//     pivot rows straight out of the flat dv.Matrix arena. Rows are
+//     partitioned into contiguous per-worker blocks, one writer per row;
+//     tile rows are read-only during this phase, so no barrier is needed
+//     within a round.
+//
+// That is one barrier per *tile round* instead of the per-pivot barrier a
+// naive parallel Floyd–Warshall needs — O(n/B) rounds instead of O(n).
+//
+// Parallelization preserves the serial semantics exactly, so for a fixed
+// tile size, converged distances and every intermediate step are
+// bit-identical for any worker count:
 //
 //   - External relaxation partitions the local rows into contiguous
-//     blocks, one writer per row. Swapping the loop nest (per row, relax
-//     against every received delta in delivery order) keeps each row's
-//     relaxation sequence identical to the serial inbox walk.
-//   - Local refinement parallelizes the inner row loop per pivot; a
-//     barrier between pivots preserves the Floyd–Warshall dependency
-//     structure. The pivot row itself is skipped by every worker, so wD is
-//     never written while read. The next pivot is chosen by the last
-//     worker to arrive at the barrier — a critical section while all
-//     other workers are parked — so every worker agrees on the pivot
-//     sequence even though `changed` evolves during the pass.
-//   - stepOps moves to per-worker scratch merged after the join; `changed`
-//     is written at per-worker disjoint row indices.
+//     blocks, one writer per row. Deltas are processed in fixed-size
+//     chunks (rows outer, chunk deltas inner in delivery order), which
+//     keeps each row's relaxation sequence identical to the serial inbox
+//     walk while the working set of delta rows stays cache-resident.
+//   - The round schedule (which tile, which pivots) is computed only by
+//     the phaser leader in the advance critical section, so every worker
+//     agrees on it even though `changed` evolves during the pass; phase B
+//     applies the round's pivots in the same index order for every row no
+//     matter which worker owns the row.
+//   - stepOps moves to per-worker scratch merged after the join (phase-A
+//     ops accumulate under the phaser lock); `changed` is written at
+//     per-worker disjoint row indices.
+//
+// Across tile sizes the converged state is likewise identical — tiling
+// reorders which pivot contributions a row sees first within a step, but
+// the converged distances are the unique exact APSP solution — which the
+// tile-invariance tests pin.
 
 // phaser is a cyclic barrier for the worker pool: await parks until all n
 // workers arrive; the last arrival runs advance before the group is
@@ -80,51 +104,73 @@ func splitBlocks(n, w int) []int {
 	return b
 }
 
+// refineRound is one tile round's schedule, computed by the phaser leader
+// (or inline when w == 1): the pivot tile's row range and the active
+// pivots inside it, as arena row indices plus their owners' global IDs.
+// tLo < 0 signals that the pass is over.
+type refineRound struct {
+	tLo, tHi int
+	offs     []int32 // active pivot row indices (arena slots, ascending)
+	owners   []int32 // owners[i] = global vertex of pivot offs[i]
+}
+
 // relaxStep runs one processor's relax phase — external-delta relaxation
-// followed (optionally) by local refinement — across w worker goroutines,
-// returning the total relax ops. w == 1 runs inline with no pool.
-func (p *proc) relaxStep(ext []*dv.Delta, refine bool, w int) int64 {
+// followed (optionally) by tiled local refinement — across w worker
+// goroutines, returning the total relax ops. w == 1 runs inline with no
+// pool. tile is the pivot-tile edge (and external-relax delta chunk size).
+func (p *proc) relaxStep(ext []*dv.Delta, refine bool, w, tile int) int64 {
 	n := p.table.Len()
 	if w > n {
 		w = n
 	}
+	if tile < 1 {
+		tile = 1
+	}
 	if w <= 1 {
-		ops := p.relaxExternalBlock(ext, 0, n)
+		ops := p.relaxExternalBlock(ext, 0, n, tile)
 		if refine {
-			ops += p.refineSerial()
+			ops += p.refineTiled(tile)
 		}
 		return ops
 	}
 	bounds := splitBlocks(n, w)
 	ops := make([]int64, w)
 	ph := newPhaser(w)
-	cur := 0 // shared pivot cursor, advanced only inside ph.await
+	var (
+		round  refineRound
+		from   int
+		phaseA int64 // leader-run advance ops, serialized by the phaser lock
+	)
 	var wg sync.WaitGroup
 	for k := 0; k < w; k++ {
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
 			lo, hi := bounds[k], bounds[k+1]
-			o := p.relaxExternalBlock(ext, lo, hi)
+			o := p.relaxExternalBlock(ext, lo, hi, tile)
 			if refine {
-				// Barrier: refinement reads rows of every block, so all
-				// external relaxation must be complete; the leader picks
-				// the first pivot.
-				ph.await(func() { cur = p.nextPivot(0) })
 				for {
-					wi := cur
-					if wi < 0 {
+					// Barrier: the remainder phase reads rows of every
+					// block, so all prior-round (and external-relax) writes
+					// must be complete; the leader refines the next diagonal
+					// tile and publishes the round schedule.
+					ph.await(func() {
+						phaseA += p.advanceRound(&round, from, tile)
+						if round.tLo >= 0 {
+							from = round.tHi
+						}
+					})
+					if round.tLo < 0 {
 						break
 					}
-					o += p.refineBlock(wi, lo, hi)
-					ph.await(func() { cur = p.nextPivot(wi + 1) })
+					o += p.phaseB(&round, lo, hi)
 				}
 			}
 			ops[k] = o
 		}(k)
 	}
 	wg.Wait()
-	var total int64
+	total := phaseA
 	for _, o := range ops {
 		total += o
 	}
@@ -136,29 +182,39 @@ func (p *proc) relaxStep(ext []*dv.Delta, refine bool, w int) int64 {
 // [b.Lo, b.Lo+len(b.D)),
 //
 //	D(u, t) = min(D(u, t), D(u, b) + D_b(t)).
-func (p *proc) relaxExternalBlock(ext []*dv.Delta, lo, hi int) int64 {
+//
+// Deltas are walked in chunks of `tile` so the chunk's delta payloads stay
+// cache-resident across the row sweep; within a row, chunk order preserves
+// the global delivery order exactly, so results are independent of tile.
+func (p *proc) relaxExternalBlock(ext []*dv.Delta, lo, hi, tile int) int64 {
 	rows := p.table.Rows()
 	var ops int64
-	for i := lo; i < hi; i++ {
-		u := rows[i]
-		uD := u.D
-		uNH := u.NH
-		for _, br := range ext {
-			b := br.Owner
-			d := uD[b]
-			if d == graph.InfDist {
-				continue
-			}
-			off := int(br.Lo)
-			if off >= len(uD) {
-				continue
-			}
-			// nhb: first hop toward b; improved paths to t go that way
-			clo, chi := kernel.MinPlusHops(uD[off:], uNH[off:], br.D, d, uNH[b])
-			ops += int64(len(br.D))
-			if clo < chi {
-				u.MarkChanged(off+clo, off+chi)
-				p.changed[i] = true
+	for base := 0; base < len(ext); base += tile {
+		chunk := ext[base:]
+		if len(chunk) > tile {
+			chunk = chunk[:tile]
+		}
+		for i := lo; i < hi; i++ {
+			u := rows[i]
+			uD := u.D
+			uNH := u.NH
+			for _, br := range chunk {
+				b := br.Owner
+				d := uD[b]
+				if d == graph.InfDist {
+					continue
+				}
+				off := int(br.Lo)
+				if off >= len(uD) {
+					continue
+				}
+				// nhb: first hop toward b; improved paths to t go that way
+				clo, chi := kernel.MinPlusHops(uD[off:], uNH[off:], br.D, d, uNH[b])
+				ops += int64(len(br.D))
+				if clo < chi {
+					u.MarkChanged(off+clo, off+chi)
+					p.changed[i] = true
+				}
 			}
 		}
 	}
@@ -178,25 +234,74 @@ func (p *proc) nextPivot(from int) int {
 	return -1
 }
 
-// refineBlock relaxes local rows [lo, hi) through pivot row wi
-// (Floyd–Warshall-style): D(u, t) = min(D(u, t), D(u, w) + D_w(t)).
-func (p *proc) refineBlock(wi, lo, hi int) int64 {
+// advanceRound computes the next tile round starting the pivot scan at
+// `from` (a tile boundary) and runs phase A: the diagonal refinement of
+// the tile's own rows through its active pivots, one pivot at a time in
+// index order, re-checking activity at visit time exactly like the serial
+// forward scan. Rows activated behind the scan cursor are picked up by the
+// next refine pass, as before. Returns the phase-A op count; r.tLo is set
+// to -1 when no active pivot remains.
+func (p *proc) advanceRound(r *refineRound, from, tile int) int64 {
+	wi := p.nextPivot(from)
+	if wi < 0 {
+		r.tLo = -1
+		return 0
+	}
+	n := p.table.Len()
+	r.tLo = (wi / tile) * tile // tiles align to a fixed grid
+	r.tHi = r.tLo + tile
+	if r.tHi > n {
+		r.tHi = n
+	}
+	r.offs = r.offs[:0]
+	r.owners = r.owners[:0]
 	rows := p.table.Rows()
-	w := rows[wi]
-	wD := w.D
-	wOwner := w.Owner
+	var ops int64
+	for w := wi; w < r.tHi; w++ {
+		if !p.changed[w] && !p.pivot[w] {
+			continue
+		}
+		pr := rows[w]
+		for ui := r.tLo; ui < r.tHi; ui++ {
+			if ui == w {
+				continue
+			}
+			u := rows[ui]
+			d := u.D[pr.Owner]
+			if d == graph.InfDist {
+				continue
+			}
+			clo, chi := kernel.MinPlusHops(u.D, u.NH, pr.D, d, u.NH[pr.Owner])
+			ops += int64(len(pr.D))
+			if clo < chi {
+				u.MarkChanged(clo, chi)
+				p.changed[ui] = true
+			}
+		}
+		r.offs = append(r.offs, int32(w))
+		r.owners = append(r.owners, pr.Owner)
+	}
+	return ops
+}
+
+// phaseB relaxes the rows [lo, hi) outside the round's tile through the
+// round's active pivots (Floyd–Warshall-style):
+//
+//	D(u, t) = min(D(u, t), D(u, w) + D_w(t))  for each pivot w in order.
+//
+// The pivot rows are streamed out of the arena; they are never written
+// here, so workers only need the one barrier that opened the round.
+func (p *proc) phaseB(r *refineRound, lo, hi int) int64 {
+	rows := p.table.Rows()
+	arena, stride := p.table.Arena()
 	var ops int64
 	for ui := lo; ui < hi; ui++ {
-		if ui == wi {
+		if ui >= r.tLo && ui < r.tHi {
 			continue
 		}
 		u := rows[ui]
-		d := u.D[wOwner]
-		if d == graph.InfDist {
-			continue
-		}
-		clo, chi := kernel.MinPlusHops(u.D, u.NH, wD, d, u.NH[wOwner])
-		ops += int64(len(wD))
+		clo, chi, o := kernel.MinPlusTile(u.D, u.NH, arena, stride, r.offs, r.owners)
+		ops += o
 		if clo < chi {
 			u.MarkChanged(clo, chi)
 			p.changed[ui] = true
@@ -205,15 +310,18 @@ func (p *proc) refineBlock(wi, lo, hi int) int64 {
 	return ops
 }
 
-// refineSerial is the w == 1 pivot loop.
-func (p *proc) refineSerial() int64 {
-	n := p.table.Len()
+// refineTiled is the w == 1 pass: the identical tile-round schedule run
+// inline, so worker counts cannot change results.
+func (p *proc) refineTiled(tile int) int64 {
+	var r refineRound
 	var ops int64
-	for wi := 0; wi < n; wi++ {
-		if !p.changed[wi] && !p.pivot[wi] {
-			continue
+	from := 0
+	for {
+		ops += p.advanceRound(&r, from, tile)
+		if r.tLo < 0 {
+			return ops
 		}
-		ops += p.refineBlock(wi, 0, n)
+		ops += p.phaseB(&r, 0, p.table.Len())
+		from = r.tHi
 	}
-	return ops
 }

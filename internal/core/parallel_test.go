@@ -11,10 +11,15 @@ import (
 // pool must survive: static convergence, a vertex batch, edge deletions
 // (the IA-reset path), and an explicit rebalance (row migration).
 func dynamicScenario(t *testing.T, workers int) *Engine {
+	return dynamicScenarioTile(t, workers, 0) // 0 = default tile size
+}
+
+func dynamicScenarioTile(t *testing.T, workers, tile int) *Engine {
 	t.Helper()
 	g := testGraph(t, 120, 21)
 	o := defaultTestOptions(4, 21)
 	o.Workers = workers
+	o.TileSize = tile
 	e, err := New(g, o)
 	if err != nil {
 		t.Fatal(err)
@@ -84,6 +89,45 @@ func TestWorkerCountInvariance(t *testing.T) {
 			if snap.Closeness[v] != refSnap.Closeness[v] {
 				t.Fatalf("workers=%d: closeness[%d] = %g, want %g",
 					w, v, snap.Closeness[v], refSnap.Closeness[v])
+			}
+		}
+	}
+}
+
+// Tile-size invariance: the blocked-refinement tile edge is a pure
+// scheduling knob — converged distances and closeness must be bit-identical
+// across tile sizes (including a tile spanning every row, i.e. untiled) and
+// worker counts, and match the sequential oracle. Runs under the -race
+// gate.
+func TestTileSizeInvariance(t *testing.T) {
+	ref := dynamicScenarioTile(t, 1, 8)
+	requireExact(t, ref)
+	refDist := ref.Distances()
+	refSnap := ref.Snapshot()
+	for _, tile := range []int{8, 32, 64, 1 << 30 /* full: one tile spans all rows */} {
+		for _, w := range []int{1, 4} {
+			if tile == 8 && w == 1 {
+				continue // the reference run
+			}
+			e := dynamicScenarioTile(t, w, tile)
+			dist := e.Distances()
+			for v := range dist {
+				if (dist[v] == nil) != (refDist[v] == nil) {
+					t.Fatalf("tile=%d workers=%d: row presence differs at %d", tile, w, v)
+				}
+				for u := range dist[v] {
+					if dist[v][u] != refDist[v][u] {
+						t.Fatalf("tile=%d workers=%d: dist[%d][%d] = %d, want %d",
+							tile, w, v, u, dist[v][u], refDist[v][u])
+					}
+				}
+			}
+			snap := e.Snapshot()
+			for v := range snap.Closeness {
+				if snap.Closeness[v] != refSnap.Closeness[v] {
+					t.Fatalf("tile=%d workers=%d: closeness[%d] = %g, want %g",
+						tile, w, v, snap.Closeness[v], refSnap.Closeness[v])
+				}
 			}
 		}
 	}

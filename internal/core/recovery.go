@@ -142,7 +142,7 @@ func (e *Engine) restoreShard(pid int) error {
 		return fmt.Errorf("core: corrupt recovery shard header for processor %d", pid)
 	}
 	p := e.procs[pid]
-	t := dv.NewTable(n)
+	t := dv.NewMatrix(n)
 	for i := 0; i < rowCount; i++ {
 		owner := dec.i32()
 		dirty := dec.bool()

@@ -8,7 +8,6 @@ import (
 	"anytime/internal/dv"
 	"anytime/internal/graph"
 	"anytime/internal/partition"
-	"anytime/internal/sssp"
 )
 
 // applyRepartition is Repartition-S: for large batches, instead of the
@@ -186,7 +185,7 @@ func (e *Engine) applyRepartition(b *change.VertexBatch) {
 			slices[i] = r.D
 			hops[i] = r.NH
 		}
-		ops := sssp.MultiSourceHops(e.g, sources, slices, hops, p.sub.IsLocal, e.opts.Workers)
+		ops := e.multiSource(sources, slices, hops, p.sub.IsLocal)
 		for _, r := range p.table.Rows() {
 			for _, a := range e.g.Neighbors(int(r.Owner)) {
 				r.RelaxVia(a.To, a.Weight, a.To) // marks dirty on improvement

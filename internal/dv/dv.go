@@ -1,9 +1,12 @@
 // Package dv implements the distance-vector (DV) state each processor
 // maintains in the anytime-anywhere engine: one row per locally owned
 // vertex holding current shortest-distance upper bounds to every vertex of
-// the (growing) graph. Rows support the paper's amortized-doubling column
-// extension for dynamic vertex additions and dirty tracking so that only
-// *updated* boundary DVs are shipped during recombination.
+// the (growing) graph. Rows are views into one flat row-major arena per
+// processor, so the recombination refine phase streams over contiguous
+// memory; the paper's amortized-doubling column extension for dynamic
+// vertex additions is preserved as amortized-doubling of the arena stride.
+// Dirty tracking ensures only *updated* boundary DVs are shipped during
+// recombination.
 package dv
 
 import (
@@ -18,6 +21,10 @@ import (
 // the path realizing D[t] (-1 = unknown; NH[Owner] = Owner). Next hops
 // enable shortest-path reconstruction across processors once the engine
 // has converged.
+//
+// While a row is attached to a Matrix, D and NH alias the matrix arena;
+// RemoveRow detaches them onto private backing so migrated rows stay valid
+// after the slot is reused.
 type Row struct {
 	Owner int32
 	D     []graph.Dist
@@ -33,6 +40,8 @@ type Row struct {
 	// consumed by ShipDelta, reset by ClearPending.
 	pendLo, pendHi int32
 	pendAll        bool
+
+	mx *Matrix // non-nil while D/NH alias mx's arena
 }
 
 // Relax lowers D[t] to d if d is an improvement, marking the row dirty.
@@ -107,137 +116,239 @@ func (r *Row) SetPendingState(all bool, lo, hi int32) {
 	r.pendAll, r.pendLo, r.pendHi = all, lo, hi
 }
 
-// Table is the per-processor DV store.
-type Table struct {
-	cols  int
-	rows  []*Row
-	index map[int32]int // global vertex ID -> position in rows
+// Matrix is the per-processor DV store. All rows share one flat row-major
+// arena: the row at position i views d[i*stride : i*stride+cols] (and nh
+// likewise), so consecutive rows are contiguous in memory and the refine
+// phase can stream pivot tiles straight out of the arena (see
+// internal/kernel.MinPlusTile). stride (>= cols) is the allocated column
+// capacity per row slot: column extension first fills the slack
+// [cols, stride) in place and re-lays the arena with a doubled stride only
+// when the slack runs out — the paper's amortized-doubling O(n+k) resize,
+// with element copies tracked in ResizeCopies.
+type Matrix struct {
+	cols   int
+	stride int
+	d      []graph.Dist // len == slot capacity * stride
+	nh     []int32
+	rows   []*Row
+	index  map[int32]int // global vertex ID -> position in rows
 	// ResizeCopies counts element copies performed by column-extension
 	// reallocations (the paper's O(n+k) amortized DV-resize cost term).
 	ResizeCopies int64
 }
 
-// NewTable creates an empty table whose rows span `cols` global vertices.
-func NewTable(cols int) *Table {
-	return &Table{cols: cols, index: make(map[int32]int)}
+// NewMatrix creates an empty matrix whose rows span `cols` global vertices.
+func NewMatrix(cols int) *Matrix {
+	stride := cols
+	if stride < 1 {
+		stride = 1
+	}
+	return &Matrix{cols: cols, stride: stride, index: make(map[int32]int)}
 }
 
 // Cols returns the current logical row width (number of global vertices).
-func (t *Table) Cols() int { return t.cols }
+func (m *Matrix) Cols() int { return m.cols }
 
 // Len returns the number of rows (locally owned vertices).
-func (t *Table) Len() int { return len(t.rows) }
+func (m *Matrix) Len() int { return len(m.rows) }
 
-// Rows returns the rows in insertion order. The slice is owned by the
-// table; callers must not reorder it.
-func (t *Table) Rows() []*Row { return t.rows }
+// Rows returns the rows in slot order: Rows()[i] views arena columns
+// [i*stride, i*stride+cols). The slice is owned by the matrix; callers
+// must not reorder it.
+func (m *Matrix) Rows() []*Row { return m.rows }
+
+// Arena exposes the flat distance arena and the row stride. The row at
+// position i occupies arena[i*stride : i*stride+Cols()]. The backing array
+// is invalidated by AddRow/AdoptRow/RemoveRow/ExtendCols; callers use it
+// only within one relax phase.
+func (m *Matrix) Arena() ([]graph.Dist, int) { return m.d, m.stride }
 
 // Has reports whether a row for global vertex v exists.
-func (t *Table) Has(v int32) bool {
-	_, ok := t.index[v]
+func (m *Matrix) Has(v int32) bool {
+	_, ok := m.index[v]
 	return ok
 }
 
 // Row returns the row of global vertex v, or nil if not owned here.
-func (t *Table) Row(v int32) *Row {
-	if i, ok := t.index[v]; ok {
-		return t.rows[i]
+func (m *Matrix) Row(v int32) *Row {
+	if i, ok := m.index[v]; ok {
+		return m.rows[i]
 	}
 	return nil
 }
 
+// view re-points row i's D/NH slices at its arena slot. The capacity is
+// clamped to the slot so an accidental append can never bleed into the
+// next row.
+func (m *Matrix) view(i int) {
+	base := i * m.stride
+	r := m.rows[i]
+	r.D = m.d[base : base+m.cols : base+m.stride]
+	r.NH = m.nh[base : base+m.cols : base+m.stride]
+}
+
+// ensureSlots grows the arena to hold at least `need` row slots, moving
+// the existing rows (one contiguous copy) and re-pointing their views.
+// Slot growth is row-count doubling, not the paper's column-resize term,
+// so it does not count toward ResizeCopies.
+func (m *Matrix) ensureSlots(need int) {
+	if need*m.stride <= len(m.d) {
+		return
+	}
+	newCap := 2 * (len(m.d) / m.stride)
+	if newCap < need {
+		newCap = need
+	}
+	if newCap < 4 {
+		newCap = 4
+	}
+	d := make([]graph.Dist, newCap*m.stride)
+	nh := make([]int32, newCap*m.stride)
+	copy(d, m.d)
+	copy(nh, m.nh)
+	m.d, m.nh = d, nh
+	for i := range m.rows {
+		m.view(i)
+	}
+}
+
+// fillSlot initializes columns [lo, cols) of slot i to the fresh-row
+// state (InfDist / unknown next hop), clearing any stale data left by a
+// previously removed row.
+func (m *Matrix) fillSlot(i, lo int) {
+	base := i * m.stride
+	for c := lo; c < m.cols; c++ {
+		m.d[base+c] = graph.InfDist
+		m.nh[base+c] = -1
+	}
+}
+
 // AddRow inserts a fresh row for global vertex v: all InfDist except
 // D[v] = 0. Panics if the row exists or v is outside the current width.
-func (t *Table) AddRow(v int32) *Row {
-	if _, ok := t.index[v]; ok {
+func (m *Matrix) AddRow(v int32) *Row {
+	if _, ok := m.index[v]; ok {
 		panic(fmt.Sprintf("dv: duplicate row for vertex %d", v))
 	}
-	if int(v) >= t.cols {
-		panic(fmt.Sprintf("dv: vertex %d outside width %d", v, t.cols))
+	if int(v) >= m.cols {
+		panic(fmt.Sprintf("dv: vertex %d outside width %d", v, m.cols))
 	}
-	d := make([]graph.Dist, t.cols)
-	nh := make([]int32, t.cols)
-	for i := range d {
-		d[i] = graph.InfDist
-		nh[i] = -1
-	}
-	d[v] = 0
-	nh[v] = v
-	r := &Row{Owner: v, D: d, NH: nh}
+	i := len(m.rows)
+	m.ensureSlots(i + 1)
+	m.fillSlot(i, 0)
+	base := i * m.stride
+	m.d[base+int(v)] = 0
+	m.nh[base+int(v)] = v
+	r := &Row{Owner: v, mx: m}
+	m.index[v] = i
+	m.rows = append(m.rows, r)
+	m.view(i)
 	r.MarkShipAll() // fresh content: first ship carries the whole row
-	t.index[v] = len(t.rows)
-	t.rows = append(t.rows, r)
 	return r
 }
 
 // RemoveRow deletes the row of v (repartitioning migrates rows between
-// processors; vertex deletion drops them). Returns the removed row or nil.
-func (t *Table) RemoveRow(v int32) *Row {
-	i, ok := t.index[v]
+// processors; vertex deletion drops them). The removed row is detached
+// onto private backing — it stays valid and mutation-isolated from the
+// matrix — and the freed slot is filled by the last row so the arena stays
+// dense. Returns the removed row or nil.
+func (m *Matrix) RemoveRow(v int32) *Row {
+	i, ok := m.index[v]
 	if !ok {
 		return nil
 	}
-	r := t.rows[i]
-	last := len(t.rows) - 1
-	t.rows[i] = t.rows[last]
-	t.index[t.rows[i].Owner] = i
-	t.rows = t.rows[:last]
-	delete(t.index, v)
+	r := m.rows[i]
+	d := make([]graph.Dist, m.cols)
+	nh := make([]int32, m.cols)
+	copy(d, r.D)
+	copy(nh, r.NH)
+	r.D, r.NH, r.mx = d, nh, nil
+
+	last := len(m.rows) - 1
+	if i != last {
+		srcBase := last * m.stride
+		dstBase := i * m.stride
+		copy(m.d[dstBase:dstBase+m.cols], m.d[srcBase:srcBase+m.cols])
+		copy(m.nh[dstBase:dstBase+m.cols], m.nh[srcBase:srcBase+m.cols])
+		m.rows[i] = m.rows[last]
+		m.index[m.rows[i].Owner] = i
+		m.view(i)
+	}
+	m.rows = m.rows[:last]
+	delete(m.index, v)
 	return r
 }
 
-// AdoptRow installs an existing row (migrated from another processor). Its
-// width is extended to the table's width if needed.
-func (t *Table) AdoptRow(r *Row) {
-	if _, ok := t.index[r.Owner]; ok {
+// AdoptRow installs a detached row (migrated from another processor),
+// copying its content into the next arena slot. Its width is extended to
+// the matrix's width if needed. Panics if the row is still attached to a
+// matrix or a row for its owner already exists.
+func (m *Matrix) AdoptRow(r *Row) {
+	if _, ok := m.index[r.Owner]; ok {
 		panic(fmt.Sprintf("dv: duplicate adopted row for vertex %d", r.Owner))
 	}
-	if len(r.D) < t.cols {
-		k := t.cols - len(r.D)
-		r.D = t.extendSlice(r.D, k)
-		r.NH = extendHops(r.NH, k)
+	if r.mx != nil {
+		panic(fmt.Sprintf("dv: adopting row %d still attached to a matrix", r.Owner))
 	}
-	t.index[r.Owner] = len(t.rows)
-	t.rows = append(t.rows, r)
+	i := len(m.rows)
+	m.ensureSlots(i + 1)
+	base := i * m.stride
+	n := len(r.D)
+	if n > m.cols {
+		n = m.cols
+	}
+	copy(m.d[base:base+n], r.D[:n])
+	copy(m.nh[base:base+n], r.NH[:n])
+	m.fillSlot(i, n)
+	r.mx = m
+	m.index[r.Owner] = i
+	m.rows = append(m.rows, r)
+	m.view(i)
 }
 
-// ExtendCols widens every row by k new columns initialized to InfDist,
-// using append's amortized doubling (the paper assumes vector size doubles
-// on resize, for an O(n+k) amortized cost, which is tracked in
-// ResizeCopies).
-func (t *Table) ExtendCols(k int) {
+// ExtendCols widens every row by k new columns initialized to InfDist.
+// While the new width fits the arena stride the slack is filled in place
+// (zero copies); otherwise the arena is re-laid with a doubled stride (the
+// paper assumes vector size doubles on resize, for an O(n+k) amortized
+// cost, which is tracked in ResizeCopies).
+func (m *Matrix) ExtendCols(k int) {
 	if k <= 0 {
 		return
 	}
-	t.cols += k
-	for _, r := range t.rows {
-		r.D = t.extendSlice(r.D, k)
-		r.NH = extendHops(r.NH, k)
+	old := m.cols
+	m.cols += k
+	if m.cols <= m.stride {
+		for i := range m.rows {
+			m.fillSlot(i, old)
+			m.view(i)
+		}
+		return
+	}
+	newStride := 2 * m.stride
+	if newStride < m.cols {
+		newStride = m.cols
+	}
+	slotCap := len(m.d) / m.stride
+	if slotCap < len(m.rows) {
+		slotCap = len(m.rows)
+	}
+	d := make([]graph.Dist, slotCap*newStride)
+	nh := make([]int32, slotCap*newStride)
+	for i := range m.rows {
+		copy(d[i*newStride:], m.d[i*m.stride:i*m.stride+old])
+		copy(nh[i*newStride:], m.nh[i*m.stride:i*m.stride+old])
+		m.ResizeCopies += int64(old)
+	}
+	m.d, m.nh, m.stride = d, nh, newStride
+	for i := range m.rows {
+		m.fillSlot(i, old)
+		m.view(i)
 	}
 }
 
-func extendHops(nh []int32, k int) []int32 {
-	for i := 0; i < k; i++ {
-		nh = append(nh, -1)
-	}
-	return nh
-}
-
-func (t *Table) extendSlice(d []graph.Dist, k int) []graph.Dist {
-	oldCap := cap(d)
-	for i := 0; i < k; i++ {
-		d = append(d, graph.InfDist)
-	}
-	if cap(d) != oldCap {
-		t.ResizeCopies += int64(len(d) - k)
-	}
-	return d
-}
-
-// DirtyRows returns the rows currently marked dirty, in insertion order.
-func (t *Table) DirtyRows() []*Row {
+// DirtyRows returns the rows currently marked dirty, in slot order.
+func (m *Matrix) DirtyRows() []*Row {
 	var out []*Row
-	for _, r := range t.rows {
+	for _, r := range m.rows {
 		if r.Dirty {
 			out = append(out, r)
 		}
@@ -246,8 +357,8 @@ func (t *Table) DirtyRows() []*Row {
 }
 
 // ClearDirty resets all dirty marks and pending windows (after shipping).
-func (t *Table) ClearDirty() {
-	for _, r := range t.rows {
+func (m *Matrix) ClearDirty() {
+	for _, r := range m.rows {
 		r.ClearDirty()
 	}
 }
@@ -256,7 +367,7 @@ func (t *Table) ClearDirty() {
 // width: 4 bytes per distance plus an 8-byte header (owner + length).
 // Next hops are processor-local routing state and are never shipped, so
 // they do not contribute.
-func (t *Table) RowBytes() int { return 4*t.cols + 8 }
+func (m *Matrix) RowBytes() int { return 4*m.cols + 8 }
 
 // CopyRow returns a deep copy of row r's shippable content — distances
 // only. Next hops are processor-local routing state and the dirty/pending

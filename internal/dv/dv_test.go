@@ -8,7 +8,7 @@ import (
 )
 
 func TestAddRowInitialState(t *testing.T) {
-	tb := NewTable(4)
+	tb := NewMatrix(4)
 	r := tb.AddRow(2)
 	if r.Owner != 2 || !r.Dirty {
 		t.Fatalf("row = %+v", r)
@@ -28,7 +28,7 @@ func TestAddRowInitialState(t *testing.T) {
 }
 
 func TestAddRowPanics(t *testing.T) {
-	tb := NewTable(3)
+	tb := NewMatrix(3)
 	tb.AddRow(1)
 	assertPanic(t, func() { tb.AddRow(1) }, "duplicate row")
 	assertPanic(t, func() { tb.AddRow(7) }, "out-of-range row")
@@ -45,7 +45,7 @@ func assertPanic(t *testing.T, f func(), msg string) {
 }
 
 func TestRelax(t *testing.T) {
-	tb := NewTable(3)
+	tb := NewMatrix(3)
 	r := tb.AddRow(0)
 	r.Dirty = false
 	if !r.Relax(1, 5) || r.D[1] != 5 || !r.Dirty {
@@ -64,7 +64,7 @@ func TestRelax(t *testing.T) {
 }
 
 func TestExtendColsPreservesAndFills(t *testing.T) {
-	tb := NewTable(2)
+	tb := NewMatrix(2)
 	r := tb.AddRow(0)
 	r.D[1] = 9
 	tb.ExtendCols(3)
@@ -94,7 +94,7 @@ func TestExtendColsPreservesAndFills(t *testing.T) {
 // small multiple of the final volume).
 func TestQuickExtendAmortized(t *testing.T) {
 	f := func(steps []uint8) bool {
-		tb := NewTable(1)
+		tb := NewMatrix(1)
 		tb.AddRow(0)
 		for _, s := range steps {
 			k := int(s%7) + 1
@@ -121,8 +121,8 @@ func TestQuickExtendAmortized(t *testing.T) {
 }
 
 func TestRemoveAndAdoptRow(t *testing.T) {
-	a := NewTable(4)
-	b := NewTable(4)
+	a := NewMatrix(4)
+	b := NewMatrix(4)
 	r0 := a.AddRow(0)
 	a.AddRow(1)
 	r0.D[3] = 7
@@ -141,9 +141,10 @@ func TestRemoveAndAdoptRow(t *testing.T) {
 }
 
 func TestAdoptRowWidens(t *testing.T) {
-	a := NewTable(2)
-	r := a.AddRow(1)
-	b := NewTable(5)
+	a := NewMatrix(2)
+	a.AddRow(1)
+	r := a.RemoveRow(1)
+	b := NewMatrix(5)
 	b.AdoptRow(r)
 	if len(b.Row(1).D) != 5 {
 		t.Fatalf("adopted row width %d", len(b.Row(1).D))
@@ -155,8 +156,97 @@ func TestAdoptRowWidens(t *testing.T) {
 	}
 }
 
+// The refine phase streams pivot tiles straight out of the arena, so the
+// row-at-slot-i invariant (Rows()[i] views arena[i*stride:]) must survive
+// every mutation: adds, removes (swap-with-last), adoption, and column
+// extension through both the in-place and the re-layout path.
+func TestArenaRowSlotInvariant(t *testing.T) {
+	check := func(m *Matrix) {
+		t.Helper()
+		arena, stride := m.Arena()
+		for i, r := range m.Rows() {
+			if len(r.D) != m.Cols() {
+				t.Fatalf("row %d width %d, want %d", i, len(r.D), m.Cols())
+			}
+			for c, d := range r.D {
+				if arena[i*stride+c] != d {
+					t.Fatalf("row %d col %d: view %d != arena %d", i, c, d, arena[i*stride+c])
+				}
+			}
+			if r.D[r.Owner] != 0 {
+				t.Fatalf("row %d self-distance %d", i, r.D[r.Owner])
+			}
+		}
+	}
+	m := NewMatrix(3)
+	for v := int32(0); v < 3; v++ {
+		m.AddRow(v)
+	}
+	m.Row(0).Relax(2, 7)
+	check(m)
+	m.ExtendCols(2) // forces a stride re-layout (3 -> >=5)
+	check(m)
+	if m.Row(0).D[2] != 7 {
+		t.Fatal("re-layout lost data")
+	}
+	m.AddRow(4)
+	m.ExtendCols(1) // fits the doubled stride: in-place fill
+	check(m)
+	m.RemoveRow(0) // swap-with-last moves row 4 into slot 0
+	check(m)
+	if m.Row(4) == nil || m.Rows()[0].Owner != 4 {
+		t.Fatal("swap-with-last broke indexing")
+	}
+	det := NewMatrix(6)
+	det.AddRow(3)
+	det.Row(3).Relax(5, 9)
+	det.AdoptRow(m.RemoveRow(4))
+	check(det)
+	check(m)
+}
+
+// Removed rows detach onto private backing: mutating them must not write
+// through to the matrix (whose slot is reused by the swapped-in row), and
+// vice versa.
+func TestRemoveRowDetaches(t *testing.T) {
+	m := NewMatrix(4)
+	m.AddRow(0)
+	m.AddRow(1)
+	r := m.RemoveRow(0)
+	r.D[2] = 42
+	if m.Row(1).D[2] == 42 {
+		t.Fatal("detached row still aliases the arena")
+	}
+	m.Row(1).Relax(3, 5)
+	if r.D[3] == 5 {
+		t.Fatal("arena write leaked into the detached row")
+	}
+}
+
+func TestAdoptAttachedRowPanics(t *testing.T) {
+	a := NewMatrix(2)
+	r := a.AddRow(0)
+	b := NewMatrix(2)
+	assertPanic(t, func() { b.AdoptRow(r) }, "adopt attached row")
+}
+
+// Views must survive arena slot growth triggered by row appends: slices
+// captured before an AddRow would otherwise dangle on the old backing.
+func TestViewsRepointedAfterSlotGrowth(t *testing.T) {
+	m := NewMatrix(3)
+	r0 := m.AddRow(0)
+	for v := int32(1); v < 3; v++ {
+		m.AddRow(v) // forces at least one slot-capacity doubling
+	}
+	r0.Relax(2, 6)
+	arena, stride := m.Arena()
+	if arena[0*stride+2] != 6 {
+		t.Fatal("row 0 view detached from arena after slot growth")
+	}
+}
+
 func TestDirtyRowsAndClear(t *testing.T) {
-	tb := NewTable(3)
+	tb := NewMatrix(3)
 	tb.AddRow(0)
 	tb.AddRow(1)
 	if len(tb.DirtyRows()) != 2 {
@@ -174,7 +264,7 @@ func TestDirtyRowsAndClear(t *testing.T) {
 }
 
 func TestRowBytesAndCopyRow(t *testing.T) {
-	tb := NewTable(10)
+	tb := NewMatrix(10)
 	if tb.RowBytes() != 48 {
 		t.Fatalf("RowBytes = %d", tb.RowBytes())
 	}
@@ -195,7 +285,7 @@ func TestRowBytesAndCopyRow(t *testing.T) {
 }
 
 func TestPendingWindowLifecycle(t *testing.T) {
-	tb := NewTable(8)
+	tb := NewMatrix(8)
 	r := tb.AddRow(2)
 	// Fresh rows ship in full.
 	if all, _, _ := r.PendingState(); !all {
@@ -254,7 +344,7 @@ func TestPendingWindowLifecycle(t *testing.T) {
 }
 
 func TestMarkChangedUnionsWindows(t *testing.T) {
-	tb := NewTable(10)
+	tb := NewMatrix(10)
 	r := tb.AddRow(0)
 	r.ClearDirty()
 	r.MarkChanged(4, 6)

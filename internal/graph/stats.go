@@ -5,6 +5,43 @@ import (
 	"sort"
 )
 
+// GraphStats summarizes a graph's size and edge-weight profile.
+type GraphStats struct {
+	Vertices int
+	Edges    int
+	// MinWeight/MaxWeight span the edge weights (both 0 on an edgeless
+	// graph).
+	MinWeight Weight
+	MaxWeight Weight
+	// UnitWeights reports that every edge weighs exactly 1 (vacuously true
+	// on an edgeless graph) — the condition under which Dijkstra
+	// degenerates to BFS and the engine's IA phase drops the heap.
+	UnitWeights bool
+}
+
+// Stats scans the graph once and returns its summary statistics.
+func Stats(g *Graph) GraphStats {
+	s := GraphStats{Vertices: g.NumVertices(), Edges: g.NumEdges(), UnitWeights: true}
+	first := true
+	g.ForEachEdge(func(u, v int, w Weight) {
+		if first {
+			s.MinWeight, s.MaxWeight = w, w
+			first = false
+		} else {
+			if w < s.MinWeight {
+				s.MinWeight = w
+			}
+			if w > s.MaxWeight {
+				s.MaxWeight = w
+			}
+		}
+		if w != 1 {
+			s.UnitWeights = false
+		}
+	})
+	return s
+}
+
 // DegreeHistogram returns counts[d] = number of vertices with degree d.
 func DegreeHistogram(g *Graph) []int {
 	h := make([]int, g.MaxDegree()+1)

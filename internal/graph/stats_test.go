@@ -4,6 +4,25 @@ import (
 	"testing"
 )
 
+func TestStatsWeightProfile(t *testing.T) {
+	g := New(4)
+	s := Stats(g)
+	if !s.UnitWeights || s.MinWeight != 0 || s.MaxWeight != 0 || s.Vertices != 4 || s.Edges != 0 {
+		t.Fatalf("edgeless stats = %+v", s)
+	}
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	s = Stats(g)
+	if !s.UnitWeights || s.MinWeight != 1 || s.MaxWeight != 1 || s.Edges != 2 {
+		t.Fatalf("unit stats = %+v", s)
+	}
+	g.MustAddEdge(2, 3, 5)
+	s = Stats(g)
+	if s.UnitWeights || s.MinWeight != 1 || s.MaxWeight != 5 {
+		t.Fatalf("mixed stats = %+v", s)
+	}
+}
+
 func TestConnectedComponents(t *testing.T) {
 	g := New(7)
 	g.MustAddEdge(0, 1, 1)

@@ -76,6 +76,58 @@ func benchKernel(b *testing.B, improve float64, prePR bool) {
 	}
 }
 
+// benchTile builds a refine-tile workload: one destination row relaxed
+// through tileRows pivot rows that live either packed in a flat row-major
+// arena (the dv.Matrix layout MinPlusTile streams) or as individually
+// heap-allocated rows driven by a per-pivot MinPlusHops loop (the pre-PR
+// layout). The relax arithmetic and apply order are identical — the pair
+// isolates the memory-layout effect of streaming contiguous pivot rows.
+func benchTile(b *testing.B, packed bool) {
+	const n, tileRows = 4096, 32
+	rng := rand.New(rand.NewSource(9))
+	dst, nh, _ := benchRows(n, 0.02, 1)
+	arena := make([]graph.Dist, tileRows*n)
+	rows := make([][]graph.Dist, tileRows)
+	offs := make([]int32, tileRows)
+	owners := make([]int32, tileRows)
+	for p := 0; p < tileRows; p++ {
+		rows[p] = make([]graph.Dist, n)
+		for t := 0; t < n; t++ {
+			v := graph.Dist(rng.Intn(1000))
+			if rng.Float64() < 0.1 {
+				v = graph.InfDist
+			}
+			arena[p*n+t] = v
+			rows[p][t] = v
+		}
+		offs[p] = int32(p)
+		owners[p] = int32(rng.Intn(n))
+		dst[owners[p]] = graph.Dist(1 + rng.Intn(4)) // pivots sit nearby
+	}
+	work := append([]graph.Dist(nil), dst...)
+	b.SetBytes(int64(4 * n * tileRows))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, dst)
+		if packed {
+			MinPlusTile(work, nh, arena, n, offs, owners)
+		} else {
+			for p := range rows {
+				add := work[owners[p]]
+				if add == graph.InfDist {
+					continue
+				}
+				MinPlusHops(work, nh, rows[p], add, nh[owners[p]])
+			}
+		}
+	}
+}
+
+func BenchmarkRCKernelTileArena(b *testing.B) { benchTile(b, true) }
+
+func BenchmarkRCKernelTilePerRow(b *testing.B) { benchTile(b, false) }
+
 func BenchmarkRCKernelMinPlusHopsSparse(b *testing.B) { benchKernel(b, 0.02, false) }
 
 func BenchmarkRCKernelPrePRLoopSparse(b *testing.B) { benchKernel(b, 0.02, true) }

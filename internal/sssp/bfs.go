@@ -1,0 +1,52 @@
+package sssp
+
+import (
+	"anytime/internal/graph"
+)
+
+// queueBuf is a reusable flat FIFO queue for repeated BFS runs, the
+// unit-weight counterpart of heapBuf.
+type queueBuf struct{ q []int32 }
+
+// BFSIntoHops is DijkstraIntoHops specialized to unit edge weights: with
+// every weight equal to 1 the priority queue pops vertices in nondecreasing
+// distance order anyway, so the binary heap degenerates to a plain FIFO —
+// no sift-up/down, no lazy duplicates, one queue slot per vertex. The
+// contract (pre-filled dist, mask = relax-but-don't-expand boundary
+// semantics, first-hop tracking, LogP op count of pops plus edge scans) is
+// identical to DijkstraIntoHops; calling it on a graph with any weight
+// != 1 yields wrong distances.
+func BFSIntoHops(g *graph.Graph, src int32, dist []graph.Dist, hops []int32, mask []bool, buf *queueBuf) int64 {
+	q := buf.q[:0]
+	dist[src] = 0
+	if hops != nil {
+		hops[src] = src
+	}
+	q = append(q, src)
+	var ops int64
+	for head := 0; head < len(q); head++ {
+		v := q[head]
+		ops++
+		if mask != nil && !mask[v] {
+			continue // boundary vertex: relaxed but not expanded
+		}
+		d := dist[v]
+		for _, a := range g.Neighbors(int(v)) {
+			ops++
+			nd := d + 1
+			if nd < dist[a.To] {
+				dist[a.To] = nd
+				if hops != nil {
+					if v == src {
+						hops[a.To] = a.To
+					} else {
+						hops[a.To] = hops[v]
+					}
+				}
+				q = append(q, a.To)
+			}
+		}
+	}
+	buf.q = q[:0]
+	return ops
+}

@@ -1,0 +1,128 @@
+package sssp
+
+import (
+	"math/rand"
+	"testing"
+
+	"anytime/internal/graph"
+)
+
+func unitGraph(n, m int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for g.NumEdges() < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		g.MustAddEdge(u, v, 1)
+	}
+	return g
+}
+
+func infRow(n int) []graph.Dist {
+	d := make([]graph.Dist, n)
+	for i := range d {
+		d[i] = graph.InfDist
+	}
+	return d
+}
+
+func negRow(n int) []int32 {
+	h := make([]int32, n)
+	for i := range h {
+		h[i] = -1
+	}
+	return h
+}
+
+// On unit-weight graphs Dijkstra degenerates to BFS: the flat-FIFO fast
+// path must produce bit-identical distances, and its first hops must be
+// valid (a shortest path to t really does leave src through hops[t]).
+func TestBFSMatchesDijkstraUnitWeights(t *testing.T) {
+	const n = 70
+	g := unitGraph(n, 160, 41)
+	apsp := APSP(g)
+	var hb heapBuf
+	var qb queueBuf
+	for src := int32(0); src < n; src += 7 {
+		dd, dh := infRow(n), negRow(n)
+		DijkstraIntoHops(g, src, dd, dh, nil, &hb)
+		bd, bh := infRow(n), negRow(n)
+		BFSIntoHops(g, src, bd, bh, nil, &qb)
+		for t2 := 0; t2 < n; t2++ {
+			if bd[t2] != dd[t2] {
+				t.Fatalf("src %d: BFS dist[%d] = %d, Dijkstra %d", src, t2, bd[t2], dd[t2])
+			}
+			if bd[t2] == graph.InfDist || t2 == int(src) {
+				continue
+			}
+			// First-hop validity: hops[t] neighbors src and lies on a
+			// shortest path (equal-length ties may route differently than
+			// Dijkstra's heap order, so we check the invariant, not
+			// equality).
+			h := bh[t2]
+			if h < 0 || !g.HasEdge(int(src), int(h)) {
+				t.Fatalf("src %d: BFS hop[%d] = %d is not a neighbor", src, t2, h)
+			}
+			w, _ := g.EdgeWeight(int(src), int(h))
+			if graph.Dist(w)+apsp[h][t2] != bd[t2] {
+				t.Fatalf("src %d: hop %d not on a shortest path to %d", src, h, t2)
+			}
+		}
+	}
+}
+
+// BFS must honor the IA-phase mask contract: boundary vertices are relaxed
+// but never expanded.
+func TestBFSMaskSemantics(t *testing.T) {
+	g := graph.New(5)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(2, 3, 1)
+	g.MustAddEdge(3, 4, 1)
+	g.MustAddEdge(0, 3, 1)
+	mask := []bool{true, true, true, false, false} // {0,1,2} local
+	dist := infRow(5)
+	var buf queueBuf
+	BFSIntoHops(g, 0, dist, nil, mask, &buf)
+	if dist[3] != 1 {
+		t.Fatalf("dist[3] = %d, want 1", dist[3])
+	}
+	if dist[4] != graph.InfDist {
+		t.Fatalf("dist[4] = %d, want InfDist (mask violated)", dist[4])
+	}
+}
+
+// The BFS multi-source pool must agree with the Dijkstra pool for every
+// worker count (distances are weight-1 exact either way).
+func TestMultiSourceBFSMatchesDijkstra(t *testing.T) {
+	const n = 60
+	g := unitGraph(n, 140, 43)
+	sources := []int32{0, 5, 11, 23, 42, 59}
+	mk := func() ([][]graph.Dist, [][]int32) {
+		rows := make([][]graph.Dist, len(sources))
+		hops := make([][]int32, len(sources))
+		for i := range rows {
+			rows[i] = infRow(n)
+			hops[i] = negRow(n)
+		}
+		return rows, hops
+	}
+	refRows, refHops := mk()
+	MultiSourceHops(g, sources, refRows, refHops, nil, 1)
+	for _, workers := range []int{1, 2, 4} {
+		rows, hops := mk()
+		ops := MultiSourceHopsBFS(g, sources, rows, hops, nil, workers)
+		if ops == 0 {
+			t.Fatal("no ops reported")
+		}
+		for i := range sources {
+			for j := 0; j < n; j++ {
+				if rows[i][j] != refRows[i][j] {
+					t.Fatalf("workers=%d source=%d dist mismatch at %d", workers, sources[i], j)
+				}
+			}
+		}
+	}
+}

@@ -28,53 +28,77 @@ func MultiSource(g *graph.Graph, sources []int32, rows [][]graph.Dist, mask []bo
 
 // MultiSourceHops is MultiSource with optional first-hop tracking.
 func MultiSourceHops(g *graph.Graph, sources []int32, rows [][]graph.Dist, hops [][]int32, mask []bool, workers int) int64 {
+	hopOf := hopIndexer(sources, rows, hops)
+	return multiSourceRun(len(sources), workers, func() func(i int) int64 {
+		buf := &heapBuf{}
+		return func(i int) int64 {
+			return DijkstraIntoHops(g, sources[i], rows[i], hopOf(i), mask, buf)
+		}
+	})
+}
+
+// MultiSourceHopsBFS is MultiSourceHops for unit-weight graphs: every
+// source runs the flat-FIFO BFS of BFSIntoHops instead of heap Dijkstra.
+// The caller is responsible for ensuring all edge weights equal 1 (see
+// graph.Stats).
+func MultiSourceHopsBFS(g *graph.Graph, sources []int32, rows [][]graph.Dist, hops [][]int32, mask []bool, workers int) int64 {
+	hopOf := hopIndexer(sources, rows, hops)
+	return multiSourceRun(len(sources), workers, func() func(i int) int64 {
+		buf := &queueBuf{}
+		return func(i int) int64 {
+			return BFSIntoHops(g, sources[i], rows[i], hopOf(i), mask, buf)
+		}
+	})
+}
+
+func hopIndexer(sources []int32, rows [][]graph.Dist, hops [][]int32) func(int) []int32 {
 	if len(sources) != len(rows) {
 		panic("sssp: sources/rows length mismatch")
 	}
-	hopOf := func(i int) []int32 {
+	return func(i int) []int32 {
 		if hops == nil {
 			return nil
 		}
 		return hops[i]
 	}
+}
+
+// multiSourceRun fans the source indices [0, n) across `workers`
+// goroutines. newWorker is called once per goroutine to build its runner
+// around private scratch buffers.
+func multiSourceRun(n, workers int, newWorker func() func(i int) int64) int64 {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(sources) {
-		workers = len(sources)
+	if workers > n {
+		workers = n
 	}
 	if workers <= 1 {
-		buf := &heapBuf{}
+		run := newWorker()
 		var ops int64
-		for i, s := range sources {
-			ops += DijkstraIntoHops(g, s, rows[i], hopOf(i), mask, buf)
+		for i := 0; i < n; i++ {
+			ops += run(i)
 		}
 		return ops
 	}
+	// next is the shared source cursor: workers claim indices with one
+	// atomic fetch-add each — no lock, no contention beyond the cache line.
 	var next int64
 	var totalOps int64
-	var mu sync.Mutex
-	take := func() int {
-		mu.Lock()
-		i := int(next)
-		next++
-		mu.Unlock()
-		return i
-	}
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			buf := &heapBuf{}
+			run := newWorker()
 			var ops int64
 			for {
-				i := take()
-				if i >= len(sources) {
+				i := int(atomic.AddInt64(&next, 1) - 1)
+				if i >= n {
 					atomic.AddInt64(&totalOps, ops)
 					return
 				}
-				ops += DijkstraIntoHops(g, sources[i], rows[i], hopOf(i), mask, buf)
+				ops += run(i)
 			}
 		}()
 	}
