@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race chaos bench bench-json bench-compare clean
+.PHONY: check build test vet race chaos bench bench-json bench-compare obs-check clean
 
 check: build test vet race
 
@@ -40,11 +40,18 @@ bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkRC|BenchmarkFig4|BenchmarkFig8' -benchtime $(BENCHTIME) -benchmem ./... \
 		| $(GO) run ./cmd/benchjson > BENCH_rc.json
 
-# Regression gate: rerun the RC relax/refine-phase benchmarks and fail if
-# any ns/op regresses more than 15% against the committed baseline.
+# Regression gate: rerun the RC relax/refine-phase benchmarks (plus the
+# tracer-enabled step benchmark) and fail if any ns/op regresses more than
+# 15% against the committed baseline.
 bench-compare:
-	$(GO) test -run '^$$' -bench 'BenchmarkRCRelaxPhase|BenchmarkRCRefinePhase' -benchmem ./internal/core \
+	$(GO) test -run '^$$' -bench 'BenchmarkRCRelaxPhase|BenchmarkRCRefinePhase|BenchmarkRCStepTraced' -benchmem ./internal/core \
 		| $(GO) run ./cmd/benchjson -compare BENCH_rc.json
+
+# Observability gate: vet the tree and verify the zero-cost contract — a
+# nil/disabled tracer must add no allocations to instrumented paths.
+obs-check:
+	$(GO) vet ./...
+	$(GO) test -run 'ZeroAlloc|NilTracer' -count=1 ./internal/obs ./internal/core
 
 clean:
 	$(GO) clean ./...

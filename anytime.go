@@ -32,6 +32,7 @@ import (
 	"anytime/internal/gen"
 	"anytime/internal/graph"
 	"anytime/internal/logp"
+	"anytime/internal/obs"
 	"anytime/internal/partition"
 	"anytime/internal/serve"
 	"anytime/internal/stream"
@@ -279,6 +280,22 @@ type TraceEvent = core.TraceEvent
 // Tracer receives engine trace events.
 type Tracer = core.Tracer
 
+// SpanTracer is the structured phase-span tracer (see Options.Obs): a
+// fixed-capacity ring of spans carrying both wall and LogP virtual clocks,
+// exportable as JSONL or a Chrome trace via cmd/aatrace.
+type SpanTracer = obs.Tracer
+
+// Span is one recorded phase span.
+type Span = obs.Span
+
+// NewSpanTracer builds a span tracer; capacity <= 0 uses the default ring
+// size (the tracer keeps the most recent spans once full).
+func NewSpanTracer(capacity int) *SpanTracer { return obs.NewTracer(capacity) }
+
+// MetricsRegistry renders counters/gauges/histograms in the Prometheus
+// text exposition format (see Server.Registry and GET /metrics).
+type MetricsRegistry = obs.Registry
+
 // Eigenvector computes eigenvector centrality by power iteration
 // (maxIter/tol 0 = defaults).
 func Eigenvector(g *Graph, maxIter int, tol float64) []float64 {
@@ -355,7 +372,8 @@ type ServeConfig = serve.Config
 // estimates plus serving metadata and a precomputed top-k index.
 type ServeView = serve.View
 
-// ServeCounters are the serving subsystem's expvar-style counters.
+// ServeCounters are the serving subsystem's counters, rendered on
+// GET /metrics in the Prometheus text exposition format.
 type ServeCounters = serve.Counters
 
 // ServeClient is a minimal client for the serving HTTP API — the load

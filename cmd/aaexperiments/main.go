@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"anytime/internal/harness"
+	"anytime/internal/obs"
 )
 
 func main() {
@@ -28,9 +29,27 @@ func main() {
 		seed  = flag.Int64("seed", 1, "random seed")
 		quick = flag.Bool("quick", false, "smaller sweeps")
 		fig   = flag.String("fig", "", "run one experiment: fig4..fig8, analysis, ablations, or scaling")
+		trace = flag.String("trace", "", "write a phase-span trace (JSONL) of every engine run to this file; convert with aatrace")
 	)
 	flag.Parse()
 	cfg := harness.Config{N: *n, P: *p, M: *m, Seed: *seed, Quick: *quick}
+	if *trace != "" {
+		cfg.Obs = obs.NewTracer(obs.DefaultCapacity)
+		defer func() {
+			f, err := os.Create(*trace)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "aaexperiments: %v\n", err)
+				return
+			}
+			defer f.Close()
+			if err := obs.WriteJSONL(f, cfg.Obs.Spans()); err != nil {
+				fmt.Fprintf(os.Stderr, "aaexperiments: writing trace: %v\n", err)
+				return
+			}
+			fmt.Printf("trace: %d spans written to %s (%d dropped by the ring)\n",
+				cfg.Obs.Len(), *trace, cfg.Obs.Dropped())
+		}()
+	}
 
 	run := func(f func(harness.Config) (*harness.Result, error)) {
 		start := time.Now()

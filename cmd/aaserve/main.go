@@ -26,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -33,6 +34,7 @@ import (
 	"time"
 
 	"anytime"
+	"anytime/internal/obs"
 )
 
 func main() {
@@ -47,6 +49,8 @@ func main() {
 		topkIdx = flag.Int("topk-index", 64, "precomputed top-k index size")
 		addr    = flag.String("addr", ":8080", "HTTP listen address")
 		ckpt    = flag.String("checkpoint", "", "checkpoint path (restored at start if present, written on shutdown)")
+		traceF  = flag.String("trace", "", "record phase-level spans and write them (JSONL) to this file on shutdown; convert with aatrace")
+		pprofF  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 	fail := func(err error) {
@@ -58,6 +62,11 @@ func main() {
 	opts.P = *p
 	opts.Seed = *seed
 	opts.Strategy = anytime.AutoPS
+	var tracer *obs.Tracer
+	if *traceF != "" {
+		tracer = obs.NewTracer(obs.DefaultCapacity)
+		opts.Obs = tracer
+	}
 
 	e, err := buildEngine(*graphF, *n, *m, *seed, *ckpt, opts)
 	if err != nil {
@@ -76,7 +85,18 @@ func main() {
 	fmt.Printf("aaserve: serving %d vertices / %d edges on %s (P=%d, publish every %d steps, converged=%v)\n",
 		v.Vertices, v.Edges, *addr, *p, *publish, v.Converged)
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofF {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
@@ -104,6 +124,21 @@ func main() {
 		final.Version, final.Vertices, final.Metrics.RCSteps, final.Converged)
 	if *ckpt != "" {
 		fmt.Printf("aaserve: checkpoint written to %s\n", *ckpt)
+	}
+	if tracer != nil {
+		f, err := os.Create(*traceF)
+		if err != nil {
+			fail(err)
+		}
+		if err := obs.WriteJSONL(f, tracer.Spans()); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("aaserve: %d spans written to %s (%d dropped by the ring)\n",
+			tracer.Len(), *traceF, tracer.Dropped())
 	}
 }
 

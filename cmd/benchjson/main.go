@@ -60,11 +60,12 @@ func main() {
 }
 
 // gated reports whether a benchmark participates in the regression gate:
-// the RC relax-phase and refine-phase benchmarks, whose ns/op is the
-// committed performance contract.
+// the RC relax-phase and refine-phase benchmarks plus the tracer-enabled
+// step benchmark, whose ns/op is the committed performance contract.
 func gated(name string) bool {
 	return strings.HasPrefix(name, "BenchmarkRCRelaxPhase") ||
-		strings.HasPrefix(name, "BenchmarkRCRefinePhase")
+		strings.HasPrefix(name, "BenchmarkRCRefinePhase") ||
+		strings.HasPrefix(name, "BenchmarkRCStepTraced")
 }
 
 // compare checks the parsed run's gated benchmarks against the archived

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"anytime/internal/logp"
+	"anytime/internal/obs"
 )
 
 // Tag distinguishes message kinds in the mailboxes.
@@ -136,6 +137,10 @@ type Config struct {
 	// and abandoned messages surface through TakeFailed. nil = the perfect
 	// network (bit-identical to the pre-fault-layer path).
 	Fault FaultHook
+	// Obs, when non-nil, receives fault-retry spans (deliveries that needed
+	// retransmission, were delayed in flight, or exhausted the resend
+	// budget). nil = no tracing.
+	Obs *obs.Tracer
 }
 
 // delayedMsg is a message held in flight by FateDelay until a later
@@ -195,6 +200,15 @@ func (m *Machine) VirtualTime() time.Duration {
 	}
 	return max
 }
+
+// ProcTime returns processor p's current virtual clock. Safe from p's own
+// Parallel body (each p owns its clock) and between super-steps.
+func (m *Machine) ProcTime(p int) time.Duration { return m.clocks[p].Now() }
+
+// BusyTime returns processor p's accumulated busy virtual time: explicit
+// Charge/ChargeDuration advances, excluding barrier and message-wait idle
+// jumps. Per-step deltas of this quantity feed the load-imbalance gauge.
+func (m *Machine) BusyTime(p int) time.Duration { return m.clocks[p].Busy() }
 
 // Charge adds `ops` abstract work units to processor p's clock. Safe for
 // concurrent use from Parallel bodies (each p owns its clock).
@@ -384,6 +398,7 @@ func (m *Machine) transmit(dst *[]Message, msg Message, msgIndex int) time.Durat
 		case FateDeliver:
 			m.account(msg)
 			*dst = append(*dst, msg)
+			m.recordRetry(msg, attempt+1, cost)
 			return cost
 		case FateDuplicate:
 			// Lost ack: the retransmission delivers a second copy.
@@ -394,6 +409,7 @@ func (m *Machine) transmit(dst *[]Message, msg Message, msgIndex int) time.Durat
 			m.stats.Duplicated++
 			m.mu.Unlock()
 			*dst = append(*dst, msg, msg)
+			m.recordRetry(msg, attempt+2, cost)
 			return cost
 		case FateDelay:
 			// Held in flight; delivered at the start of the next exchange.
@@ -402,6 +418,7 @@ func (m *Machine) transmit(dst *[]Message, msg Message, msgIndex int) time.Durat
 			m.mu.Unlock()
 			m.account(msg)
 			m.delayed = append(m.delayed, delayedMsg{release: m.xid + 1, msg: msg})
+			m.recordRetry(msg, attempt+1, cost)
 			return cost
 		case FateDrop:
 			m.mu.Lock()
@@ -417,7 +434,26 @@ func (m *Machine) transmit(dst *[]Message, msg Message, msgIndex int) time.Durat
 	m.stats.Failed++
 	m.mu.Unlock()
 	m.failed = append(m.failed, msg)
+	m.recordRetry(msg, budget, cost)
 	return cost
+}
+
+// recordRetry emits a fault-retry span for a lossy-link delivery that took
+// more than one attempt (or was abandoned). Called from Exchange's single
+// accounting goroutine, so reading the sender's clock is race-free.
+func (m *Machine) recordRetry(msg Message, attempts int, cost time.Duration) {
+	if m.cfg.Obs == nil || attempts <= 1 {
+		return
+	}
+	m.cfg.Obs.Record(obs.Span{
+		Kind:    obs.KindFaultRetry,
+		Proc:    int32(msg.From),
+		Step:    int32(m.xid),
+		Wall:    m.cfg.Obs.Now(),
+		Virt:    m.clocks[msg.From].Now(),
+		VirtDur: cost,
+		Value:   int64(attempts),
+	})
 }
 
 // releaseDelayed delivers messages whose delay has elapsed into the inbox

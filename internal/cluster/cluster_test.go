@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"anytime/internal/logp"
+	"anytime/internal/obs"
 )
 
 func testMachine(t *testing.T, p int, serialized bool, maxMsg int) *Machine {
@@ -466,5 +467,31 @@ func TestFaultZeroPlanBitIdentical(t *testing.T) {
 	}
 	if vtPlain != vtHooked {
 		t.Fatalf("virtual time differs: %v vs %v", vtPlain, vtHooked)
+	}
+}
+
+// TestBusyTimeImbalanceFixture is the hand-computed two-processor fixture
+// behind the load-imbalance gauge: processor 0 is charged 300µs of work,
+// processor 1 gets 100µs, so busy time splits 300/100 (mean 200, max 300 →
+// imbalance 1.5) while the barrier synchronizes both wall clocks to 300µs
+// without counting the idle wait as busy.
+func TestBusyTimeImbalanceFixture(t *testing.T) {
+	m := testMachine(t, 2, true, 0)
+	m.Parallel(func(p int) {
+		if p == 0 {
+			m.ChargeDuration(0, 300*time.Microsecond)
+		} else {
+			m.ChargeDuration(1, 100*time.Microsecond)
+		}
+	})
+	m.Barrier()
+	if b0, b1 := m.BusyTime(0), m.BusyTime(1); b0 != 300*time.Microsecond || b1 != 100*time.Microsecond {
+		t.Fatalf("busy times = %v, %v; want 300µs, 100µs", b0, b1)
+	}
+	if t0, t1 := m.ProcTime(0), m.ProcTime(1); t0 != 300*time.Microsecond || t1 != t0 {
+		t.Fatalf("clocks after barrier = %v, %v; want both 300µs", t0, t1)
+	}
+	if got := obs.Imbalance([]time.Duration{m.BusyTime(0), m.BusyTime(1)}); got != 1.5 {
+		t.Fatalf("imbalance = %v, want 1.5", got)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"anytime/internal/dv"
 	"anytime/internal/gen"
 	"anytime/internal/graph"
+	"anytime/internal/obs"
 )
 
 // ---------------------------------------------------------------------------
@@ -436,3 +437,45 @@ func benchShipBoundary(b *testing.B, prePR bool) {
 func BenchmarkRCShipBoundary(b *testing.B) { benchShipBoundary(b, false) }
 
 func BenchmarkRCShipBoundaryPrePR(b *testing.B) { benchShipBoundary(b, true) }
+
+// ---------------------------------------------------------------------------
+// Traced RC benchmark: the Workers1 relax cascade with the obs tracer (and
+// phase-span recording) enabled. bench-compare holds it within the 15% gate
+// of its committed baseline, pinning the cost of the observability layer on
+// the instrumented hot path.
+// ---------------------------------------------------------------------------
+
+func BenchmarkRCStepTraced(b *testing.B) {
+	ckpt, opts, batch := rcBenchSetup(b, 1)
+	opts.Obs = obs.NewTracer(obs.DefaultCapacity)
+	var steps, spans int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		opts.Obs.Reset()
+		e, err := Restore(bytes.NewReader(ckpt), opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := e.QueueBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+		e.Step() // untimed change incorporation, as in the untraced rows
+		m0 := e.Metrics()
+		b.StartTimer()
+		for e.Step() {
+		}
+		b.StopTimer()
+		steps += int64(e.Metrics().RCSteps - m0.RCSteps)
+		spans += int64(opts.Obs.Len()) + opts.Obs.Dropped()
+		b.StartTimer()
+	}
+	b.StopTimer()
+	if spans == 0 {
+		b.Fatal("traced run recorded no spans")
+	}
+	n := float64(b.N)
+	b.ReportMetric(float64(steps)/n, "steps/op")
+	b.ReportMetric(float64(spans)/n, "spans/op")
+}

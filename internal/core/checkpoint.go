@@ -16,6 +16,7 @@ import (
 	"anytime/internal/dv"
 	"anytime/internal/fault"
 	"anytime/internal/graph"
+	"anytime/internal/obs"
 )
 
 // Checkpointing addresses the paper's stated future work on fault
@@ -65,6 +66,7 @@ func (e *Engine) WriteCheckpoint(w io.Writer) error {
 	if len(e.queue) > 0 {
 		return fmt.Errorf("core: checkpoint with %d queued events; drain the queue first", len(e.queue))
 	}
+	wm := e.mark()
 	var buf bytes.Buffer
 	enc := &binWriter{w: &buf}
 	e.encodePayload(enc)
@@ -83,7 +85,11 @@ func (e *Engine) WriteCheckpoint(w io.Writer) error {
 	if tail.err != nil {
 		return tail.err
 	}
-	return bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	e.span(obs.KindCheckpointWrite, wm, int64(buf.Len()))
+	return nil
 }
 
 // encodePayload writes everything between the magic and the CRC trailer.
@@ -201,6 +207,10 @@ func (e *Engine) writeMetrics(enc *binWriter, v4 bool) {
 // differ (they affect only future events and accounting).
 func Restore(r io.Reader, opts Options) (*Engine, error) {
 	opts = opts.withDefaults()
+	var rm spanMark
+	if opts.Obs != nil {
+		rm.wall = opts.Obs.Now()
+	}
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(checkpointMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -364,7 +374,7 @@ func Restore(r io.Reader, opts Options) (*Engine, error) {
 			}
 		}
 		t.ResizeCopies = dec.i64()
-		e.procs[pid] = &proc{id: pid, sub: sub, table: t}
+		e.procs[pid] = &proc{id: pid, sub: sub, table: t, tr: opts.Obs}
 	}
 	e.readMetrics(dec, version >= 4)
 	if dec.err != nil {
@@ -387,6 +397,7 @@ func Restore(r io.Reader, opts Options) (*Engine, error) {
 	e.refreshWeightProfile()
 	e.refreshLoadMetrics()
 	e.writeShards() // fresh recovery shards (no-op without Options.Faults)
+	e.span(obs.KindCheckpointRestore, rm, int64(n))
 	return e, nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"anytime/internal/dv"
 	"anytime/internal/fault"
 	"anytime/internal/graph"
+	"anytime/internal/obs"
 	"anytime/internal/sssp"
 )
 
@@ -26,7 +27,15 @@ type proc struct {
 	pivot      []bool // rows dirty at step start: un-propagated content
 	startDirty []bool
 	stepOps    int64
+	stepRows   int  // row count observed by the last relax phase
+	stepDirty  int  // rows still dirty after the last relax phase
 	hasUpdate  bool // a local-boundary row is dirty after this step
+
+	// observability: the engine's span tracer (nil = disabled) and the RC
+	// step counter at the start of the current relax phase, for the tile-
+	// round spans emitted from inside the worker pool (parallel.go).
+	tr      *obs.Tracer
+	curStep int32
 
 	// boundary-shipping scratch, reused across steps: shipSeen is a stamp
 	// array over destination parts (shipSeen[q] == shipStamp means part q
@@ -73,7 +82,8 @@ type Engine struct {
 
 	metrics  Metrics
 	history  []StepStats
-	stepHook func(StepStats)
+	stepHook atomic.Pointer[func(StepStats)]
+	prevBusy []time.Duration // per-proc busy time at step start (telemetry)
 }
 
 // New builds the engine over a snapshot of g: runs the DD phase
@@ -131,6 +141,7 @@ func New(g *graph.Graph, opts Options) (*Engine, error) {
 // domainDecomposition runs the DD phase: partition the graph and build the
 // per-processor sub-graph state.
 func (e *Engine) domainDecomposition() error {
+	dm := e.mark()
 	part, err := e.opts.Partitioner.Partition(e.g, e.opts.P)
 	if err != nil {
 		return fmt.Errorf("core: DD partitioning: %w", err)
@@ -144,8 +155,9 @@ func (e *Engine) domainDecomposition() error {
 	// ParMETIS-style parallel partitioning: the work divides over P.
 	e.chargeAll(ops / int64(e.opts.P))
 	e.buildProcs()
-	e.trace("dd", fmt.Sprintf("%s: cut=%d imbalance=%.3f",
-		e.opts.Partitioner.Name(), graph.EdgeCut(e.g, e.part), graph.Imbalance(e.g, e.part)))
+	e.span(obs.KindDD, dm, ops)
+	e.tracef("dd", "%s: cut=%d imbalance=%.3f",
+		e.opts.Partitioner.Name(), graph.EdgeCut(e.g, e.part), graph.Imbalance(e.g, e.part))
 	return nil
 }
 
@@ -162,7 +174,7 @@ func (e *Engine) buildProcs() {
 				t.AddRow(v)
 			}
 		}
-		e.procs[p] = &proc{id: p, sub: sub, table: t}
+		e.procs[p] = &proc{id: p, sub: sub, table: t, tr: e.opts.Obs}
 	}
 }
 
@@ -171,6 +183,7 @@ func (e *Engine) buildProcs() {
 // partial results.
 func (e *Engine) initialApproximation() {
 	e.mach.Parallel(func(pid int) {
+		im := e.markProc(pid)
 		p := e.procs[pid]
 		rows := p.table.Rows()
 		sources := make([]int32, len(rows))
@@ -186,10 +199,11 @@ func (e *Engine) initialApproximation() {
 		// threads of the processor.
 		e.mach.Charge(pid, ops/int64(e.opts.Workers))
 		addOps(&e.metrics.IAOps, ops)
+		e.spanProc(obs.KindIA, pid, im, ops)
 	})
 	e.mach.Barrier()
 	e.converged = false
-	e.trace("ia", fmt.Sprintf("local APSP over %d processors", e.opts.P))
+	e.tracef("ia", "local APSP over %d processors", e.opts.P)
 }
 
 // multiSource is the IA sweep dispatcher: unit-weight graphs (detected at
@@ -281,8 +295,16 @@ func (e *Engine) QueuedEvents() int { return len(e.queue) }
 // capture a Snapshot after each step regardless of whether the engine is
 // driven by Step or Run. Pass nil to remove the hook. The hook runs on the
 // goroutine calling Step; it must not call Step, Run, or the Queue*
-// methods. Not safe to call concurrently with Step/Run.
-func (e *Engine) SetStepHook(fn func(StepStats)) { e.stepHook = fn }
+// methods. Installing or swapping the hook is safe concurrently with a
+// running Step/Run (an atomic swap): a step in flight invokes whichever
+// hook it loads at its publication point.
+func (e *Engine) SetStepHook(fn func(StepStats)) {
+	if fn == nil {
+		e.stepHook.Store(nil)
+		return
+	}
+	e.stepHook.Store(&fn)
+}
 
 // Graph returns the engine's current graph (reflecting applied dynamic
 // changes). The caller must not mutate it.
@@ -403,11 +425,13 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	start := time.Now()
+	sm := e.mark()
 	rcOpsBefore := e.metrics.RCOps
 	commBefore := e.mach.Stats()
+	e.snapshotBusy()
 	e.applyFaultSchedule()
 	outbox := e.shipBoundary()
-	shipped, rowsShipped, fullRows := 0, 0, 0
+	shipped, rowsShipped, fullRows, maxDelta := 0, 0, 0, 0
 	width := e.g.NumVertices()
 	for _, msgs := range outbox {
 		shipped += len(msgs)
@@ -417,6 +441,9 @@ func (e *Engine) Step() bool {
 			for _, d := range deltas {
 				if d.Lo == 0 && len(d.D) == width {
 					fullRows++
+				}
+				if len(d.D) > maxDelta {
+					maxDelta = len(d.D)
 				}
 			}
 		}
@@ -432,7 +459,9 @@ func (e *Engine) Step() bool {
 	if e.converged && !e.anyDown() {
 		e.degraded = false
 	}
-	e.trace("rc-step", fmt.Sprintf("%d boundary-DV messages, converged=%v", shipped, e.converged))
+	if e.opts.Trace != nil {
+		e.tracef("rc-step", "%d boundary-DV messages, converged=%v", shipped, e.converged)
+	}
 	stats := StepStats{
 		Step:             e.step,
 		BoundaryMessages: shipped,
@@ -441,7 +470,9 @@ func (e *Engine) Step() bool {
 		Bytes:            e.mach.Stats().Bytes - commBefore.Bytes,
 		RelaxOps:         e.metrics.RCOps - rcOpsBefore,
 		ConvergedAfter:   e.converged,
+		MaxDeltaWidth:    maxDelta,
 	}
+	e.gatherStepTelemetry(&stats)
 	if len(e.queue) > 0 {
 		ev := e.queue[0]
 		e.queue = e.queue[1:]
@@ -453,16 +484,50 @@ func (e *Engine) Step() bool {
 	}
 	stats.Virtual = e.mach.VirtualTime()
 	e.recordStep(stats)
+	e.span(obs.KindRCStep, sm, int64(rowsShipped))
 	e.step++
 	e.metrics.WallTime += time.Since(start)
-	if e.stepHook != nil {
-		e.stepHook(stats)
+	if h := e.stepHook.Load(); h != nil {
+		(*h)(stats)
 	}
 	if e.Converged() {
 		e.trace("converged", "no more updates in any processor")
 		return false
 	}
 	return true
+}
+
+// snapshotBusy records every processor's busy virtual time at step start, so
+// gatherStepTelemetry can report per-step busy deltas.
+func (e *Engine) snapshotBusy() {
+	if e.prevBusy == nil {
+		e.prevBusy = make([]time.Duration, e.opts.P)
+	}
+	for p := 0; p < e.opts.P; p++ {
+		e.prevBusy[p] = e.mach.BusyTime(p)
+	}
+}
+
+// gatherStepTelemetry fills the convergence-quality fields of one step's
+// StepStats from the per-processor scratch the relax phase left behind.
+// Runs on the coordinating goroutine after relaxAll's barrier.
+func (e *Engine) gatherStepTelemetry(stats *StepStats) {
+	P := e.opts.P
+	stats.ProcRows = make([]int, P)
+	stats.ProcDirty = make([]int, P)
+	stats.ProcBoundary = make([]int, P)
+	stats.ProcRelaxOps = make([]int64, P)
+	stats.ProcBusy = make([]time.Duration, P)
+	for i, p := range e.procs {
+		stats.ProcRows[i] = p.stepRows
+		stats.ProcDirty[i] = p.stepDirty
+		stats.ProcBoundary[i] = len(p.sub.LocalBoundary)
+		stats.ProcRelaxOps[i] = p.stepOps
+		stats.ProcBusy[i] = e.mach.BusyTime(i) - e.prevBusy[i]
+		stats.TotalRows += p.stepRows
+		stats.DirtyRows += p.stepDirty
+	}
+	stats.Imbalance = obs.Imbalance(stats.ProcBusy)
 }
 
 // describeEvent names a change event for the step history.
@@ -511,6 +576,7 @@ func (e *Engine) shipBoundary() [][]cluster.Message {
 		if e.down(pid) {
 			return // crashed processor: ships nothing until it rejoins
 		}
+		shm := e.markProc(pid)
 		p := e.procs[pid]
 		if len(p.shipSeen) < P {
 			p.shipSeen = make([]int64, P)
@@ -581,6 +647,7 @@ func (e *Engine) shipBoundary() [][]cluster.Message {
 			})
 		}
 		e.mach.Charge(pid, ops)
+		e.spanProc(obs.KindRCShip, pid, shm, ops)
 	})
 	return outbox
 }
@@ -601,9 +668,18 @@ func (e *Engine) relaxAll(inbox [][]cluster.Message) {
 	}
 	e.mach.Parallel(func(pid int) {
 		if e.down(pid) {
-			return // crashed processor: no relax work until it rejoins
+			// Crashed processor: no relax work until it rejoins. Zero the
+			// telemetry scratch so the step's stats do not re-report the
+			// last pre-crash phase.
+			p := e.procs[pid]
+			p.stepOps = 0
+			p.stepRows = p.table.Len()
+			p.stepDirty = 0
+			return
 		}
+		rm := e.markProc(pid)
 		p := e.procs[pid]
+		p.curStep = int32(e.step)
 		rows := p.table.Rows()
 		p.changed = resizeBools(p.changed, len(rows))
 		p.pivot = resizeBools(p.pivot, len(rows))
@@ -623,12 +699,19 @@ func (e *Engine) relaxAll(inbox [][]cluster.Message) {
 		p.stepOps = p.relaxStep(ext, refine, workers, e.opts.TileSize)
 		// startDirty rows were shipped (boundary) and/or locally pivoted:
 		// their content is propagated; keep the mark only if they changed
-		// again this step.
+		// again this step. The same pass counts the rows left dirty — the
+		// per-step convergence-quality telemetry.
+		dirty := 0
 		for i, r := range rows {
 			if p.startDirty[i] && !p.changed[i] {
 				r.ClearDirty()
 			}
+			if r.Dirty {
+				dirty++
+			}
 		}
+		p.stepRows = len(rows)
+		p.stepDirty = dirty
 		p.hasUpdate = false
 		for _, v := range p.sub.LocalBoundary {
 			if r := p.table.Row(v); r != nil && r.Dirty {
@@ -640,6 +723,7 @@ func (e *Engine) relaxAll(inbox [][]cluster.Message) {
 		// divides over the processor's worker threads.
 		e.mach.Charge(pid, p.stepOps/int64(workers))
 		addOps(&e.metrics.RCOps, p.stepOps)
+		e.spanProc(obs.KindRCRelax, pid, rm, p.stepOps)
 	})
 	e.mach.Barrier()
 }
@@ -686,10 +770,12 @@ func (e *Engine) reduceConvergence() bool {
 
 // applyEvent incorporates one dynamic change event (end of an RC step).
 func (e *Engine) applyEvent(ev change.Event) {
+	cm := e.mark()
+	defer e.span(obs.KindChange, cm, 0)
 	switch {
 	case ev.Batch != nil:
-		e.trace("change", fmt.Sprintf("%s: +%d vertices, %d edges",
-			e.opts.Strategy, ev.Batch.NumVertices, ev.Batch.NumEdges()))
+		e.tracef("change", "%s: +%d vertices, %d edges",
+			e.opts.Strategy, ev.Batch.NumVertices, ev.Batch.NumEdges())
 		e.applyBatch(ev.Batch)
 	case len(ev.EdgeAdds) > 0:
 		for _, a := range ev.EdgeAdds {

@@ -27,11 +27,51 @@ type StepStats struct {
 	// ChangeApplied names the dynamic change incorporated at the end of
 	// the step ("" if none).
 	ChangeApplied string
+
+	// Convergence-quality telemetry: cheap anytime-quality proxies computed
+	// every step (the live counterpart of the paper's Fig. 4 trajectories).
+	// All per-proc slices are indexed by processor and freshly allocated per
+	// step; a crashed processor reports its row count with zero dirty rows
+	// and zero relax ops.
+
+	// TotalRows is the number of DV rows across all processors.
+	TotalRows int
+	// DirtyRows counts rows still carrying un-propagated content after the
+	// step; TotalRows - DirtyRows is the rows-converged quality proxy.
+	DirtyRows int
+	// MaxDeltaWidth is the widest boundary delta shipped this step (columns)
+	// — the maximum residual update still moving through the cluster.
+	MaxDeltaWidth int
+	// ProcRows is the per-processor DV row count.
+	ProcRows []int
+	// ProcDirty is the per-processor dirty row count after the step.
+	ProcDirty []int
+	// ProcBoundary is the per-processor local-boundary vertex count.
+	ProcBoundary []int
+	// ProcRelaxOps is the per-processor relax/refine work of the step.
+	ProcRelaxOps []int64
+	// ProcBusy is the per-processor virtual *busy* time accrued during the
+	// step (explicit LogP charges; barrier idling excluded).
+	ProcBusy []time.Duration
+	// Imbalance is max/mean over ProcBusy — the paper's Fig. 5 load-balance
+	// metric, live per step. 1.0 is perfectly balanced.
+	Imbalance float64
 }
 
-// History returns the per-step statistics recorded so far. The slice is
-// owned by the engine; callers must not modify it.
-func (e *Engine) History() []StepStats { return e.history }
+// History returns a copy of the per-step statistics recorded so far. The
+// copy is safe to hold across further Step calls (the engine keeps
+// appending to its own log); the per-proc slices inside each entry are
+// shared and must be treated as read-only.
+func (e *Engine) History() []StepStats {
+	return append([]StepStats(nil), e.history...)
+}
+
+// AppendHistory appends the recorded per-step statistics to dst and returns
+// the extended slice — the allocation-conscious variant of History for
+// callers polling in a loop.
+func (e *Engine) AppendHistory(dst []StepStats) []StepStats {
+	return append(dst, e.history...)
+}
 
 // recordStep appends one step's statistics (called at the end of Step).
 func (e *Engine) recordStep(s StepStats) {

@@ -27,6 +27,7 @@ import (
 	"anytime/internal/cluster"
 	"anytime/internal/fault"
 	"anytime/internal/logp"
+	"anytime/internal/obs"
 	"anytime/internal/partition"
 )
 
@@ -139,6 +140,12 @@ type Options struct {
 	// Trace, when set, receives engine execution events (phase
 	// transitions, RC steps, change applications) for observability.
 	Trace Tracer
+	// Obs, when set, records structured phase-level spans (DD, per-
+	// processor IA/ship/relax, refine tile rounds, checkpoint and shard
+	// writes, crashes, rejoins, fault retries) into the tracer's ring
+	// buffer, carrying both wall time and the LogP virtual clock. nil
+	// disables tracing at branch-only cost (see internal/obs).
+	Obs *obs.Tracer
 	// Seed drives every randomized component (default 1).
 	Seed int64
 	// MaxRCSteps bounds Run (safety net; default 10_000).
@@ -192,5 +199,6 @@ func (o Options) clusterConfig() cluster.Config {
 		Model:       o.Model,
 		MaxMsgBytes: o.MaxMsgBytes,
 		Serialized:  !o.ParallelComm,
+		Obs:         o.Obs,
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"anytime/internal/dv"
 	"anytime/internal/graph"
 	"anytime/internal/kernel"
+	"anytime/internal/obs"
 )
 
 // This file is the per-processor worker pool of the RC phase: the paper's
@@ -247,6 +248,10 @@ func (p *proc) advanceRound(r *refineRound, from, tile int) int64 {
 		r.tLo = -1
 		return 0
 	}
+	var tm obs.Span
+	if p.tr != nil {
+		tm = obs.Span{Kind: obs.KindRCRefineTile, Proc: int32(p.id), Step: p.curStep, Wall: p.tr.Now()}
+	}
 	n := p.table.Len()
 	r.tLo = (wi / tile) * tile // tiles align to a fixed grid
 	r.tHi = r.tLo + tile
@@ -280,6 +285,13 @@ func (p *proc) advanceRound(r *refineRound, from, tile int) int64 {
 		}
 		r.offs = append(r.offs, int32(w))
 		r.owners = append(r.owners, pr.Owner)
+	}
+	if p.tr != nil {
+		// Tile-round spans are wall-only: the LogP charge for the refine
+		// work lands at relax-phase granularity, not per round.
+		tm.WallDur = p.tr.Now() - tm.Wall
+		tm.Value = int64(len(r.offs))
+		p.tr.Record(tm)
 	}
 	return ops
 }

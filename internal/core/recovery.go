@@ -7,6 +7,7 @@ import (
 
 	"anytime/internal/dv"
 	"anytime/internal/fault"
+	"anytime/internal/obs"
 )
 
 // Crash recovery (the paper's stated fault-tolerance future work, realized
@@ -102,11 +103,13 @@ func (e *Engine) writeShards() {
 		return
 	}
 	e.mach.Parallel(func(pid int) {
+		wm := e.markProc(pid)
 		p := e.procs[pid]
 		shard := e.encodeShard(p)
 		e.shards[pid] = shard
 		e.mach.Charge(pid, int64(len(shard)))
 		addOps(&e.metrics.ShardBytes, int64(len(shard)))
+		e.spanProc(obs.KindShardWrite, pid, wm, int64(len(shard)))
 	})
 	e.mach.Barrier()
 	e.metrics.ShardsWritten += e.opts.P
@@ -225,6 +228,7 @@ func (e *Engine) applyFaultSchedule() {
 // but still valid upper-bound — distances until reconvergence.
 func (e *Engine) crash(c fault.Crash) {
 	pid := c.Proc
+	km := e.mark()
 	if err := e.restoreShard(pid); err != nil {
 		e.fail(err)
 		return
@@ -247,7 +251,8 @@ func (e *Engine) crash(c fault.Crash) {
 	e.degraded = true
 	e.converged = false
 	e.metrics.Crashes++
-	e.trace("crash", fmt.Sprintf("processor %d down at step %d for %d steps (shard restored)", pid, e.step, downFor))
+	e.spanProcMark(obs.KindCrash, pid, km, int64(downFor))
+	e.tracef("crash", "processor %d down at step %d for %d steps (shard restored)", pid, e.step, downFor)
 }
 
 // rejoin brings a crashed processor back: all its rows are marked for a
@@ -258,6 +263,7 @@ func (e *Engine) crash(c fault.Crash) {
 // the applyRepartition migration pattern, whose dirty cascade provably
 // reconverges the engine to the sequential oracle.
 func (e *Engine) rejoin(pid int) {
+	jm := e.mark()
 	e.inj.SetDown(pid, false)
 	e.rejoinAt[pid] = -1
 	e.mach.Parallel(func(q int) {
@@ -295,7 +301,8 @@ func (e *Engine) rejoin(pid int) {
 	e.forceRefine = true
 	e.converged = false
 	e.metrics.Recoveries++
-	e.trace("rejoin", fmt.Sprintf("processor %d back at step %d, boundary re-ship scheduled", pid, e.step))
+	e.spanProcMark(obs.KindRejoin, pid, jm, 0)
+	e.tracef("rejoin", "processor %d back at step %d, boundary re-ship scheduled", pid, e.step)
 }
 
 // handleFailedDeliveries re-marks the rows of boundary messages the lossy

@@ -1,6 +1,11 @@
 package core
 
-import "time"
+import (
+	"fmt"
+	"time"
+
+	"anytime/internal/obs"
+)
 
 // TraceEvent is one entry of the engine's execution trace, delivered to
 // Options.Trace when set. Events are emitted from the coordinating
@@ -32,5 +37,96 @@ func (e *Engine) trace(kind, detail string) {
 		Step:    e.step,
 		Detail:  detail,
 		Virtual: e.mach.VirtualTime(),
+	})
+}
+
+// tracef is the lazy formatting variant of trace: the format arguments are
+// only evaluated when a tracer is installed, so hot-path call sites cost one
+// branch (and zero allocations) when tracing is off.
+func (e *Engine) tracef(kind, format string, args ...interface{}) {
+	if e.opts.Trace == nil {
+		return
+	}
+	e.trace(kind, fmt.Sprintf(format, args...))
+}
+
+// spanMark captures the start of an obs span: a wall offset from the
+// tracer's epoch and a virtual-clock reading. The zero value is what a
+// disabled tracer produces, and the record helpers ignore it then — so
+// instrumented code paths pay a nil check and nothing else when disabled.
+type spanMark struct {
+	wall, virt time.Duration
+}
+
+// mark opens an engine-wide span (virtual clock = cluster max).
+func (e *Engine) mark() spanMark {
+	if e.opts.Obs == nil {
+		return spanMark{}
+	}
+	return spanMark{wall: e.opts.Obs.Now(), virt: e.mach.VirtualTime()}
+}
+
+// span closes an engine-wide span opened by mark.
+func (e *Engine) span(k obs.Kind, m spanMark, value int64) {
+	tr := e.opts.Obs
+	if tr == nil {
+		return
+	}
+	tr.Record(obs.Span{
+		Kind:    k,
+		Proc:    -1,
+		Step:    int32(e.step),
+		Wall:    m.wall,
+		WallDur: tr.Now() - m.wall,
+		Virt:    m.virt,
+		VirtDur: e.mach.VirtualTime() - m.virt,
+		Value:   value,
+	})
+}
+
+// spanProcMark closes a span opened with mark (engine-wide clocks) but tags
+// it with a processor — for coordinator-run events about one processor,
+// such as crashes and rejoins.
+func (e *Engine) spanProcMark(k obs.Kind, pid int, m spanMark, value int64) {
+	tr := e.opts.Obs
+	if tr == nil {
+		return
+	}
+	tr.Record(obs.Span{
+		Kind:    k,
+		Proc:    int32(pid),
+		Step:    int32(e.step),
+		Wall:    m.wall,
+		WallDur: tr.Now() - m.wall,
+		Virt:    m.virt,
+		VirtDur: e.mach.VirtualTime() - m.virt,
+		Value:   value,
+	})
+}
+
+// markProc opens a per-processor span (virtual clock = processor pid's).
+// Safe from pid's own Parallel body: each processor owns its clock.
+func (e *Engine) markProc(pid int) spanMark {
+	if e.opts.Obs == nil {
+		return spanMark{}
+	}
+	return spanMark{wall: e.opts.Obs.Now(), virt: e.mach.ProcTime(pid)}
+}
+
+// spanProc closes a per-processor span opened by markProc.
+func (e *Engine) spanProc(k obs.Kind, pid int, m spanMark, value int64) {
+	tr := e.opts.Obs
+	if tr == nil {
+		return
+	}
+	tr.Record(obs.Span{
+		Kind:    k,
+		Proc:    int32(pid),
+		Step:    int32(e.step),
+		Wall:    m.wall,
+		WallDur: tr.Now() - m.wall,
+		Virt:    m.virt,
+		VirtDur: e.mach.ProcTime(pid) - m.virt,
+		Value:   value,
 	})
 }

@@ -17,6 +17,7 @@ func (c Config) engineOptions(strat core.Strategy) core.Options {
 	o.Seed = c.Seed
 	o.Workers = c.Workers
 	o.Strategy = strat
+	o.Obs = c.Obs
 	return o
 }
 

@@ -15,6 +15,7 @@ import (
 
 	"anytime/internal/gen"
 	"anytime/internal/graph"
+	"anytime/internal/obs"
 )
 
 // Config scales the experiments.
@@ -31,6 +32,9 @@ type Config struct {
 	Quick bool
 	// Workers per processor in the IA phase (default 2).
 	Workers int
+	// Obs, when set, receives phase-level spans from every engine the
+	// experiments build (aaexperiments -trace writes them out as JSONL).
+	Obs *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {

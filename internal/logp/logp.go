@@ -76,18 +76,27 @@ func (m Model) Work(ops int64) time.Duration {
 
 // Clock is one processor's virtual clock. Clocks advance independently
 // during a step; barriers synchronize them to the maximum.
+//
+// The clock distinguishes *busy* time (explicit charges via Advance: compute,
+// send/receive overhead) from *idle* time (AdvanceTo jumps: waiting at a
+// barrier or for a message in flight). The busy total is what the paper's
+// load-imbalance metric (Fig. 5) is computed over — a processor stalled at a
+// barrier has a late clock but no extra busy time.
 type Clock struct {
-	now time.Duration
+	now  time.Duration
+	busy time.Duration
 }
 
-// Advance adds d to the clock.
+// Advance adds d to the clock, counting it as busy time.
 func (c *Clock) Advance(d time.Duration) {
 	if d > 0 {
 		c.now += d
+		c.busy += d
 	}
 }
 
-// AdvanceTo moves the clock forward to t if t is later.
+// AdvanceTo moves the clock forward to t if t is later. The jump is idle
+// (synchronization) time and does not count as busy.
 func (c *Clock) AdvanceTo(t time.Duration) {
 	if t > c.now {
 		c.now = t
@@ -96,6 +105,9 @@ func (c *Clock) AdvanceTo(t time.Duration) {
 
 // Now returns the current virtual time.
 func (c *Clock) Now() time.Duration { return c.now }
+
+// Busy returns the accumulated busy (explicitly charged) virtual time.
+func (c *Clock) Busy() time.Duration { return c.busy }
 
 // Barrier synchronizes a set of clocks to their maximum and returns it.
 // This models the bulk-synchronous structure of the recombination steps.

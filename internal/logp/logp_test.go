@@ -67,3 +67,19 @@ func TestBarrierSynchronizesToMax(t *testing.T) {
 		}
 	}
 }
+
+// TestClockBusyTracksAdvanceOnly: Advance accrues busy time, AdvanceTo
+// (barrier/message-wait jumps) moves the clock without counting as busy.
+func TestClockBusyTracksAdvanceOnly(t *testing.T) {
+	var c Clock
+	c.Advance(40 * time.Microsecond)
+	c.AdvanceTo(100 * time.Microsecond)
+	c.Advance(10 * time.Microsecond)
+	c.AdvanceTo(50 * time.Microsecond) // behind: no-op
+	if c.Now() != 110*time.Microsecond {
+		t.Fatalf("Now = %v, want 110µs", c.Now())
+	}
+	if c.Busy() != 50*time.Microsecond {
+		t.Fatalf("Busy = %v, want 50µs (idle jump excluded)", c.Busy())
+	}
+}

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// spanJSON is the JSONL wire form of a Span. Durations are nanoseconds;
+// the kind travels by name so traces stay readable and stable across
+// Kind renumbering.
+type spanJSON struct {
+	Kind    string `json:"kind"`
+	Proc    int32  `json:"proc"`
+	Step    int32  `json:"step"`
+	Wall    int64  `json:"wall_ns"`
+	WallDur int64  `json:"wall_dur_ns"`
+	Virt    int64  `json:"virt_ns"`
+	VirtDur int64  `json:"virt_dur_ns"`
+	Value   int64  `json:"value,omitempty"`
+}
+
+// WriteJSONL writes the spans one JSON object per line.
+func WriteJSONL(w io.Writer, spans []Span) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, s := range spans {
+		if err := enc.Encode(spanJSON{
+			Kind:    s.Kind.String(),
+			Proc:    s.Proc,
+			Step:    s.Step,
+			Wall:    int64(s.Wall),
+			WallDur: int64(s.WallDur),
+			Virt:    int64(s.Virt),
+			VirtDur: int64(s.VirtDur),
+			Value:   s.Value,
+		}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL trace back into spans, skipping blank lines.
+// Unknown kinds are an error: they indicate a trace from a newer build.
+func ReadJSONL(r io.Reader) ([]Span, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []Span
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var sj spanJSON
+		if err := json.Unmarshal(raw, &sj); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		k, ok := KindFromString(sj.Kind)
+		if !ok {
+			return nil, fmt.Errorf("line %d: unknown span kind %q", line, sj.Kind)
+		}
+		out = append(out, Span{
+			Kind:    k,
+			Proc:    sj.Proc,
+			Step:    sj.Step,
+			Wall:    time.Duration(sj.Wall),
+			WallDur: time.Duration(sj.WallDur),
+			Virt:    time.Duration(sj.Virt),
+			VirtDur: time.Duration(sj.VirtDur),
+			Value:   sj.Value,
+		})
+	}
+	return out, sc.Err()
+}
+
+// chromeEvent is one Chrome trace-event ("X" complete event). Timestamps
+// and durations are microseconds per the trace-event spec.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders spans as a Chrome trace-event JSON array, loadable
+// in chrome://tracing or Perfetto. Each processor becomes a thread (tid);
+// engine-wide spans (Proc == -1) land on tid 0 alongside processor 0's lane
+// offset by +1, i.e. tid = Proc+1 so the engine lane sorts first. When
+// virtualClock is true the timeline is the LogP virtual clock (the paper's
+// axis); otherwise it is wall time since the tracer epoch.
+func WriteChromeTrace(w io.Writer, spans []Span, virtualClock bool) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("[\n"); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(bw)
+	for i, s := range spans {
+		ts, dur := s.Wall, s.WallDur
+		if virtualClock {
+			ts, dur = s.Virt, s.VirtDur
+		}
+		ev := chromeEvent{
+			Name:  s.Kind.String(),
+			Phase: "X",
+			TS:    float64(ts) / float64(time.Microsecond),
+			Dur:   float64(dur) / float64(time.Microsecond),
+			PID:   1,
+			TID:   int(s.Proc) + 1,
+			Args: map[string]any{
+				"step":  s.Step,
+				"value": s.Value,
+			},
+		}
+		if virtualClock {
+			ev.Args["wall_us"] = float64(s.Wall) / float64(time.Microsecond)
+		} else {
+			ev.Args["virt_us"] = float64(s.Virt) / float64(time.Microsecond)
+		}
+		if i > 0 {
+			if _, err := bw.WriteString(","); err != nil {
+				return err
+			}
+		}
+		if err := enc.Encode(ev); err != nil { // Encode appends the newline
+			return err
+		}
+	}
+	if _, err := bw.WriteString("]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

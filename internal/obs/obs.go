@@ -1,0 +1,243 @@
+// Package obs is the unified observability layer of the anytime-anywhere
+// engine: structured phase-level tracing and a Prometheus-style metrics
+// registry, both zero-dependency and zero-cost when disabled.
+//
+// Tracing records Spans — one per engine phase occurrence (DD, per-processor
+// IA sweeps, RC ship/relax, refine tile rounds, checkpoint writes/restores,
+// crashes, rejoins, fault retries) — into a fixed-capacity ring buffer. Every
+// span carries both clocks the system runs on: the real wall clock of the
+// in-process simulation and the LogP virtual clock of the simulated cluster
+// (the quantity the paper plots). A nil *Tracer is a valid tracer: every
+// method is nil-safe, so instrumentation compiles down to a pointer test on
+// the disabled path and the steady-state enabled path allocates nothing (the
+// ring is preallocated; old spans are overwritten once it wraps).
+//
+// Recorded traces export as JSONL (one span per line, replayable by
+// cmd/aatrace) and as Chrome trace-event JSON loadable in chrome://tracing
+// or https://ui.perfetto.dev (see export.go).
+//
+// The metrics side (metrics.go) is a registry of counters, gauges, pull-time
+// gauge functions, and histograms rendered in the Prometheus text exposition
+// format; internal/serve mounts it at GET /metrics.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Kind identifies the engine phase a Span measures.
+type Kind uint8
+
+const (
+	// KindDD is the domain-decomposition (partitioning) phase.
+	KindDD Kind = iota
+	// KindIA is one processor's initial-approximation local APSP sweep.
+	KindIA
+	// KindRCShip is one processor's boundary-DV shipping phase of an RC step.
+	KindRCShip
+	// KindRCRelax is one processor's relax phase of an RC step: external-delta
+	// relaxation plus (when enabled) the tiled local refinement.
+	KindRCRelax
+	// KindRCRefineTile is one tile round of the blocked Floyd–Warshall local
+	// refinement: the leader-run diagonal phase A (Value = active pivots).
+	KindRCRefineTile
+	// KindRCStep is one whole recombination step, engine-wide.
+	KindRCStep
+	// KindCheckpointWrite is a full engine checkpoint serialization.
+	KindCheckpointWrite
+	// KindCheckpointRestore is an engine reconstruction from a checkpoint.
+	KindCheckpointRestore
+	// KindShardWrite is one processor's recovery-shard serialization
+	// (Value = shard bytes).
+	KindShardWrite
+	// KindCrash is a scheduled processor failure (Proc = the processor).
+	KindCrash
+	// KindRejoin is a crashed processor's rejoin protocol.
+	KindRejoin
+	// KindFaultRetry is a lossy-link delivery that needed retransmissions or
+	// was abandoned (Value = attempts; Proc = the sender).
+	KindFaultRetry
+	// KindChange is the incorporation of one dynamic change event.
+	KindChange
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	KindDD:                "dd",
+	KindIA:                "ia",
+	KindRCShip:            "rc-ship",
+	KindRCRelax:           "rc-relax",
+	KindRCRefineTile:      "rc-refine-tile",
+	KindRCStep:            "rc-step",
+	KindCheckpointWrite:   "checkpoint-write",
+	KindCheckpointRestore: "checkpoint-restore",
+	KindShardWrite:        "shard-write",
+	KindCrash:             "crash",
+	KindRejoin:            "rejoin",
+	KindFaultRetry:        "fault-retry",
+	KindChange:            "change",
+}
+
+// String returns the stable wire name of the kind (used by the JSONL
+// exporter and cmd/aatrace).
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// KindFromString resolves a wire name back to its Kind.
+func KindFromString(s string) (Kind, bool) {
+	for k, n := range kindNames {
+		if n == s {
+			return Kind(k), true
+		}
+	}
+	return 0, false
+}
+
+// Span is one recorded phase occurrence. Wall offsets are relative to the
+// tracer's epoch (its creation time); Virt offsets are the simulated LogP
+// cluster clock. Engine-wide spans use Proc == -1.
+type Span struct {
+	Kind    Kind
+	Proc    int32 // processor, or -1 for engine-wide spans
+	Step    int32 // RC step counter at emission
+	Wall    time.Duration
+	WallDur time.Duration
+	Virt    time.Duration
+	VirtDur time.Duration
+	Value   int64 // kind-specific magnitude (rows, bytes, pivots, attempts)
+}
+
+// Tracer records spans into a preallocated ring buffer. All methods are safe
+// for concurrent use and nil-safe: a nil *Tracer records nothing, costing one
+// branch per instrumentation point and zero allocations.
+type Tracer struct {
+	epoch time.Time
+
+	mu    sync.Mutex
+	buf   []Span
+	next  int   // next write slot
+	total int64 // spans ever recorded
+}
+
+// DefaultCapacity is the ring size NewTracer uses for capacity <= 0:
+// enough for several thousand RC steps of per-processor spans.
+const DefaultCapacity = 1 << 16
+
+// NewTracer returns a tracer whose ring holds the most recent `capacity`
+// spans (DefaultCapacity when <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Tracer{epoch: time.Now(), buf: make([]Span, capacity)}
+}
+
+// Enabled reports whether spans are being recorded. Instrumentation sites
+// use it to skip clock reads on the disabled path.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Now returns the wall-clock offset since the tracer's epoch (0 on a nil
+// tracer).
+func (t *Tracer) Now() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.epoch)
+}
+
+// Record stores one span. On a nil tracer it is a no-op; on a live tracer it
+// writes into the preallocated ring (overwriting the oldest span once the
+// ring wraps) and never allocates.
+func (t *Tracer) Record(s Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.buf[t.next] = s
+	t.next++
+	if t.next == len(t.buf) {
+		t.next = 0
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Len returns the number of spans currently held (0 on nil).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.total < int64(len(t.buf)) {
+		return int(t.total)
+	}
+	return len(t.buf)
+}
+
+// Dropped returns how many spans the ring has overwritten (0 on nil).
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.total < int64(len(t.buf)) {
+		return 0
+	}
+	return t.total - int64(len(t.buf))
+}
+
+// Spans returns a copy of the retained spans in recording order (oldest
+// first). Nil tracer: nil.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.total < int64(len(t.buf)) {
+		return append([]Span(nil), t.buf[:t.next]...)
+	}
+	out := make([]Span, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// Reset drops every retained span, keeping the ring and the epoch.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.next, t.total = 0, 0
+	t.mu.Unlock()
+}
+
+// Imbalance is the paper's Fig. 5 load-balance metric over one step's
+// per-processor virtual busy times: max/mean. A perfectly balanced step is
+// 1.0; an all-idle step reports 1.0 as well (trivially balanced).
+func Imbalance(busy []time.Duration) float64 {
+	if len(busy) == 0 {
+		return 1
+	}
+	var max, sum time.Duration
+	for _, b := range busy {
+		if b > max {
+			max = b
+		}
+		sum += b
+	}
+	if sum == 0 {
+		return 1
+	}
+	mean := float64(sum) / float64(len(busy))
+	return float64(max) / mean
+}

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"anytime/internal/obs"
 	"anytime/internal/stream"
 )
 
@@ -196,11 +197,29 @@ func (c *Client) Snapshot(ctx context.Context) (SnapshotMeta, error) {
 	return out, err
 }
 
-// Metrics fetches the counter map served at /metrics.
-func (c *Client) Metrics(ctx context.Context) (map[string]int64, error) {
-	var out map[string]int64
-	err := c.do(ctx, http.MethodGet, "/metrics", nil, &out)
-	return out, err
+// Metrics scrapes /metrics and parses the Prometheus text exposition into
+// a flat map keyed by sample name including labels, e.g.
+// `aa_queries_served_total` or `aa_proc_rows{proc="0"}`.
+func (c *Client) Metrics(ctx context.Context) (map[string]float64, error) {
+	actx, cancel := context.WithTimeout(ctx, c.timeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodGet, strings.TrimRight(c.BaseURL, "/")+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("serve: GET /metrics: %s", resp.Status)
+	}
+	return obs.ParseText(resp.Body)
 }
 
 // Healthz fetches the health probe: "ok", "degraded", or an error when the

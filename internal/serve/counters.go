@@ -1,39 +1,53 @@
 package serve
 
-import "sync/atomic"
+import (
+	"sync/atomic"
 
-// Counters are the serving subsystem's expvar-style counters, safe for
-// concurrent use. GET /metrics renders them together with the latest
-// View's version, RC steps, and virtual time.
+	"anytime/internal/obs"
+)
+
+// Counters are the serving subsystem's counters, safe for concurrent use.
+// The monotone ones are obs.Counter so the metrics registry renders them
+// directly; GET /metrics serves the whole set in the Prometheus text
+// exposition format together with engine totals and per-step telemetry.
 type Counters struct {
 	// QueriesServed counts answered read queries (closeness, top-k,
 	// snapshot metadata), across HTTP and programmatic access.
-	QueriesServed atomic.Int64
-	// EventsAdmitted / EventsRejected count dynamic events accepted into /
-	// refused from the admission queue (rejections: backpressure or
-	// validation failure).
-	EventsAdmitted atomic.Int64
-	EventsRejected atomic.Int64
+	QueriesServed obs.Counter
+	// EventsAdmitted counts dynamic events accepted into the admission
+	// queue. Rejections are split by cause: backpressure (the queue stayed
+	// full through AdmitWait) vs validation (the batch referenced an
+	// invalid vertex, weight, or ID).
+	EventsAdmitted             obs.Counter
+	EventsRejectedBackpressure obs.Counter
+	EventsRejectedInvalid      obs.Counter
 	// EventsIngested counts admitted events handed to the engine;
 	// EventsDropped counts events the engine refused (normally zero —
 	// admission validation mirrors the engine's checks).
-	EventsIngested atomic.Int64
-	EventsDropped  atomic.Int64
+	EventsIngested obs.Counter
+	EventsDropped  obs.Counter
 	// Publishes counts View publications (equals the latest version).
-	Publishes atomic.Int64
+	Publishes obs.Counter
 	// EngineRestarts counts driver recoveries: a failed RC step replaced
 	// the engine with one restored from the last checkpoint.
-	EngineRestarts atomic.Int64
+	EngineRestarts obs.Counter
 	// CheckpointsWritten counts periodic and shutdown checkpoints.
-	CheckpointsWritten atomic.Int64
+	CheckpointsWritten obs.Counter
 	// EventsLost counts events dropped by engine restarts: everything
 	// applied or admitted after the checkpoint the driver restarted from
 	// (the at-most-once trade the hardened serving path makes).
-	EventsLost atomic.Int64
+	EventsLost obs.Counter
 	// PendingEvents and EngineQueued are gauges: events sitting in the
-	// admission queue and in the engine's internal change queue.
+	// admission queue and in the engine's internal change queue. They stay
+	// plain atomics (the driver Stores absolute values) and are exposed on
+	// /metrics through gauge functions.
 	PendingEvents atomic.Int64
 	EngineQueued  atomic.Int64
+}
+
+// EventsRejected is the total rejection count across both causes.
+func (c *Counters) EventsRejected() int64 {
+	return c.EventsRejectedBackpressure.Load() + c.EventsRejectedInvalid.Load()
 }
 
 // QueueDepth is the total ingestion backlog: admission queue plus the

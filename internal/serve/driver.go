@@ -29,7 +29,7 @@ func (s *Server) Admit(evs []stream.Event) error {
 		}
 		wait := time.Until(deadline)
 		if wait <= 0 {
-			s.counters.EventsRejected.Add(int64(len(evs)))
+			s.counters.EventsRejectedBackpressure.Add(int64(len(evs)))
 			return ErrBackpressure
 		}
 		// sync.Cond has no timed wait: arm a broadcast at the deadline so
@@ -42,7 +42,7 @@ func (s *Server) Admit(evs []stream.Event) error {
 		return ErrClosed
 	}
 	if err := s.validateLocked(evs); err != nil {
-		s.counters.EventsRejected.Add(int64(len(evs)))
+		s.counters.EventsRejectedInvalid.Add(int64(len(evs)))
 		return err
 	}
 	s.pending = append(s.pending, evs...)
@@ -208,6 +208,12 @@ func (s *Server) restart(cause error) error {
 	if err != nil {
 		return fmt.Errorf("serve: restoring checkpoint after engine failure (%v): %w", cause, err)
 	}
+	// Rebase the rendered engine counters so scrapes never observe a
+	// backwards step. The delta is computed against the last *published*
+	// metrics (what scrapers could have seen), not the dead engine's live
+	// ones: rendered values stay constant through the swap and resume
+	// climbing from there.
+	s.metrics.rebase(s.store.load().Metrics, ne.Metrics())
 	s.mu.Lock()
 	lost += int64(len(s.pending))
 	s.pending = nil
@@ -309,6 +315,7 @@ func (s *Server) finish(evs []stream.Event) {
 // of every RC step): publish every PublishEvery steps, and always on
 // convergence so the exact state becomes visible immediately.
 func (s *Server) onStep(st core.StepStats) {
+	s.metrics.observeStep(st)
 	s.sincePublish++
 	if s.sincePublish >= s.cfg.PublishEvery || st.ConvergedAfter {
 		s.publish()

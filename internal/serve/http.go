@@ -14,7 +14,7 @@ import (
 // The HTTP/JSON API (stdlib only):
 //
 //	GET  /healthz                 liveness probe
-//	GET  /metrics                 expvar-style counters
+//	GET  /metrics                 Prometheus text exposition
 //	GET  /v1/snapshot             latest View metadata (no scores)
 //	GET  /v1/topk?k=K             top-K closeness vertices
 //	GET  /v1/closeness/{vertex}   one vertex's centrality estimates
@@ -122,10 +122,10 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
-	mux.HandleFunc("GET /v1/topk", s.handleTopK)
-	mux.HandleFunc("GET /v1/closeness/{vertex}", s.handleCloseness)
-	mux.HandleFunc("POST /v1/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/snapshot", s.instrument("snapshot", s.handleSnapshot))
+	mux.HandleFunc("GET /v1/topk", s.instrument("topk", s.handleTopK))
+	mux.HandleFunc("GET /v1/closeness/{vertex}", s.instrument("closeness", s.handleCloseness))
+	mux.HandleFunc("POST /v1/events", s.instrument("events", s.handleEvents))
 	return mux
 }
 
@@ -260,29 +260,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleMetrics serves the Prometheus text exposition: serving counters,
+// engine cost totals (monotone across restarts), per-processor load gauges
+// including the step load-imbalance gauge, and per-route latency
+// histograms.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	v := s.View()
-	c := &s.counters
-	converged := int64(0)
-	if v.Converged {
-		converged = 1
-	}
-	writeJSON(w, http.StatusOK, map[string]int64{
-		"snapshot_version": int64(v.Version),
-		"rc_steps":         int64(v.Metrics.RCSteps),
-		"virtual_time_ns":  int64(v.Metrics.VirtualTime),
-		"queue_depth":      c.QueueDepth(),
-		"queries_served":   c.QueriesServed.Load(),
-		"events_admitted":  c.EventsAdmitted.Load(),
-		"events_rejected":  c.EventsRejected.Load(),
-		"events_ingested":  c.EventsIngested.Load(),
-		"events_dropped":   c.EventsDropped.Load(),
-		"events_lost":      c.EventsLost.Load(),
-		"publishes":        c.Publishes.Load(),
-		"engine_restarts":  c.EngineRestarts.Load(),
-		"checkpoints":      c.CheckpointsWritten.Load(),
-		"converged":        converged,
-		"vertices":         int64(v.Vertices),
-		"edges":            int64(v.Edges),
-	})
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.reg.WriteTo(w)
 }

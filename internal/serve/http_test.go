@@ -150,12 +150,18 @@ func TestHTTPEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{"snapshot_version", "rc_steps", "queue_depth", "queries_served", "events_admitted", "publishes"} {
+	for _, key := range []string{
+		"aa_snapshot_version", "aa_engine_rc_steps_total", "aa_queue_depth",
+		"aa_queries_served_total", "aa_events_admitted_total", "aa_publishes_total",
+		"aa_step_imbalance", `aa_proc_rows{proc="0"}`,
+		`aa_events_rejected_total{reason="backpressure"}`,
+		`aa_events_rejected_total{reason="invalid"}`,
+	} {
 		if _, ok := mm[key]; !ok {
 			t.Fatalf("metrics missing %q: %v", key, mm)
 		}
 	}
-	if mm["queries_served"] == 0 || mm["events_admitted"] != 2 || mm["snapshot_version"] < 2 {
+	if mm["aa_queries_served_total"] == 0 || mm["aa_events_admitted_total"] != 2 || mm["aa_snapshot_version"] < 2 {
 		t.Fatalf("metrics = %v", mm)
 	}
 

@@ -102,6 +102,7 @@ type Server struct {
 	eng      *core.Engine
 	store    store
 	counters Counters
+	metrics  *serverMetrics
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -161,6 +162,7 @@ func newServer(e *core.Engine, cfg Config) (*Server, error) {
 			s.deleted[v] = true
 		}
 	}
+	s.metrics = newServerMetrics(s, e.Options().P)
 	e.SetStepHook(s.onStep)
 	s.publish()
 	return s, nil

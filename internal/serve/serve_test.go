@@ -198,8 +198,14 @@ func TestBackpressure(t *testing.T) {
 	if got := c.EventsAdmitted.Load(); got != int64(admitted) {
 		t.Fatalf("EventsAdmitted = %d, want %d", got, admitted)
 	}
-	if got := c.EventsRejected.Load(); got != int64(rejected) {
-		t.Fatalf("EventsRejected = %d, want %d", got, rejected)
+	if got := c.EventsRejectedBackpressure.Load(); got != int64(rejected) {
+		t.Fatalf("EventsRejectedBackpressure = %d, want %d", got, rejected)
+	}
+	if got := c.EventsRejectedInvalid.Load(); got != 0 {
+		t.Fatalf("EventsRejectedInvalid = %d, want 0 (all rejections were backpressure)", got)
+	}
+	if got := c.EventsRejected(); got != int64(rejected) {
+		t.Fatalf("EventsRejected() = %d, want %d", got, rejected)
 	}
 	if got := c.EventsIngested.Load(); got != int64(admitted) {
 		t.Fatalf("EventsIngested = %d, want %d", got, admitted)
