@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build test vet race chaos bench bench-json bench-compare obs-check clean
+.PHONY: check build test vet race chaos bench bench-json bench-compare obs-check transport-check clean
 
-check: build test vet race
+check: build test vet race transport-check
 
 build:
 	$(GO) build ./...
@@ -37,15 +37,24 @@ bench:
 # few iterations per second, so 1s runs are noisy.
 BENCHTIME ?= 2s
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkRC|BenchmarkFig4|BenchmarkFig8' -benchtime $(BENCHTIME) -benchmem ./... \
+	$(GO) test -run '^$$' -bench 'BenchmarkRC|BenchmarkFig4|BenchmarkFig8|BenchmarkTransportRoundTrip' -benchtime $(BENCHTIME) -benchmem ./... \
 		| $(GO) run ./cmd/benchjson > BENCH_rc.json
 
 # Regression gate: rerun the RC relax/refine-phase benchmarks (plus the
 # tracer-enabled step benchmark) and fail if any ns/op regresses more than
 # 15% against the committed baseline.
 bench-compare:
-	$(GO) test -run '^$$' -bench 'BenchmarkRCRelaxPhase|BenchmarkRCRefinePhase|BenchmarkRCStepTraced' -benchmem ./internal/core \
+	{ $(GO) test -run '^$$' -bench 'BenchmarkRCRelaxPhase|BenchmarkRCRefinePhase|BenchmarkRCStepTraced' -benchmem ./internal/core ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkTransportRoundTrip' -benchmem ./internal/transport ; } \
 		| $(GO) run ./cmd/benchjson -compare BENCH_rc.json
+
+# Transport gate: the pluggable message plane (frames, codec, fault
+# wrapper, TCP links) and the one-rank-per-process runner under the race
+# detector — including the integration test that spawns real OS processes
+# over a TCP mesh and checks bit-identical convergence against inproc.
+transport-check:
+	$(GO) vet ./internal/transport ./internal/rank ./cmd/aacluster
+	$(GO) test -race -count=1 ./internal/transport ./internal/rank
 
 # Observability gate: vet the tree and verify the zero-cost contract — a
 # nil/disabled tracer must add no allocations to instrumented paths.

@@ -1,0 +1,374 @@
+// Command aacluster runs the anytime-anywhere engine as N real OS
+// processes, one rank per process, over the TCP transport.
+//
+// Every process builds the same deterministic graph (same -n/-m/-seed),
+// partitions it identically (checksum-verified), computes its local APSP,
+// and recombines to convergence over the wire. Rank 0 can dump the full
+// distance matrix and verify it against the exact in-process oracle.
+//
+// Join an existing mesh (one invocation per rank):
+//
+//	aacluster -rank 0 -peers 127.0.0.1:9000,127.0.0.1:9001 -n 2000
+//	aacluster -rank 1 -peers 127.0.0.1:9000,127.0.0.1:9001 -n 2000
+//
+// Or let one invocation launch the whole mesh locally:
+//
+//	aacluster -launch -p 3 -n 2000 -verify
+//
+// A manifest file (lines of "<rank> <host:port>", # comments) replaces
+// -peers for static deployments:
+//
+//	aacluster -rank 2 -manifest cluster.manifest -n 50000
+//
+// The calibrate mode measures the real transport's LogP parameters
+// (o, g, L) with ping-pong and burst round trips between ranks 0 and 1
+// and prints the model row to feed back into the simulator:
+//
+//	aacluster -launch -p 2 -calibrate
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+
+	"anytime/internal/gen"
+	"anytime/internal/graph"
+	"anytime/internal/obs"
+	"anytime/internal/rank"
+	"anytime/internal/sssp"
+	"anytime/internal/transport"
+)
+
+func main() {
+	var (
+		rankID    = flag.Int("rank", -1, "this process's rank (0..P-1)")
+		peersFlag = flag.String("peers", "", "comma-separated addresses, rank = position")
+		manifest  = flag.String("manifest", "", "manifest file: lines of \"<rank> <host:port>\"")
+		launch    = flag.Bool("launch", false, "spawn the whole mesh locally as child processes")
+		procs     = flag.Int("p", 3, "ranks to launch (with -launch)")
+
+		n       = flag.Int("n", 2000, "graph size")
+		m       = flag.Int("m", 2, "scale-free attachment degree")
+		seed    = flag.Int64("seed", 1, "graph + partition seed")
+		workers = flag.Int("workers", 2, "worker goroutines per rank")
+		tile    = flag.Int("tile", 32, "blocked-refinement pivot tile")
+		steps   = flag.Int("max-steps", 0, "recombination step bound (0 = default)")
+
+		calibrate = flag.Bool("calibrate", false, "measure o/g/L over the real transport and exit")
+		rounds    = flag.Int("rounds", 32, "calibration ping-pong rounds")
+		verify    = flag.Bool("verify", false, "rank 0: check the result against the exact oracle")
+		out       = flag.String("out", "", "rank 0: write the distance matrix (text) here")
+		metrics   = flag.String("metrics", "", "serve aa_transport_* metrics on this address (e.g. :9090)")
+	)
+	flag.Parse()
+
+	if *launch {
+		os.Exit(launchMesh(*procs, *calibrate))
+	}
+	peers, err := loadPeers(*peersFlag, *manifest)
+	if err != nil {
+		fatal(err)
+	}
+	if *rankID < 0 || *rankID >= len(peers) {
+		fatal(fmt.Errorf("-rank %d out of range for %d peers", *rankID, len(peers)))
+	}
+	tr, err := transport.NewTCP(peers, *rankID, transport.TCPOptions{})
+	if err != nil {
+		fatal(fmt.Errorf("joining mesh: %w", err))
+	}
+	defer tr.Close()
+	if *metrics != "" {
+		serveMetrics(*metrics, tr)
+	}
+
+	if *calibrate {
+		cal, err := transport.Calibrate(tr, *rounds)
+		if err != nil {
+			fatal(err)
+		}
+		if tr.Rank() == 0 {
+			fmt.Println(cal.String())
+			model := cal.Model(tr.Size())
+			fmt.Printf("model: L=%v o=%v g=%v/B P=%d\n", model.L, model.O, model.G, model.P)
+		}
+		return
+	}
+
+	g, err := buildGraph(*n, *m, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	r, err := rank.New(tr, rank.Config{
+		Graph: g, Seed: *seed, Workers: *workers, TileSize: *tile, MaxSteps: *steps,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	setup := time.Since(start)
+	nsteps, err := r.Run()
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+	st, ts := r.Stats(), tr.Stats()
+	fmt.Printf("rank %d/%d: converged in %d steps, %v (setup %v); ia=%d relax=%d reships=%d; sent %d msgs / %d B, recv %d msgs / %d B, reconnects=%d\n",
+		tr.Rank(), tr.Size(), nsteps, elapsed.Round(time.Millisecond), setup.Round(time.Millisecond),
+		st.IAOps, st.RelaxOps, st.Reships,
+		ts.MessagesSent, ts.BytesSent, ts.MessagesRecv, ts.BytesRecv, ts.Reconnects)
+
+	// GatherDistances is a collective, so whether to gather is rank 0's
+	// decision, broadcast to everyone — a rank joined without -verify/-out
+	// must still participate when rank 0 wants the matrix.
+	want := byte(0)
+	if tr.Rank() == 0 && (*verify || *out != "") {
+		want = 1
+	}
+	msg, err := tr.Broadcast(0, transport.Message{Tag: transport.TagControl, Bytes: 1, Payload: []byte{want}})
+	if err != nil {
+		fatal(err)
+	}
+	if tr.Rank() != 0 {
+		want = msg.Payload.([]byte)[0]
+	}
+	if want == 0 {
+		return
+	}
+	dist, err := r.GatherDistances()
+	if err != nil {
+		fatal(err)
+	}
+	if tr.Rank() != 0 {
+		return
+	}
+	if *verify {
+		if err := verifyOracle(g, dist); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("rank 0: verified %d x %d distances against the exact oracle\n", len(dist), len(dist))
+	}
+	if *out != "" {
+		if err := writeDistances(*out, dist); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("rank 0: wrote %s\n", *out)
+	}
+}
+
+// launchMesh reserves P localhost ports and re-execs this binary once per
+// rank, forwarding every non-launch flag. It returns the exit code.
+func launchMesh(p int, calibrate bool) int {
+	if p < 2 {
+		fmt.Fprintln(os.Stderr, "aacluster: -launch needs -p >= 2")
+		return 2
+	}
+	if calibrate {
+		p = maxInt(p, 2)
+	}
+	addrs, err := freePorts(p)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aacluster: %v\n", err)
+		return 1
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aacluster: %v\n", err)
+		return 1
+	}
+	// Forward everything except the launch-mode flags.
+	var passthrough []string
+	skip := map[string]bool{"launch": true, "p": true, "rank": true, "peers": true, "manifest": true, "metrics": true}
+	flag.Visit(func(f *flag.Flag) {
+		if !skip[f.Name] {
+			passthrough = append(passthrough, "-"+f.Name+"="+f.Value.String())
+		}
+	})
+	cmds := make([]*exec.Cmd, p)
+	for r := 0; r < p; r++ {
+		args := append([]string{
+			"-rank=" + strconv.Itoa(r),
+			"-peers=" + strings.Join(addrs, ","),
+		}, passthrough...)
+		cmd := exec.Command(exe, args...)
+		cmd.Stdout = prefixWriter(fmt.Sprintf("[rank %d] ", r), os.Stdout)
+		cmd.Stderr = prefixWriter(fmt.Sprintf("[rank %d] ", r), os.Stderr)
+		if err := cmd.Start(); err != nil {
+			fmt.Fprintf(os.Stderr, "aacluster: starting rank %d: %v\n", r, err)
+			return 1
+		}
+		cmds[r] = cmd
+	}
+	code := 0
+	for r, cmd := range cmds {
+		if err := cmd.Wait(); err != nil {
+			fmt.Fprintf(os.Stderr, "aacluster: rank %d: %v\n", r, err)
+			code = 1
+		}
+	}
+	return code
+}
+
+func loadPeers(inline, manifestPath string) ([]transport.Peer, error) {
+	if inline != "" && manifestPath != "" {
+		return nil, fmt.Errorf("use -peers or -manifest, not both")
+	}
+	if inline != "" {
+		var peers []transport.Peer
+		for i, addr := range strings.Split(inline, ",") {
+			peers = append(peers, transport.Peer{Rank: i, Addr: strings.TrimSpace(addr)})
+		}
+		return peers, nil
+	}
+	if manifestPath == "" {
+		return nil, fmt.Errorf("no mesh: pass -peers or -manifest (or -launch)")
+	}
+	f, err := os.Open(manifestPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var peers []transport.Peer
+	sc := bufio.NewScanner(f)
+	for line := 1; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want \"<rank> <host:port>\", got %q", manifestPath, line, text)
+		}
+		r, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad rank: %w", manifestPath, line, err)
+		}
+		peers = append(peers, transport.Peer{Rank: r, Addr: fields[1]})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return peers, nil
+}
+
+func buildGraph(n, m int, seed int64) (*graph.Graph, error) {
+	g, err := gen.BarabasiAlbert(n, m, gen.Weights{Min: 1, Max: 4}, seed)
+	if err != nil {
+		return nil, err
+	}
+	gen.Connectify(g, seed)
+	return g, nil
+}
+
+func verifyOracle(g *graph.Graph, dist [][]graph.Dist) error {
+	want := sssp.APSP(g)
+	for v := range want {
+		for u := range want[v] {
+			if dist[v][u] != want[v][u] {
+				return fmt.Errorf("verify: dist[%d][%d] = %d, oracle %d", v, u, dist[v][u], want[v][u])
+			}
+		}
+	}
+	return nil
+}
+
+func writeDistances(path string, dist [][]graph.Dist) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for _, row := range dist {
+		for u, d := range row {
+			if u > 0 {
+				w.WriteByte(' ')
+			}
+			if d == graph.InfDist {
+				w.WriteString("inf")
+			} else {
+				w.WriteString(strconv.FormatUint(uint64(d), 10))
+			}
+		}
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func serveMetrics(addr string, tr transport.Transport) {
+	reg := obs.NewRegistry()
+	transport.RegisterMetrics(reg, tr, "tcp")
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		reg.WriteTo(w)
+	})
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			fmt.Fprintf(os.Stderr, "aacluster: metrics server: %v\n", err)
+		}
+	}()
+}
+
+func freePorts(n int) ([]string, error) {
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs, nil
+}
+
+// prefixWriter tags every line of child output with the rank.
+type lineWriter struct {
+	prefix string
+	dst    *os.File
+	buf    []byte
+}
+
+func prefixWriter(prefix string, dst *os.File) *lineWriter {
+	return &lineWriter{prefix: prefix, dst: dst}
+}
+
+func (w *lineWriter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	for {
+		i := strings.IndexByte(string(w.buf), '\n')
+		if i < 0 {
+			break
+		}
+		fmt.Fprintf(w.dst, "%s%s\n", w.prefix, w.buf[:i])
+		w.buf = w.buf[i+1:]
+	}
+	return len(p), nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "aacluster: %v\n", err)
+	os.Exit(1)
+}

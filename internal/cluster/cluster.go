@@ -14,31 +14,32 @@ import (
 
 	"anytime/internal/logp"
 	"anytime/internal/obs"
+	"anytime/internal/transport"
 )
 
+// The message-plane vocabulary (tags, messages, delivery fates, the fault
+// hook) is owned by internal/transport so that the simulator, the inproc
+// backend, and the TCP backend all speak one wire contract. The aliases
+// below keep the historical cluster.* names working for existing callers.
+
 // Tag distinguishes message kinds in the mailboxes.
-type Tag uint8
+type Tag = transport.Tag
 
 const (
 	// TagBoundaryDV carries updated boundary distance vectors (RC phase).
-	TagBoundaryDV Tag = iota
+	TagBoundaryDV = transport.TagBoundaryDV
 	// TagNewVertexRow carries a new vertex's distance vector (vertex addition).
-	TagNewVertexRow
+	TagNewVertexRow = transport.TagNewVertexRow
 	// TagMigrateRows carries rows of vertices relocated by repartitioning.
-	TagMigrateRows
+	TagMigrateRows = transport.TagMigrateRows
 	// TagControl carries small control/termination information.
-	TagControl
+	TagControl = transport.TagControl
 )
 
 // Message is one logical message between processors. Payload stays
 // in-process (no serialization); Bytes is the accounted on-wire size and is
 // what the LogP clock charges.
-type Message struct {
-	From, To int
-	Tag      Tag
-	Bytes    int
-	Payload  interface{}
-}
+type Message = transport.Message
 
 // TagStats are per-message-kind counters.
 type TagStats struct {
@@ -48,23 +49,23 @@ type TagStats struct {
 
 // Fate is the outcome the fault layer assigns to one delivery attempt of a
 // message on a lossy link.
-type Fate uint8
+type Fate = transport.Fate
 
 const (
 	// FateDeliver delivers the attempt normally.
-	FateDeliver Fate = iota
+	FateDeliver = transport.FateDeliver
 	// FateDrop loses the attempt in the network; the sender's ack timeout
 	// triggers a retransmission (bounded by ResendBudget).
-	FateDrop
+	FateDrop = transport.FateDrop
 	// FateDuplicate delivers the message twice (a spurious retransmission
 	// after a lost ack). Receivers must be idempotent.
-	FateDuplicate
+	FateDuplicate = transport.FateDuplicate
 	// FateDelay holds the message in flight; it is delivered at the start
 	// of the next Exchange instead of this one.
-	FateDelay
+	FateDelay = transport.FateDelay
 	// FateCorrupt flips bits on the wire; the receiver's transport checksum
 	// detects it and nacks, triggering a retransmission like FateDrop.
-	FateCorrupt
+	FateCorrupt = transport.FateCorrupt
 )
 
 // FaultHook is consulted by Exchange for every delivery attempt, making the
@@ -74,27 +75,16 @@ const (
 // reference implementation.
 //
 // Fault injection applies to the boundary-DV data plane only: Exchange asks
-// the hook for TagBoundaryDV messages, while migration/control traffic and
-// Broadcast use reliable delivery regardless of the hook (their loss would
-// tear engine state rather than delay convergence, and real systems put
-// them on a reliable channel).
-type FaultHook interface {
-	// Fate returns the outcome of delivery attempt `attempt` (0-based) of
-	// the msgIndex-th message from processor `from` to `to` within exchange
-	// number xid.
-	Fate(xid int64, from, to, msgIndex, attempt int, tag Tag) Fate
-	// Down reports whether processor p is currently crashed. Boundary-DV
-	// messages addressed to a down processor are dropped without retry (the
-	// engine's rejoin protocol re-ships everything the processor missed).
-	Down(p int) bool
-	// ResendBudget is the maximum number of delivery attempts per message
-	// (>= 1). When the budget is exhausted the message is abandoned and
-	// reported through TakeFailed.
-	ResendBudget() int
-}
+// the hook for TagBoundaryDV messages, while migration/control traffic uses
+// reliable delivery regardless of the hook (their loss would tear engine
+// state rather than delay convergence, and real systems put them on a
+// reliable channel). Broadcast runs each per-destination copy through the
+// same per-message accounting as Exchange, so a boundary-tagged broadcast
+// is subject to the same fates.
+type FaultHook = transport.FaultHook
 
 // NumTags is the number of message kinds tracked in Stats.ByTag.
-const NumTags = int(TagControl) + 1
+const NumTags = transport.NumTags
 
 // Stats aggregates communication counters for reports and the analysis
 // benches. ByTag breaks traffic down by message kind (boundary DVs,
@@ -150,10 +140,14 @@ type delayedMsg struct {
 	msg     Message
 }
 
-// Machine is the simulated cluster.
+// Machine is the simulated cluster. All deliveries flow through a
+// transport.Hub — the same in-process message plane backing the inproc
+// Transport backend — so the simulator and the real-transport runner share
+// one delivery fabric and one Message/Tag/Fate vocabulary.
 type Machine struct {
 	cfg     Config
 	clocks  []*logp.Clock
+	hub     *transport.Hub
 	stats   Stats
 	mu      sync.Mutex
 	xid     int64        // exchange sequence number (fault determinism key)
@@ -169,12 +163,19 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.MaxMsgBytes < 0 {
 		return nil, fmt.Errorf("cluster: negative MaxMsgBytes")
 	}
-	m := &Machine{cfg: cfg, clocks: make([]*logp.Clock, cfg.Model.P)}
+	m := &Machine{
+		cfg:    cfg,
+		clocks: make([]*logp.Clock, cfg.Model.P),
+		hub:    transport.NewHub(cfg.Model.P),
+	}
 	for i := range m.clocks {
 		m.clocks[i] = &logp.Clock{}
 	}
 	return m, nil
 }
+
+// Hub exposes the machine's delivery fabric (for transport-level metrics).
+func (m *Machine) Hub() *transport.Hub { return m.hub }
 
 // P returns the processor count.
 func (m *Machine) P() int { return m.cfg.Model.P }
@@ -300,9 +301,10 @@ func (m *Machine) msgCost(bytes int) time.Duration {
 // previous exchange are delivered first, in their original order.
 func (m *Machine) Exchange(outbox [][]Message) ([][]Message, error) {
 	P := m.P()
-	inbox := make([][]Message, P)
-	// index outgoing by (from, to)
+	// Validate and index outgoing by (from, to) before anything is
+	// delivered: an invalid destination must leave the hub untouched.
 	byDest := make([][][]Message, P)
+	var local []Message
 	for p := 0; p < P; p++ {
 		byDest[p] = make([][]Message, P)
 		for i := range outbox[p] {
@@ -313,14 +315,17 @@ func (m *Machine) Exchange(outbox [][]Message) ([][]Message, error) {
 			}
 			if msg.To == p {
 				// local delivery, no network cost
-				inbox[p] = append(inbox[p], msg)
+				local = append(local, msg)
 				continue
 			}
 			byDest[p][msg.To] = append(byDest[p][msg.To], msg)
 		}
 	}
+	for _, msg := range local {
+		m.hub.Deliver(msg)
+	}
 	m.xid++
-	m.releaseDelayed(inbox)
+	m.releaseDelayed()
 	start := m.Barrier() // exchange begins when every processor arrives
 	var serialClock time.Duration
 	for r := 1; r < P; r++ {
@@ -333,7 +338,7 @@ func (m *Machine) Exchange(outbox [][]Message) ([][]Message, error) {
 			}
 			var cost time.Duration
 			for mi, msg := range msgs {
-				cost += m.transmit(&inbox[q], msg, mi)
+				cost += m.transmit(msg, mi)
 			}
 			if m.cfg.Serialized {
 				serialClock += cost
@@ -347,6 +352,10 @@ func (m *Machine) Exchange(outbox [][]Message) ([][]Message, error) {
 	}
 	for _, c := range m.clocks {
 		c.AdvanceTo(start + serialClock)
+	}
+	inbox := make([][]Message, P)
+	for q := 0; q < P; q++ {
+		inbox[q] = m.hub.Collect(q)
 	}
 	return inbox, nil
 }
@@ -362,16 +371,17 @@ func (m *Machine) account(msg Message) {
 	m.mu.Unlock()
 }
 
-// transmit moves one logical message across its link and returns the
-// virtual cost charged to the link's message slot. Without a fault hook it
-// is a single delivered attempt. With one, boundary-DV messages run the
-// ack/retry protocol; all other tags stay on the reliable plane.
-func (m *Machine) transmit(dst *[]Message, msg Message, msgIndex int) time.Duration {
+// transmit moves one logical message across its link — delivering through
+// the hub — and returns the virtual cost charged to the link's message
+// slot. Without a fault hook it is a single delivered attempt. With one,
+// boundary-DV messages run the ack/retry protocol; all other tags stay on
+// the reliable plane.
+func (m *Machine) transmit(msg Message, msgIndex int) time.Duration {
 	base := m.msgCost(msg.Bytes)
 	hook := m.cfg.Fault
 	if hook == nil || msg.Tag != TagBoundaryDV {
 		m.account(msg)
-		*dst = append(*dst, msg)
+		m.hub.Deliver(msg)
 		return base
 	}
 	if hook.Down(msg.To) {
@@ -397,7 +407,7 @@ func (m *Machine) transmit(dst *[]Message, msg Message, msgIndex int) time.Durat
 		switch hook.Fate(m.xid, msg.From, msg.To, msgIndex, attempt, msg.Tag) {
 		case FateDeliver:
 			m.account(msg)
-			*dst = append(*dst, msg)
+			m.hub.Deliver(msg)
 			m.recordRetry(msg, attempt+1, cost)
 			return cost
 		case FateDuplicate:
@@ -408,7 +418,8 @@ func (m *Machine) transmit(dst *[]Message, msg Message, msgIndex int) time.Durat
 			m.mu.Lock()
 			m.stats.Duplicated++
 			m.mu.Unlock()
-			*dst = append(*dst, msg, msg)
+			m.hub.Deliver(msg)
+			m.hub.Deliver(msg)
 			m.recordRetry(msg, attempt+2, cost)
 			return cost
 		case FateDelay:
@@ -456,10 +467,10 @@ func (m *Machine) recordRetry(msg Message, attempts int, cost time.Duration) {
 	})
 }
 
-// releaseDelayed delivers messages whose delay has elapsed into the inbox
+// releaseDelayed delivers messages whose delay has elapsed into the hub
 // (before this exchange's own traffic — they are older). Messages to a
 // processor that crashed in the meantime are lost.
-func (m *Machine) releaseDelayed(inbox [][]Message) {
+func (m *Machine) releaseDelayed() {
 	if len(m.delayed) == 0 {
 		return
 	}
@@ -475,7 +486,7 @@ func (m *Machine) releaseDelayed(inbox [][]Message) {
 			m.mu.Unlock()
 			continue
 		}
-		inbox[dm.msg.To] = append(inbox[dm.msg.To], dm.msg)
+		m.hub.Deliver(dm.msg)
 	}
 	m.delayed = keep
 }
@@ -496,39 +507,48 @@ func (m *Machine) TakeFailed() []Message {
 // Broadcast charges a binomial-tree broadcast of a payload of the given
 // size from root to all other processors and returns the per-processor
 // copies of the message. ceil(log2 P) rounds, each a point-to-point
-// message cost. An out-of-range root is an error. Broadcast rides the
-// reliable plane: it is not subject to fault injection (see FaultHook).
+// message cost. An out-of-range root is an error.
+//
+// Each per-destination copy goes through the same transmit path as
+// Exchange, so counters and fault fates are accounted per message rather
+// than in bulk. In practice broadcasts carry control/row tags, which ride
+// the reliable plane regardless of the fault hook; a boundary-tagged
+// broadcast is subject to the same per-copy fates as exchanged traffic,
+// with retry costs added on top of the tree cost (retries serialize on the
+// affected link) and abandoned copies surfacing through TakeFailed.
 func (m *Machine) Broadcast(root int, msg Message) ([][]Message, error) {
 	P := m.P()
 	if root < 0 || root >= P {
 		return nil, fmt.Errorf("cluster: broadcast from invalid processor %d", root)
 	}
-	out := make([][]Message, P)
 	msg.From = root
-	for q := 0; q < P; q++ {
-		if q != root {
-			mq := msg
-			mq.To = q
-			out[q] = append(out[q], mq)
-		}
-	}
 	rounds := 0
 	for 1<<rounds < P {
 		rounds++
 	}
 	start := m.Barrier()
-	cost := time.Duration(rounds) * m.msgCost(msg.Bytes)
+	base := m.msgCost(msg.Bytes)
+	cost := time.Duration(rounds) * base
+	for q := 0; q < P; q++ {
+		if q == root {
+			continue
+		}
+		mq := msg
+		mq.To = q
+		if extra := m.transmit(mq, q) - base; extra > 0 {
+			cost += extra
+		}
+	}
 	for _, c := range m.clocks {
 		c.AdvanceTo(start + cost)
 	}
 	m.mu.Lock()
 	m.stats.Broadcasts++
-	m.stats.Messages += int64(P - 1)
-	m.stats.Chunks += int64(P-1) * m.chunks(msg.Bytes)
-	m.stats.Bytes += int64(P-1) * int64(msg.Bytes)
-	m.stats.ByTag[msg.Tag].Messages += int64(P - 1)
-	m.stats.ByTag[msg.Tag].Bytes += int64(P-1) * int64(msg.Bytes)
 	m.mu.Unlock()
+	out := make([][]Message, P)
+	for q := 0; q < P; q++ {
+		out[q] = m.hub.Collect(q)
+	}
 	return out, nil
 }
 

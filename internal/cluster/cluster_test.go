@@ -495,3 +495,81 @@ func TestBusyTimeImbalanceFixture(t *testing.T) {
 		t.Fatalf("imbalance = %v, want 1.5", got)
 	}
 }
+
+// A boundary-tagged broadcast must route every per-destination copy through
+// the same fate/ack accounting as Exchange: fates are consulted per copy,
+// retries are counted and charged on top of the tree cost, and deliveries
+// land in per-processor inboxes.
+func TestBroadcastBoundaryTagFaultAccounting(t *testing.T) {
+	hook := &scriptHook{fates: []Fate{FateDrop, FateDeliver, FateDeliver, FateDeliver}}
+	m := faultMachine(t, 4, hook)
+	out, err := m.Broadcast(0, Message{Tag: TagBoundaryDV, Bytes: 40, Payload: "dv"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 1; q < 4; q++ {
+		if len(out[q]) != 1 {
+			t.Fatalf("processor %d got %d copies, want 1", q, len(out[q]))
+		}
+	}
+	st := m.Stats()
+	if st.Broadcasts != 1 || st.Messages != 3 || st.Dropped != 1 || st.Resends != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// ceil(log2 4) = 2 tree rounds at one message slot each, plus one extra
+	// attempt for the dropped copy.
+	perAttempt := time.Duration(1)*(10+100+10) + 40*1
+	if want := 3 * perAttempt; m.VirtualTime() != want {
+		t.Fatalf("virtual = %v, want %v", m.VirtualTime(), want)
+	}
+}
+
+// A broadcast copy that exhausts its resend budget must surface through
+// TakeFailed like any abandoned exchange message.
+func TestBroadcastBudgetExhaustionSurfacesFailure(t *testing.T) {
+	hook := &scriptHook{fates: []Fate{FateDrop, FateDrop}, budget: 2}
+	m := faultMachine(t, 2, hook)
+	out, err := m.Broadcast(0, Message{Tag: TagBoundaryDV, Bytes: 40, Payload: "dv"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out[1]) != 0 {
+		t.Fatal("abandoned broadcast copy was delivered")
+	}
+	st := m.Stats()
+	if st.Failed != 1 || st.Dropped != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	failed := m.TakeFailed()
+	if len(failed) != 1 || failed[0].From != 0 || failed[0].To != 1 || failed[0].Tag != TagBoundaryDV {
+		t.Fatalf("TakeFailed = %+v", failed)
+	}
+}
+
+// Reliable-plane broadcasts (control, row migration) must not consult the
+// fault hook at all, and their per-copy accounting must match the historic
+// bulk accounting.
+func TestBroadcastReliableTagsBypassFaults(t *testing.T) {
+	hook := &scriptHook{fates: []Fate{FateDrop, FateDrop, FateDrop}}
+	m := faultMachine(t, 4, hook)
+	out, err := m.Broadcast(1, Message{Tag: TagControl, Bytes: 8, Payload: "go"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 4; q++ {
+		want := 1
+		if q == 1 {
+			want = 0
+		}
+		if len(out[q]) != want {
+			t.Fatalf("processor %d got %d copies, want %d", q, len(out[q]), want)
+		}
+	}
+	st := m.Stats()
+	if st.Dropped != 0 || st.Resends != 0 || st.Messages != 3 || st.Bytes != 24 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if hook.next != 0 {
+		t.Fatalf("fault hook consulted %d times for a control broadcast", hook.next)
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"anytime/internal/dv"
+	"anytime/internal/graph"
+	"anytime/internal/transport"
+)
+
+// RankState is the single-rank facade over the RC phase for the
+// multi-process runner (internal/rank): one OS process owns one rank and
+// drives ship → exchange → relax over a Transport, reusing the exact
+// per-processor relax/refine machinery the in-process Engine runs — the
+// tiled blocked Floyd–Warshall pass, the delta-window shipping protocol,
+// and the failed-delivery re-mark — so converged distances are identical
+// across deployment shapes.
+type RankState struct {
+	g    *graph.Graph
+	part *graph.Partition
+	p    *proc
+
+	refine  bool
+	workers int
+	tile    int
+
+	// shipping scratch, mirroring Engine.shipBoundary
+	shipSeen   []int64
+	shipStamp  int64
+	shipGroups [][]*dv.Delta
+}
+
+// NewRankState builds the RC-phase state of rank id over its sub-graph.
+// The table must hold one row per live local vertex (the IA result).
+// workers <= 0 and tile <= 0 pick the Options defaults.
+func NewRankState(id int, g *graph.Graph, part *graph.Partition, sub *graph.Sub, table *dv.Matrix, refine bool, workers, tile int) *RankState {
+	if workers <= 0 {
+		workers = 2
+	}
+	if tile <= 0 {
+		tile = 32
+	}
+	P := part.K
+	return &RankState{
+		g:          g,
+		part:       part,
+		p:          &proc{id: id, sub: sub, table: table},
+		refine:     refine,
+		workers:    workers,
+		tile:       tile,
+		shipSeen:   make([]int64, P),
+		shipGroups: make([][]*dv.Delta, P),
+	}
+}
+
+// Table returns the rank's DV matrix.
+func (rs *RankState) Table() *dv.Matrix { return rs.p.table }
+
+// ShipDeltas builds this step's outgoing boundary-DV messages: for every
+// dirty local-boundary row, one delta snapshot per adjacent part (the
+// changed column window only), exactly as Engine.shipBoundary does. The
+// returned groups are indexed by destination rank (nil = nothing to send);
+// ops is the snapshot cost. The payload slices are freshly allocated each
+// step: over a real transport the frames encode immediately, but a fault
+// wrapper may hold a delayed message across the step boundary.
+func (rs *RankState) ShipDeltas() (groups [][]*dv.Delta, ops int64) {
+	p := rs.p
+	for q := range rs.shipGroups {
+		rs.shipGroups[q] = nil
+	}
+	for _, v := range p.sub.LocalBoundary {
+		r := p.table.Row(v)
+		if r == nil {
+			continue // deleted vertex
+		}
+		if !r.Dirty {
+			continue
+		}
+		rs.shipStamp++
+		var snap *dv.Delta
+		for _, a := range rs.g.Neighbors(int(v)) {
+			q := rs.part.Part[a.To]
+			if int(q) == p.id || rs.shipSeen[q] == rs.shipStamp {
+				continue
+			}
+			rs.shipSeen[q] = rs.shipStamp
+			if snap == nil {
+				snap = r.ShipDelta()
+				ops += int64(len(snap.D))
+			}
+			rs.shipGroups[q] = append(rs.shipGroups[q], snap)
+		}
+		if snap != nil {
+			r.ClearPending()
+		}
+	}
+	return rs.shipGroups, ops
+}
+
+// RelaxPhase applies the received external boundary deltas (in inbox
+// order) and runs the local refinement pass, mirroring the per-processor
+// body of Engine.relaxAll: rows that entered the step dirty are pivoted,
+// then their dirty mark clears unless they changed again. It returns the
+// relax op count; HasUpdate reports whether boundary rows remain dirty.
+func (rs *RankState) RelaxPhase(ext []*dv.Delta) int64 {
+	p := rs.p
+	rows := p.table.Rows()
+	p.changed = resizeBools(p.changed, len(rows))
+	p.pivot = resizeBools(p.pivot, len(rows))
+	p.startDirty = resizeBools(p.startDirty, len(rows))
+	for i, r := range rows {
+		p.startDirty[i] = r.Dirty
+		p.pivot[i] = rs.refine && r.Dirty
+	}
+	ops := p.relaxStep(ext, rs.refine, rs.workers, rs.tile)
+	for i, r := range rows {
+		if p.startDirty[i] && !p.changed[i] {
+			r.ClearDirty()
+		}
+	}
+	p.hasUpdate = false
+	for _, v := range p.sub.LocalBoundary {
+		if r := p.table.Row(v); r != nil && r.Dirty {
+			p.hasUpdate = true
+			break
+		}
+	}
+	return ops
+}
+
+// HasUpdate reports whether the last RelaxPhase left a local-boundary row
+// dirty — this rank's vote against convergence.
+func (rs *RankState) HasUpdate() bool { return rs.p.hasUpdate }
+
+// ReMarkFailed re-marks the rows of boundary messages the transport could
+// not deliver (real send failures or injected faults that exhausted the
+// resend budget) for a full re-ship — the single recovery path shared with
+// Engine.handleFailedDeliveries. Call it after RelaxPhase so the marks
+// survive the end-of-step dirty clearing.
+func (rs *RankState) ReMarkFailed(failed []transport.Message) {
+	for _, msg := range failed {
+		deltas, ok := msg.Payload.([]*dv.Delta)
+		if !ok {
+			continue
+		}
+		for _, d := range deltas {
+			if r := rs.p.table.Row(d.Owner); r != nil {
+				r.MarkShipAll()
+				rs.p.hasUpdate = true
+			}
+		}
+	}
+}

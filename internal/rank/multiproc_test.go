@@ -1,0 +1,234 @@
+package rank
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"anytime/internal/graph"
+	"anytime/internal/transport"
+)
+
+// TestMain doubles as the child entry point for the multi-process test:
+// when AA_CHILD_RANK is set the binary joins a TCP mesh as one rank, runs
+// to convergence, and exits without ever reaching the test framework.
+func TestMain(m *testing.M) {
+	if os.Getenv("AA_CHILD_RANK") != "" {
+		os.Exit(childMain())
+	}
+	os.Exit(m.Run())
+}
+
+// childMain is one OS process of the integration run. The parent passes
+// the peer manifest and graph parameters through the environment; rank 0
+// writes the gathered distance matrix to AA_OUT.
+func childMain() int {
+	fail := func(err error) int {
+		fmt.Fprintf(os.Stderr, "child rank %s: %v\n", os.Getenv("AA_CHILD_RANK"), err)
+		return 1
+	}
+	rankID, err := strconv.Atoi(os.Getenv("AA_CHILD_RANK"))
+	if err != nil {
+		return fail(fmt.Errorf("bad AA_CHILD_RANK: %w", err))
+	}
+	n, err := strconv.Atoi(os.Getenv("AA_GRAPH_N"))
+	if err != nil {
+		return fail(fmt.Errorf("bad AA_GRAPH_N: %w", err))
+	}
+	seed, err := strconv.ParseInt(os.Getenv("AA_GRAPH_SEED"), 10, 64)
+	if err != nil {
+		return fail(fmt.Errorf("bad AA_GRAPH_SEED: %w", err))
+	}
+	var peers []transport.Peer
+	for i, addr := range strings.Split(os.Getenv("AA_MANIFEST"), ",") {
+		peers = append(peers, transport.Peer{Rank: i, Addr: addr})
+	}
+	g, err := baGraph(n, seed)
+	if err != nil {
+		return fail(fmt.Errorf("graph: %w", err))
+	}
+	tr, err := transport.NewTCP(peers, rankID, transport.TCPOptions{
+		MeshTimeout:     20 * time.Second,
+		ExchangeTimeout: 20 * time.Second,
+	})
+	if err != nil {
+		return fail(fmt.Errorf("mesh: %w", err))
+	}
+	defer tr.Close()
+	r, err := New(tr, Config{Graph: g, Seed: seed})
+	if err != nil {
+		return fail(err)
+	}
+	if _, err := r.Run(); err != nil {
+		return fail(err)
+	}
+	dist, err := r.GatherDistances()
+	if err != nil {
+		return fail(err)
+	}
+	if rankID == 0 {
+		if err := writeDistances(os.Getenv("AA_OUT"), dist); err != nil {
+			return fail(err)
+		}
+	}
+	return 0
+}
+
+// writeDistances encodes the n x n matrix as little-endian u32 cells.
+func writeDistances(path string, dist [][]graph.Dist) error {
+	if path == "" {
+		return fmt.Errorf("AA_OUT not set")
+	}
+	buf := make([]byte, 0, 4*len(dist)*len(dist))
+	for _, row := range dist {
+		for _, d := range row {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(d))
+		}
+	}
+	return os.WriteFile(path, buf, 0o644)
+}
+
+func readDistances(path string, n int) ([][]graph.Dist, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) != 4*n*n {
+		return nil, fmt.Errorf("distance file is %d bytes, want %d", len(buf), 4*n*n)
+	}
+	dist := make([][]graph.Dist, n)
+	for v := range dist {
+		dist[v] = make([]graph.Dist, n)
+		for u := range dist[v] {
+			dist[v][u] = graph.Dist(binary.LittleEndian.Uint32(buf[4*(v*len(dist)+u):]))
+		}
+	}
+	return dist, nil
+}
+
+// freePorts reserves n distinct localhost ports by listening on :0 and
+// closing (small reuse window, acceptable in tests).
+func freePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+func tcpMesh(t *testing.T, n int) []transport.Transport {
+	t.Helper()
+	addrs := freePorts(t, n)
+	peers := make([]transport.Peer, n)
+	for i, a := range addrs {
+		peers[i] = transport.Peer{Rank: i, Addr: a}
+	}
+	ts := make([]transport.Transport, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := range peers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ts[i], errs[i] = transport.NewTCP(peers, i, transport.TCPOptions{
+				MeshTimeout:     10 * time.Second,
+				ExchangeTimeout: 10 * time.Second,
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d mesh setup: %v", i, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, tr := range ts {
+			tr.Close()
+		}
+	})
+	return ts
+}
+
+// The runner over real sockets (in-process TCP mesh) converges to the
+// exact oracle, same as inproc.
+func TestRunnerTCPMeshMatchesOracle(t *testing.T) {
+	const n, P, seed = 80, 2, 5
+	g := testGraph(t, n, seed)
+	dist := runRanks(t, tcpMesh(t, P), func(int) Config {
+		return Config{Graph: g, Seed: seed}
+	})
+	requireOracle(t, g, dist)
+}
+
+// The full acceptance test: N real OS processes, each one rank over TCP,
+// converge a graph and produce distances bit-identical to the inproc
+// backend (and therefore to the exact oracle).
+func TestMultiProcessTCPBitIdenticalToInproc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real OS processes")
+	}
+	const n, P, seed = 100, 3, 9
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := freePorts(t, P)
+	out := t.TempDir() + "/dist.bin"
+
+	cmds := make([]*exec.Cmd, P)
+	for r := 0; r < P; r++ {
+		cmd := exec.Command(exe, "-test.run=^$")
+		cmd.Env = append(os.Environ(),
+			"AA_CHILD_RANK="+strconv.Itoa(r),
+			"AA_MANIFEST="+strings.Join(addrs, ","),
+			"AA_GRAPH_N="+strconv.Itoa(n),
+			"AA_GRAPH_SEED="+strconv.FormatInt(seed, 10),
+			"AA_OUT="+out,
+		)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		cmds[r] = cmd
+	}
+	for r, cmd := range cmds {
+		if err := cmd.Wait(); err != nil {
+			t.Fatalf("child rank %d: %v", r, err)
+		}
+	}
+	got, err := readDistances(out, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g := testGraph(t, n, seed)
+	requireOracle(t, g, got)
+	want := runRanks(t, inprocGroup(P), func(int) Config {
+		return Config{Graph: g, Seed: seed}
+	})
+	for v := 0; v < n; v++ {
+		for u := 0; u < n; u++ {
+			if got[v][u] != want[v][u] {
+				t.Fatalf("dist[%d][%d]: tcp processes %d, inproc %d", v, u, got[v][u], want[v][u])
+			}
+		}
+	}
+}

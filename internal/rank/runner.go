@@ -1,0 +1,357 @@
+// Package rank drives the anytime-anywhere engine as one rank of a
+// multi-process run: each OS process owns exactly one of the P parts and
+// talks to its peers over a transport.Transport (the in-process test
+// fabric or the TCP mesh). The runner reuses the same DD partitioners,
+// IA sweeps, and RC relax/refine machinery as the in-process Engine
+// (through core.RankState), so a converged multi-process run produces the
+// exact APSP solution — bit-identical to the single-process engine.
+//
+// Every rank computes the partition deterministically from the shared
+// graph and seed; a checksum broadcast verifies all processes agree before
+// any distance state moves.
+package rank
+
+import (
+	"fmt"
+
+	"anytime/internal/core"
+	"anytime/internal/dv"
+	"anytime/internal/graph"
+	"anytime/internal/partition"
+	"anytime/internal/sssp"
+	"anytime/internal/transport"
+)
+
+// Config configures one rank's run.
+type Config struct {
+	// Graph is the shared input graph; every process must construct an
+	// identical copy (same generator, same seed).
+	Graph *graph.Graph
+	// Partitioner runs the DD phase (default: Multilevel with Seed).
+	// It must be deterministic — every rank partitions independently and
+	// the results are checksum-verified.
+	Partitioner partition.Partitioner
+	// Seed feeds the default partitioner.
+	Seed int64
+	// Workers is the per-rank relax/IA worker count (default 2).
+	Workers int
+	// TileSize is the blocked-refinement pivot tile (default 32).
+	TileSize int
+	// NoLocalRefine disables the Floyd–Warshall-style local refinement.
+	NoLocalRefine bool
+	// MaxSteps bounds Run (default 10_000).
+	MaxSteps int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Partitioner == nil {
+		c.Partitioner = partition.Multilevel{Seed: c.Seed}
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.TileSize <= 0 {
+		c.TileSize = 32
+	}
+	if c.MaxSteps <= 0 {
+		c.MaxSteps = 10_000
+	}
+	return c
+}
+
+// Stats counts one rank's work.
+type Stats struct {
+	Steps    int
+	IAOps    int64
+	RelaxOps int64
+	Reships  int // failed boundary messages re-marked for re-shipping
+}
+
+// Runner is one rank of a multi-process run.
+type Runner struct {
+	t    transport.Transport
+	cfg  Config
+	g    *graph.Graph
+	part *graph.Partition
+	sub  *graph.Sub
+	rs   *core.RankState
+
+	// carry holds boundary-DV deltas that surfaced outside the data
+	// exchange (a delayed delivery released during the convergence vote);
+	// they feed the next relax phase instead of being dropped.
+	carry     []*dv.Delta
+	converged bool
+	stats     Stats
+}
+
+// New runs the DD and IA phases for this process's rank: partition the
+// graph (verifying cross-process agreement), extract the local sub-graph,
+// and compute the local APSP. The transport's rank/size define which part
+// this process owns and P.
+func New(t transport.Transport, cfg Config) (*Runner, error) {
+	cfg = cfg.withDefaults()
+	g := cfg.Graph
+	if g == nil {
+		return nil, fmt.Errorf("rank: nil graph")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("rank: invalid graph: %w", err)
+	}
+	P := t.Size()
+	if g.NumVertices() < P {
+		return nil, fmt.Errorf("rank: %d vertices < P=%d", g.NumVertices(), P)
+	}
+	part, err := cfg.Partitioner.Partition(g, P)
+	if err != nil {
+		return nil, fmt.Errorf("rank: DD partitioning: %w", err)
+	}
+	if err := part.Validate(g); err != nil {
+		return nil, fmt.Errorf("rank: DD partition invalid: %w", err)
+	}
+	if err := verifyPartition(t, part); err != nil {
+		return nil, err
+	}
+	r := &Runner{t: t, cfg: cfg, g: g, part: part}
+	r.sub = graph.ExtractSub(g, part, int32(t.Rank()))
+
+	n := g.NumVertices()
+	table := dv.NewMatrix(n)
+	for _, v := range r.sub.Local {
+		table.AddRow(v)
+	}
+	rows := table.Rows()
+	sources := make([]int32, len(rows))
+	slices := make([][]graph.Dist, len(rows))
+	hops := make([][]int32, len(rows))
+	for i, row := range rows {
+		sources[i] = row.Owner
+		slices[i] = row.D
+		hops[i] = row.NH
+	}
+	if graph.Stats(g).UnitWeights {
+		r.stats.IAOps = sssp.MultiSourceHopsBFS(g, sources, slices, hops, r.sub.IsLocal, cfg.Workers)
+	} else {
+		r.stats.IAOps = sssp.MultiSourceHops(g, sources, slices, hops, r.sub.IsLocal, cfg.Workers)
+	}
+	r.rs = core.NewRankState(t.Rank(), g, part, r.sub, table, !cfg.NoLocalRefine, cfg.Workers, cfg.TileSize)
+	return r, nil
+}
+
+// verifyPartition checks that every process computed the same vertex
+// assignment: rank 0 broadcasts an FNV-1a checksum of its partition and
+// every rank compares. A mismatch means the processes are not running the
+// same graph/seed/partitioner and must not exchange distance state.
+func verifyPartition(t transport.Transport, part *graph.Partition) error {
+	sum := partChecksum(part)
+	buf := make([]byte, 8)
+	if t.Rank() == 0 {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(sum >> (8 * i))
+		}
+	}
+	msg, err := t.Broadcast(0, transport.Message{Tag: transport.TagControl, Bytes: len(buf), Payload: buf})
+	if err != nil {
+		return fmt.Errorf("rank: partition checksum broadcast: %w", err)
+	}
+	if t.Rank() == 0 {
+		return nil
+	}
+	root := msg.Payload.([]byte)
+	var rootSum uint64
+	for i := 0; i < 8; i++ {
+		rootSum |= uint64(root[i]) << (8 * i)
+	}
+	if rootSum != sum {
+		return fmt.Errorf("rank %d: partition checksum %x != root %x (divergent graph, seed, or partitioner)",
+			t.Rank(), sum, rootSum)
+	}
+	return nil
+}
+
+func partChecksum(p *graph.Partition) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(b byte) { h = (h ^ uint64(b)) * prime }
+	mix(byte(p.K))
+	for _, pt := range p.Part {
+		mix(byte(pt))
+		mix(byte(pt >> 8))
+		mix(byte(pt >> 16))
+		mix(byte(pt >> 24))
+	}
+	return h
+}
+
+// Step performs one recombination step across all processes: ship dirty
+// boundary deltas, exchange, relax, re-mark failed deliveries, and vote on
+// convergence. It returns true while more steps are needed.
+func (r *Runner) Step() (bool, error) {
+	groups, _ := r.rs.ShipDeltas()
+	var out []transport.Message
+	for q, deltas := range groups {
+		if len(deltas) == 0 {
+			continue
+		}
+		out = append(out, transport.Message{
+			To:      q,
+			Tag:     transport.TagBoundaryDV,
+			Bytes:   transport.EncodedDeltaBytes(deltas),
+			Payload: deltas,
+		})
+	}
+	in, err := r.t.Exchange(out)
+	if err != nil {
+		return false, fmt.Errorf("rank %d: exchange: %w", r.t.Rank(), err)
+	}
+	ext := r.carry
+	r.carry = nil
+	for _, msg := range in {
+		if msg.Tag != transport.TagBoundaryDV {
+			continue
+		}
+		ext = append(ext, msg.Payload.([]*dv.Delta)...)
+	}
+	r.stats.RelaxOps += r.rs.RelaxPhase(ext)
+	if failed := r.t.TakeFailed(); len(failed) > 0 {
+		r.stats.Reships += len(failed)
+		r.rs.ReMarkFailed(failed)
+	}
+	r.stats.Steps++
+	more, err := r.voteConvergence()
+	if err != nil {
+		return false, err
+	}
+	r.converged = !more
+	return more, nil
+}
+
+// voteConvergence is the "no more updates in any processor" allreduce:
+// every rank sends its vote to rank 0, which ORs them and broadcasts the
+// decision. A rank votes to continue while boundary rows are dirty or the
+// transport still holds messages in flight (a delayed delivery carries
+// updates nobody has seen).
+func (r *Runner) voteConvergence() (bool, error) {
+	vote := byte(0)
+	if r.rs.HasUpdate() || r.t.InFlight() > 0 {
+		vote = 1
+	}
+	var out []transport.Message
+	if r.t.Rank() != 0 {
+		out = []transport.Message{{To: 0, Tag: transport.TagControl, Bytes: 1, Payload: []byte{vote}}}
+	}
+	in, err := r.t.Exchange(out)
+	if err != nil {
+		return false, fmt.Errorf("rank %d: convergence gather: %w", r.t.Rank(), err)
+	}
+	decision := vote
+	for _, msg := range in {
+		switch msg.Tag {
+		case transport.TagControl:
+			if r.t.Rank() != 0 {
+				continue
+			}
+			b := msg.Payload.([]byte)
+			if len(b) > 0 && b[0] != 0 {
+				decision = 1
+			}
+		case transport.TagBoundaryDV:
+			// A delayed boundary delivery released during the vote: keep
+			// it for the next relax phase. Its sender voted to continue
+			// (the message counted as in flight), so no step is lost.
+			r.carry = append(r.carry, msg.Payload.([]*dv.Delta)...)
+		}
+	}
+	msg, err := r.t.Broadcast(0, transport.Message{Tag: transport.TagControl, Bytes: 1, Payload: []byte{decision}})
+	if err != nil {
+		return false, fmt.Errorf("rank %d: convergence broadcast: %w", r.t.Rank(), err)
+	}
+	if r.t.Rank() != 0 {
+		decision = msg.Payload.([]byte)[0]
+	}
+	return decision != 0, nil
+}
+
+// Run steps until convergence (or MaxSteps) and returns the steps taken.
+func (r *Runner) Run() (int, error) {
+	steps := 0
+	for steps < r.cfg.MaxSteps {
+		more, err := r.Step()
+		steps++
+		if err != nil {
+			return steps, err
+		}
+		if !more {
+			return steps, nil
+		}
+	}
+	return steps, fmt.Errorf("rank %d: no convergence after %d steps", r.t.Rank(), steps)
+}
+
+// Converged reports whether the last Step's vote declared convergence.
+func (r *Runner) Converged() bool { return r.converged }
+
+// Stats returns this rank's work counters.
+func (r *Runner) Stats() Stats { return r.stats }
+
+// Sub returns this rank's sub-graph structure.
+func (r *Runner) Sub() *graph.Sub { return r.sub }
+
+// Partition returns the (verified) vertex assignment.
+func (r *Runner) Partition() *graph.Partition { return r.part }
+
+// Table returns this rank's DV matrix (rows for local vertices only).
+func (r *Runner) Table() *dv.Matrix { return r.rs.Table() }
+
+// GatherDistances collects the full n x n distance matrix at rank 0
+// (rows indexed by global vertex ID); other ranks return nil. It is a
+// collective, typically called once after convergence.
+func (r *Runner) GatherDistances() ([][]graph.Dist, error) {
+	var out []transport.Message
+	if r.t.Rank() != 0 {
+		deltas := make([]*dv.Delta, 0, r.rs.Table().Len())
+		for _, row := range r.rs.Table().Rows() {
+			deltas = append(deltas, row.FullDelta())
+		}
+		out = []transport.Message{{
+			To:      0,
+			Tag:     transport.TagMigrateRows,
+			Bytes:   transport.EncodedDeltaBytes(deltas),
+			Payload: deltas,
+		}}
+	}
+	in, err := r.t.Exchange(out)
+	if err != nil {
+		return nil, fmt.Errorf("rank %d: gather: %w", r.t.Rank(), err)
+	}
+	if r.t.Rank() != 0 {
+		return nil, nil
+	}
+	n := r.g.NumVertices()
+	all := make([][]graph.Dist, n)
+	for _, row := range r.rs.Table().Rows() {
+		all[row.Owner] = append([]graph.Dist(nil), row.D...)
+	}
+	for _, msg := range in {
+		if msg.Tag != transport.TagMigrateRows {
+			continue
+		}
+		for _, d := range msg.Payload.([]*dv.Delta) {
+			if int(d.Owner) >= n || d.Lo != 0 || len(d.D) != n {
+				return nil, fmt.Errorf("rank 0: gathered malformed row (owner=%d lo=%d len=%d)", d.Owner, d.Lo, len(d.D))
+			}
+			all[d.Owner] = append([]graph.Dist(nil), d.D...)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if all[v] == nil {
+			return nil, fmt.Errorf("rank 0: gathered no row for vertex %d", v)
+		}
+	}
+	return all, nil
+}
+
+// Close releases the transport.
+func (r *Runner) Close() error { return r.t.Close() }

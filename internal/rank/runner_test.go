@@ -1,0 +1,226 @@
+package rank
+
+import (
+	"sync"
+	"testing"
+
+	"anytime/internal/core"
+	"anytime/internal/fault"
+	"anytime/internal/gen"
+	"anytime/internal/graph"
+	"anytime/internal/sssp"
+	"anytime/internal/transport"
+)
+
+// baGraph is the shared deterministic test graph: every process (parent
+// or spawned child) that builds it from the same (n, seed) gets an
+// identical graph.
+func baGraph(n int, seed int64) (*graph.Graph, error) {
+	g, err := gen.BarabasiAlbert(n, 2, gen.Weights{Min: 1, Max: 4}, seed)
+	if err != nil {
+		return nil, err
+	}
+	gen.Connectify(g, seed)
+	return g, nil
+}
+
+func testGraph(t testing.TB, n int, seed int64) *graph.Graph {
+	t.Helper()
+	g, err := baGraph(n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// runRanks drives one runner per transport endpoint to convergence and
+// returns rank 0's gathered distance matrix.
+func runRanks(t *testing.T, ts []transport.Transport, mk func(r int) Config) [][]graph.Dist {
+	t.Helper()
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		dist [][]graph.Dist
+		fail error
+	)
+	for i, tr := range ts {
+		wg.Add(1)
+		go func(i int, tr transport.Transport) {
+			defer wg.Done()
+			err := func() error {
+				r, err := New(tr, mk(i))
+				if err != nil {
+					return err
+				}
+				if _, err := r.Run(); err != nil {
+					return err
+				}
+				all, err := r.GatherDistances()
+				if err != nil {
+					return err
+				}
+				if tr.Rank() == 0 {
+					mu.Lock()
+					dist = all
+					mu.Unlock()
+				}
+				return nil
+			}()
+			if err != nil {
+				mu.Lock()
+				if fail == nil {
+					fail = err
+				}
+				mu.Unlock()
+			}
+		}(i, tr)
+	}
+	wg.Wait()
+	if fail != nil {
+		t.Fatal(fail)
+	}
+	if dist == nil {
+		t.Fatal("rank 0 gathered nothing")
+	}
+	return dist
+}
+
+func requireOracle(t *testing.T, g *graph.Graph, got [][]graph.Dist) {
+	t.Helper()
+	want := sssp.APSP(g)
+	for v := range want {
+		for u := range want[v] {
+			if got[v][u] != want[v][u] {
+				t.Fatalf("dist[%d][%d] = %d, want %d", v, u, got[v][u], want[v][u])
+			}
+		}
+	}
+}
+
+func inprocGroup(n int) []transport.Transport {
+	group := transport.NewInprocGroup(n)
+	ts := make([]transport.Transport, n)
+	for i, tr := range group {
+		ts[i] = tr
+	}
+	return ts
+}
+
+// The multi-process runner over the inproc backend must converge to the
+// exact APSP oracle — and therefore bit-identically to the in-process
+// Engine, which the same assertion pins on the engine side.
+func TestRunnerInprocMatchesOracleAndEngine(t *testing.T) {
+	const n, P, seed = 120, 3, 7
+	g := testGraph(t, n, seed)
+	dist := runRanks(t, inprocGroup(P), func(int) Config {
+		return Config{Graph: g, Seed: seed}
+	})
+	requireOracle(t, g, dist)
+
+	// The in-process engine on the same graph/seed/P: identical converged
+	// distances, row for row.
+	opts := core.NewOptions()
+	opts.P = P
+	opts.Seed = seed
+	opts.Workers = 2
+	e, err := core.New(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	engineDist := e.Distances()
+	for v := 0; v < n; v++ {
+		for u := 0; u < n; u++ {
+			if dist[v][u] != engineDist[v][u] {
+				t.Fatalf("dist[%d][%d]: runner %d, engine %d", v, u, dist[v][u], engineDist[v][u])
+			}
+		}
+	}
+}
+
+// Injected faults above the transport (drops, duplicates, delays,
+// corruption with a resend budget) must only delay convergence, never
+// change the result: the re-mark/re-ship recovery path heals every lost
+// update.
+func TestRunnerWithInjectedFaultsStaysExact(t *testing.T) {
+	const n, P, seed = 90, 3, 11
+	g := testGraph(t, n, seed)
+	group := inprocGroup(P)
+	ts := make([]transport.Transport, P)
+	reships := 0
+	for i, tr := range group {
+		inj, err := fault.NewInjector(fault.Plan{
+			Seed:          41,
+			DropRate:      0.25,
+			DuplicateRate: 0.05,
+			DelayRate:     0.10,
+			CorruptRate:   0.10,
+			ResendBudget:  1, // no retries: every drop/corrupt abandons the message
+		}, P)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts[i] = transport.WithFaults(tr, inj)
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var dist [][]graph.Dist
+	var fail error
+	for i := range ts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := New(ts[i], Config{Graph: g, Seed: seed})
+			if err == nil {
+				_, err = r.Run()
+			}
+			var all [][]graph.Dist
+			if err == nil {
+				all, err = r.GatherDistances()
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && fail == nil {
+				fail = err
+			}
+			if i == 0 {
+				dist = all
+			}
+			if r != nil {
+				reships += r.Stats().Reships
+			}
+		}(i)
+	}
+	wg.Wait()
+	if fail != nil {
+		t.Fatal(fail)
+	}
+	requireOracle(t, g, dist)
+	if reships == 0 {
+		t.Fatal("fault plan injected no abandoned messages; the recovery path was not exercised")
+	}
+}
+
+// A rank whose partition disagrees with the root must refuse to run.
+func TestRunnerPartitionChecksumMismatch(t *testing.T) {
+	const P = 2
+	g := testGraph(t, 40, 3)
+	ts := inprocGroup(P)
+	var wg sync.WaitGroup
+	errs := make([]error, P)
+	for i := range ts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			seed := int64(3)
+			if i == 1 {
+				seed = 4 // diverging partitioner seed
+			}
+			_, errs[i] = New(ts[i], Config{Graph: g, Seed: seed})
+		}(i)
+	}
+	wg.Wait()
+	if errs[1] == nil {
+		t.Fatal("diverging rank 1 did not detect the checksum mismatch")
+	}
+}

@@ -1,0 +1,59 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+
+	"anytime/internal/dv"
+	"anytime/internal/graph"
+)
+
+// benchRoundTrip measures one boundary-DV round trip (rank 0 ships a
+// delta window, rank 1 echoes it) — the unit cost every RC step pays per
+// peer. Both ranks run the same number of collectives per iteration.
+func benchRoundTrip(b *testing.B, ts []Transport, width int) {
+	ds := []*dv.Delta{{Owner: 1, Lo: 0, D: make([]graph.Dist, width)}}
+	for i := range ds[0].D {
+		ds[0].D[i] = graph.Dist(i)
+	}
+	msg := Message{Tag: TagBoundaryDV, Bytes: EncodedDeltaBytes(ds), Payload: ds}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		echo := msg
+		echo.To = 0
+		for i := 0; i < b.N; i++ {
+			if _, err := ts[1].Exchange(nil); err != nil {
+				b.Error(err)
+				return
+			}
+			if _, err := ts[1].Exchange([]Message{echo}); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+	ping := msg
+	ping.To = 1
+	b.SetBytes(int64(2 * msg.Bytes))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ts[0].Exchange([]Message{ping}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ts[0].Exchange(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	wg.Wait()
+}
+
+func BenchmarkTransportRoundTripInproc(b *testing.B) {
+	benchRoundTrip(b, asTransports(NewInprocGroup(2)), 256)
+}
+
+func BenchmarkTransportRoundTripTCP(b *testing.B) {
+	benchRoundTrip(b, newTCPMesh(b, 2), 256)
+}

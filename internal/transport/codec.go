@@ -1,0 +1,104 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"anytime/internal/dv"
+	"anytime/internal/graph"
+)
+
+// The delta payload codec realizes dv.Delta's accounted wire size as the
+// actual bytes on the wire: each delta is a 12-byte header (owner, lo,
+// count — int32 little-endian) followed by count 4-byte distances, which
+// is exactly Delta.WireBytes(). A boundary-DV message's frame body is the
+// concatenation of its deltas.
+
+// EncodedDeltaBytes returns the encoded size of a delta list — the sum of
+// the deltas' WireBytes.
+func EncodedDeltaBytes(ds []*dv.Delta) int {
+	n := 0
+	for _, d := range ds {
+		n += d.WireBytes()
+	}
+	return n
+}
+
+// appendDeltas serializes a delta list onto dst.
+func appendDeltas(dst []byte, ds []*dv.Delta) []byte {
+	var u [4]byte
+	for _, d := range ds {
+		binary.LittleEndian.PutUint32(u[:], uint32(d.Owner))
+		dst = append(dst, u[:]...)
+		binary.LittleEndian.PutUint32(u[:], uint32(d.Lo))
+		dst = append(dst, u[:]...)
+		binary.LittleEndian.PutUint32(u[:], uint32(len(d.D)))
+		dst = append(dst, u[:]...)
+		for _, x := range d.D {
+			binary.LittleEndian.PutUint32(u[:], uint32(x))
+			dst = append(dst, u[:]...)
+		}
+	}
+	return dst
+}
+
+// decodeDeltas parses a frame body produced by appendDeltas. It rejects
+// truncated bodies, negative headers, and windows that do not fit an
+// int32 column range.
+func decodeDeltas(body []byte) ([]*dv.Delta, error) {
+	var out []*dv.Delta
+	for len(body) > 0 {
+		if len(body) < 12 {
+			return nil, fmt.Errorf("transport: truncated delta header (%d bytes left)", len(body))
+		}
+		owner := int32(binary.LittleEndian.Uint32(body[0:]))
+		lo := int32(binary.LittleEndian.Uint32(body[4:]))
+		count := int32(binary.LittleEndian.Uint32(body[8:]))
+		body = body[12:]
+		if owner < 0 || lo < 0 || count < 0 || int64(lo)+int64(count) > int64(1)<<31-1 {
+			return nil, fmt.Errorf("transport: invalid delta header owner=%d lo=%d count=%d", owner, lo, count)
+		}
+		if int64(len(body)) < int64(count)*4 {
+			return nil, fmt.Errorf("transport: truncated delta body (%d distances claimed, %d bytes left)", count, len(body))
+		}
+		d := &dv.Delta{Owner: owner, Lo: lo, D: make([]graph.Dist, count)}
+		for i := range d.D {
+			d.D[i] = graph.Dist(binary.LittleEndian.Uint32(body[i*4:]))
+		}
+		body = body[count*4:]
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// encodePayload turns a message payload into a frame body plus its kind
+// byte. The TCP backend supports delta lists (the boundary-DV plane) and
+// opaque bytes (control traffic); anything else is a caller bug.
+func encodePayload(payload interface{}) (kind uint8, body []byte, err error) {
+	switch p := payload.(type) {
+	case nil:
+		return payloadRaw, nil, nil
+	case []byte:
+		return payloadRaw, p, nil
+	case []*dv.Delta:
+		return payloadDeltas, appendDeltas(make([]byte, 0, EncodedDeltaBytes(p)), p), nil
+	default:
+		return 0, nil, fmt.Errorf("transport: payload type %T is not wire-encodable", payload)
+	}
+}
+
+// decodePayload is the inverse of encodePayload.
+func decodePayload(kind uint8, body []byte) (interface{}, error) {
+	switch kind {
+	case payloadRaw:
+		return body, nil
+	case payloadDeltas:
+		ds, err := decodeDeltas(body)
+		if err != nil {
+			return nil, err
+		}
+		return ds, nil
+	default:
+		return nil, fmt.Errorf("transport: unknown payload kind %d", kind)
+	}
+}

@@ -1,0 +1,135 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"anytime/internal/dv"
+	"anytime/internal/graph"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	in := frame{Tag: TagBoundaryDV, Kind: payloadDeltas, From: 3, To: 7, Seq: 42, Body: []byte("payload bytes")}
+	buf := appendFrame(nil, in)
+	if len(buf) != headerLen+len(in.Body)+trailerLen {
+		t.Fatalf("frame length %d, want %d", len(buf), headerLen+len(in.Body)+trailerLen)
+	}
+	out, err := readFrame(bytes.NewReader(buf), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Tag != in.Tag || out.Kind != in.Kind || out.From != in.From || out.To != in.To || out.Seq != in.Seq {
+		t.Fatalf("header mismatch: %+v vs %+v", out, in)
+	}
+	if !bytes.Equal(out.Body, in.Body) {
+		t.Fatalf("body mismatch: %q vs %q", out.Body, in.Body)
+	}
+}
+
+// Any single corrupted byte must be detected, and the corrupt frame must be
+// consumed whole so the frame that follows still parses.
+func TestFrameCorruptionDetectedAndSkipped(t *testing.T) {
+	first := appendFrame(nil, frame{Tag: TagControl, From: 0, To: 1, Body: []byte("first")})
+	second := appendFrame(nil, frame{Tag: TagControl, From: 0, To: 1, Seq: 1, Body: []byte("second")})
+	for i := range first {
+		stream := append([]byte(nil), first...)
+		stream[i] ^= 0x40
+		stream = append(stream, second...)
+		r := bytes.NewReader(stream)
+		if _, err := readFrame(r, 0); err == nil {
+			t.Fatalf("flip at byte %d not detected", i)
+		} else if errors.Is(err, ErrCorruptFrame) {
+			// CRC-detected: the stream must still be in sync.
+			f, err := readFrame(r, 0)
+			if err != nil || !bytes.Equal(f.Body, []byte("second")) {
+				t.Fatalf("flip at byte %d desynced the stream: %v", i, err)
+			}
+		}
+		// Flips in the magic/length land on hard errors; that tears the
+		// stream by design (the reader cannot trust the framing).
+	}
+}
+
+func TestFrameTooLargeRejected(t *testing.T) {
+	buf := appendFrame(nil, frame{Tag: TagControl, Body: make([]byte, 2048)})
+	if _, err := readFrame(bytes.NewReader(buf), 1024); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestFrameTornStream(t *testing.T) {
+	buf := appendFrame(nil, frame{Tag: TagControl, Body: []byte("abcdef")})
+	if _, err := readFrame(bytes.NewReader(buf[:len(buf)-3]), 0); err != io.ErrUnexpectedEOF {
+		t.Fatalf("err = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func sampleDeltas() []*dv.Delta {
+	return []*dv.Delta{
+		{Owner: 0, Lo: 0, D: nil},                                     // empty window
+		{Owner: 5, Lo: 3, D: []graph.Dist{1, 2, graph.InfDist}},       // partial window
+		{Owner: 9, Lo: 0, D: []graph.Dist{0, 7, 7, 9, graph.InfDist}}, // full row
+	}
+}
+
+func TestDeltaCodecRoundTrip(t *testing.T) {
+	ds := sampleDeltas()
+	enc := appendDeltas(nil, ds)
+	if len(enc) != EncodedDeltaBytes(ds) {
+		t.Fatalf("encoded %d bytes, accounted %d", len(enc), EncodedDeltaBytes(ds))
+	}
+	wire := 0
+	for _, d := range ds {
+		wire += d.WireBytes()
+	}
+	if len(enc) != wire {
+		t.Fatalf("encoded %d bytes, WireBytes sum %d", len(enc), wire)
+	}
+	got, err := decodeDeltas(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ds) {
+		t.Fatalf("decoded %d deltas, want %d", len(got), len(ds))
+	}
+	for i, d := range ds {
+		g := got[i]
+		if g.Owner != d.Owner || g.Lo != d.Lo || len(g.D) != len(d.D) {
+			t.Fatalf("delta %d header mismatch: %+v vs %+v", i, g, d)
+		}
+		for j := range d.D {
+			if g.D[j] != d.D[j] {
+				t.Fatalf("delta %d dist %d: %d vs %d", i, j, g.D[j], d.D[j])
+			}
+		}
+	}
+}
+
+func TestDecodeDeltasRejectsTruncation(t *testing.T) {
+	enc := appendDeltas(nil, sampleDeltas())
+	for _, cut := range []int{1, 11, 13, len(enc) - 1} {
+		if _, err := decodeDeltas(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d bytes not rejected", cut)
+		}
+	}
+}
+
+func TestEncodePayloadTypes(t *testing.T) {
+	if kind, body, err := encodePayload(nil); err != nil || kind != payloadRaw || len(body) != 0 {
+		t.Fatalf("nil payload: kind=%d body=%v err=%v", kind, body, err)
+	}
+	if kind, body, err := encodePayload([]byte("x")); err != nil || kind != payloadRaw || string(body) != "x" {
+		t.Fatalf("byte payload: kind=%d body=%v err=%v", kind, body, err)
+	}
+	if kind, _, err := encodePayload(sampleDeltas()); err != nil || kind != payloadDeltas {
+		t.Fatalf("delta payload: kind=%d err=%v", kind, err)
+	}
+	if _, _, err := encodePayload(42); err == nil {
+		t.Fatal("int payload not rejected")
+	}
+	if _, err := decodePayload(99, nil); err == nil {
+		t.Fatal("unknown payload kind not rejected")
+	}
+}

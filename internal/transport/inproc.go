@@ -1,0 +1,212 @@
+package transport
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Hub is the single-process delivery fabric: per-rank mailboxes guarded by
+// one mutex. It is the seam internal/cluster's simulator delivers through
+// (preserving the order its serialized schedule establishes) and the
+// substrate of the inproc Transport backend.
+type Hub struct {
+	mu    sync.Mutex
+	boxes [][]hubMsg
+	seq   []uint32 // per-sender sequence within the current step
+	ctr   counters
+}
+
+type hubMsg struct {
+	msg Message
+	seq uint32
+}
+
+// NewHub creates a hub for n ranks.
+func NewHub(n int) *Hub {
+	return &Hub{boxes: make([][]hubMsg, n), seq: make([]uint32, n)}
+}
+
+// Size returns the number of ranks.
+func (h *Hub) Size() int { return len(h.boxes) }
+
+// Deliver appends msg to its destination mailbox. Delivery order is the
+// call order — the cluster simulator's serialized schedule is preserved
+// exactly.
+func (h *Hub) Deliver(msg Message) {
+	h.mu.Lock()
+	s := h.seq[msg.From]
+	h.seq[msg.From]++
+	h.boxes[msg.To] = append(h.boxes[msg.To], hubMsg{msg: msg, seq: s})
+	h.ctr.msgsSent.Add(1)
+	h.ctr.msgsRecv.Add(1)
+	h.ctr.bytesSent.Add(int64(msg.Bytes))
+	h.ctr.bytesRecv.Add(int64(msg.Bytes))
+	h.mu.Unlock()
+}
+
+// Collect removes and returns rank's pending messages in delivery order.
+func (h *Hub) Collect(rank int) []Message {
+	h.mu.Lock()
+	box := h.boxes[rank]
+	h.boxes[rank] = nil
+	h.mu.Unlock()
+	if len(box) == 0 {
+		return nil
+	}
+	out := make([]Message, len(box))
+	for i, m := range box {
+		out[i] = m.msg
+	}
+	return out
+}
+
+// collectSorted removes rank's pending messages ordered by (sender rank,
+// send order) — the deterministic inbox order of the Transport contract,
+// independent of the interleaving of concurrent senders.
+func (h *Hub) collectSorted(rank int) []Message {
+	h.mu.Lock()
+	box := h.boxes[rank]
+	h.boxes[rank] = nil
+	h.mu.Unlock()
+	sort.SliceStable(box, func(i, j int) bool {
+		if box[i].msg.From != box[j].msg.From {
+			return box[i].msg.From < box[j].msg.From
+		}
+		return box[i].seq < box[j].seq
+	})
+	out := make([]Message, len(box))
+	for i, m := range box {
+		out[i] = m.msg
+	}
+	return out
+}
+
+// Stats returns a snapshot of the hub counters.
+func (h *Hub) Stats() Stats { return h.ctr.snapshot() }
+
+// groupBarrier is a reusable cyclic barrier for n in-process ranks.
+type groupBarrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   uint64
+}
+
+func newGroupBarrier(n int) *groupBarrier {
+	b := &groupBarrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *groupBarrier) await() {
+	b.mu.Lock()
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	gen := b.gen
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// Inproc is the in-process Transport backend: n endpoints over one shared
+// Hub, synchronized by a group barrier. It carries payloads by reference
+// (no serialization), so an engine run over it is bit-identical to the
+// pre-transport in-process engine. NewInprocGroup wires a full group; the
+// endpoints are used from one goroutine each.
+type Inproc struct {
+	rank    int
+	hub     *Hub
+	barrier *groupBarrier
+	closed  bool
+}
+
+// NewInprocGroup creates n connected in-process endpoints.
+func NewInprocGroup(n int) []*Inproc {
+	hub := NewHub(n)
+	bar := newGroupBarrier(n)
+	group := make([]*Inproc, n)
+	for i := range group {
+		group[i] = &Inproc{rank: i, hub: hub, barrier: bar}
+	}
+	return group
+}
+
+// Rank implements Transport.
+func (t *Inproc) Rank() int { return t.rank }
+
+// Size implements Transport.
+func (t *Inproc) Size() int { return t.hub.Size() }
+
+// Exchange implements Transport: deposit, barrier (all traffic in), sort
+// and collect, barrier (all collected before the next step's deposits).
+func (t *Inproc) Exchange(out []Message) ([]Message, error) {
+	if t.closed {
+		return nil, fmt.Errorf("transport: exchange on closed inproc endpoint %d", t.rank)
+	}
+	for i := range out {
+		out[i].From = t.rank
+		if err := validDest(out[i], t.Size()); err != nil {
+			// The deposit barrier still must be honored or the group wedges;
+			// peers see this rank contribute nothing.
+			t.barrier.await()
+			t.barrier.await()
+			return nil, err
+		}
+	}
+	for _, msg := range out {
+		t.hub.Deliver(msg)
+	}
+	if t.rank == 0 {
+		t.hub.ctr.exchanges.Add(1)
+	}
+	t.barrier.await()
+	in := t.hub.collectSorted(t.rank)
+	t.barrier.await()
+	return in, nil
+}
+
+// Broadcast implements Transport over Exchange.
+func (t *Inproc) Broadcast(root int, msg Message) (*Message, error) {
+	if t.rank == root {
+		t.hub.ctr.broadcasts.Add(1)
+	}
+	return broadcastVia(t, root, msg)
+}
+
+// Barrier implements Transport.
+func (t *Inproc) Barrier() error {
+	if t.closed {
+		return fmt.Errorf("transport: barrier on closed inproc endpoint %d", t.rank)
+	}
+	if t.rank == 0 {
+		t.hub.ctr.barriers.Add(1)
+	}
+	t.barrier.await()
+	return nil
+}
+
+// TakeFailed implements Transport: the in-process hub never loses a
+// message.
+func (t *Inproc) TakeFailed() []Message { return nil }
+
+// InFlight implements Transport.
+func (t *Inproc) InFlight() int { return 0 }
+
+// Stats implements Transport.
+func (t *Inproc) Stats() Stats { return t.hub.Stats() }
+
+// Close implements Transport. A closed endpoint no longer participates in
+// collectives; closing is for teardown after the group is done.
+func (t *Inproc) Close() error {
+	t.closed = true
+	return nil
+}

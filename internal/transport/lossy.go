@@ -1,0 +1,156 @@
+package transport
+
+import "sync/atomic"
+
+// Lossy layers the deterministic fault plane *above* any Transport
+// backend: every outgoing boundary-DV message consults the FaultHook for
+// its fate, exactly as internal/cluster's simulated lossy links do, so an
+// engine run over TCP can be subjected to the same seeded drop/dup/
+// delay/corrupt chaos as the in-process simulator — and both injected
+// faults and the backend's real delivery failures surface through one
+// TakeFailed channel, driving one recovery path (re-mark the rows for a
+// full re-ship).
+//
+// Corrupt fates are resolved sender-side: on a real wire the receiver's
+// frame CRC would reject the frame and nack, so the observable effect —
+// a detected loss followed by a resend — is identical, and it stays
+// deterministic (the fate schedule, not the network, decides).
+type Lossy struct {
+	inner Transport
+	hook  FaultHook
+
+	xid     int64
+	delayed []Message // held by FateDelay until the next Exchange
+	failed  []Message // abandoned after the resend budget
+
+	// Fault counters (atomic: Stats may race with an Exchange).
+	resends, dropped, duplicated, delayedN, corrupted, droppedDown atomic.Int64
+}
+
+// LossyStats are the fault-plane counters of a Lossy transport.
+type LossyStats struct {
+	Resends     int64
+	Dropped     int64
+	Duplicated  int64
+	Delayed     int64
+	Corrupted   int64
+	Failed      int64
+	DroppedDown int64
+}
+
+// WithFaults wraps t with the seeded fault plane. A nil hook returns t
+// unchanged.
+func WithFaults(t Transport, hook FaultHook) Transport {
+	if hook == nil {
+		return t
+	}
+	return &Lossy{inner: t, hook: hook}
+}
+
+// Rank implements Transport.
+func (l *Lossy) Rank() int { return l.inner.Rank() }
+
+// Size implements Transport.
+func (l *Lossy) Size() int { return l.inner.Size() }
+
+// Exchange implements Transport: messages released from a previous delay
+// go first (they are older), then this step's traffic filtered through
+// the per-message fate schedule.
+func (l *Lossy) Exchange(out []Message) ([]Message, error) {
+	l.xid++
+	send := make([]Message, 0, len(out)+len(l.delayed))
+	for _, msg := range l.delayed {
+		if l.hook.Down(msg.To) {
+			l.droppedDown.Add(1)
+			continue
+		}
+		send = append(send, msg)
+	}
+	l.delayed = l.delayed[:0]
+	budget := l.hook.ResendBudget()
+	if budget < 1 {
+		budget = 1
+	}
+	for mi, msg := range out {
+		msg.From = l.Rank()
+		if msg.Tag != TagBoundaryDV || msg.To == msg.From {
+			send = append(send, msg)
+			continue
+		}
+		if l.hook.Down(msg.To) {
+			l.droppedDown.Add(1)
+			continue
+		}
+		delivered := false
+		for attempt := 0; attempt < budget; attempt++ {
+			if attempt > 0 {
+				l.resends.Add(1)
+			}
+			switch l.hook.Fate(l.xid, msg.From, msg.To, mi, attempt, msg.Tag) {
+			case FateDeliver:
+				send = append(send, msg)
+				delivered = true
+			case FateDuplicate:
+				l.duplicated.Add(1)
+				send = append(send, msg, msg)
+				delivered = true
+			case FateDelay:
+				l.delayedN.Add(1)
+				l.delayed = append(l.delayed, msg)
+				delivered = true
+			case FateDrop:
+				l.dropped.Add(1)
+			case FateCorrupt:
+				l.corrupted.Add(1)
+			}
+			if delivered {
+				break
+			}
+		}
+		if !delivered {
+			l.failed = append(l.failed, msg)
+		}
+	}
+	return l.inner.Exchange(send)
+}
+
+// Broadcast implements Transport: the broadcast plane is reliable (as in
+// the simulator, fates only ever apply to TagBoundaryDV, which the hook
+// itself enforces), so it passes through.
+func (l *Lossy) Broadcast(root int, msg Message) (*Message, error) {
+	return l.inner.Broadcast(root, msg)
+}
+
+// Barrier implements Transport.
+func (l *Lossy) Barrier() error { return l.inner.Barrier() }
+
+// TakeFailed implements Transport: fate-abandoned messages plus whatever
+// the backend itself could not deliver.
+func (l *Lossy) TakeFailed() []Message {
+	f := append(l.failed, l.inner.TakeFailed()...)
+	l.failed = nil
+	return f
+}
+
+// InFlight implements Transport: delay-held messages count as in flight.
+func (l *Lossy) InFlight() int { return len(l.delayed) + l.inner.InFlight() }
+
+// Stats implements Transport (the backend's counters; fault counters are
+// separate, see FaultStats).
+func (l *Lossy) Stats() Stats { return l.inner.Stats() }
+
+// FaultStats returns the fault-plane counters.
+func (l *Lossy) FaultStats() LossyStats {
+	return LossyStats{
+		Resends:     l.resends.Load(),
+		Dropped:     l.dropped.Load(),
+		Duplicated:  l.duplicated.Load(),
+		Delayed:     l.delayedN.Load(),
+		Corrupted:   l.corrupted.Load(),
+		Failed:      int64(len(l.failed)),
+		DroppedDown: l.droppedDown.Load(),
+	}
+}
+
+// Close implements Transport.
+func (l *Lossy) Close() error { return l.inner.Close() }

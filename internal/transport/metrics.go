@@ -1,0 +1,46 @@
+package transport
+
+import (
+	"strconv"
+
+	"anytime/internal/obs"
+)
+
+// RegisterMetrics exposes a transport's counters on an obs Registry in
+// Prometheus text form, under the aa_transport_* namespace. Metrics read
+// live from the endpoint on every scrape; the backend label distinguishes
+// multiple endpoints in one process (e.g. "tcp", "inproc").
+func RegisterMetrics(reg *obs.Registry, t Transport, backend string) {
+	labels := obs.Labels("backend", backend, "rank", strconv.Itoa(t.Rank()))
+	counter := func(name, help string, read func(Stats) int64) {
+		reg.CounterFunc("aa_transport_"+name, help, labels, func() float64 {
+			return float64(read(t.Stats()))
+		})
+	}
+	counter("messages_sent_total", "Messages handed to the transport for delivery.",
+		func(s Stats) int64 { return s.MessagesSent })
+	counter("messages_recv_total", "Messages delivered to this endpoint.",
+		func(s Stats) int64 { return s.MessagesRecv })
+	counter("bytes_sent_total", "Payload bytes sent (dv wire encoding).",
+		func(s Stats) int64 { return s.BytesSent })
+	counter("bytes_recv_total", "Payload bytes received.",
+		func(s Stats) int64 { return s.BytesRecv })
+	counter("frames_sent_total", "Wire frames written, including step-end markers (TCP).",
+		func(s Stats) int64 { return s.FramesSent })
+	counter("frames_recv_total", "Wire frames read and accepted.",
+		func(s Stats) int64 { return s.FramesRecv })
+	counter("exchanges_total", "Completed Exchange collectives.",
+		func(s Stats) int64 { return s.Exchanges })
+	counter("broadcasts_total", "Completed Broadcast collectives.",
+		func(s Stats) int64 { return s.Broadcasts })
+	counter("barriers_total", "Completed Barrier collectives.",
+		func(s Stats) int64 { return s.Barriers })
+	counter("reconnects_total", "Links re-established after a failure (TCP).",
+		func(s Stats) int64 { return s.Reconnects })
+	counter("crc_errors_total", "Frames rejected by the receiver CRC.",
+		func(s Stats) int64 { return s.CRCErrors })
+	counter("send_failures_total", "Messages abandoned after reconnect/resend budgets.",
+		func(s Stats) int64 { return s.SendFailures })
+	reg.GaugeFunc("aa_transport_in_flight", "Messages accepted but not yet delivered (delayed or queued).",
+		labels, func() float64 { return float64(t.InFlight()) })
+}

@@ -1,0 +1,35 @@
+package transport
+
+import (
+	"strings"
+	"testing"
+
+	"anytime/internal/obs"
+)
+
+func TestRegisterMetrics(t *testing.T) {
+	ts := asTransports(NewInprocGroup(2))
+	reg := obs.NewRegistry()
+	RegisterMetrics(reg, ts[0], "inproc")
+
+	runGroup(t, ts, func(tr Transport) (int, error) {
+		if tr.Rank() == 0 {
+			_, err := tr.Exchange([]Message{{To: 1, Tag: TagControl, Bytes: 3, Payload: []byte("abc")}})
+			return 0, err
+		}
+		_, err := tr.Exchange(nil)
+		return 0, err
+	})
+
+	text := reg.Render()
+	for _, want := range []string{
+		`aa_transport_exchanges_total{backend="inproc",rank="0"} 1`,
+		`aa_transport_messages_sent_total{backend="inproc",rank="0"} 1`,
+		`aa_transport_bytes_sent_total{backend="inproc",rank="0"} 3`,
+		`aa_transport_in_flight{backend="inproc",rank="0"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("rendered metrics missing %q:\n%s", want, text)
+		}
+	}
+}

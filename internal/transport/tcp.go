@@ -1,0 +1,651 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Peer is one row of the static peer manifest: a rank and the TCP address
+// it listens on.
+type Peer struct {
+	Rank int
+	Addr string
+}
+
+// TCPOptions tunes the TCP backend. Zero values pick the defaults.
+type TCPOptions struct {
+	// MeshTimeout bounds the whole mesh setup: listening, dialing every
+	// lower rank (with retries while peers are still starting), and
+	// accepting every higher rank (default 30s).
+	MeshTimeout time.Duration
+	// DialTimeout bounds one dial attempt (default 3s).
+	DialTimeout time.Duration
+	// WriteTimeout is the per-frame write deadline (default 10s).
+	WriteTimeout time.Duration
+	// ExchangeTimeout bounds the wait for the peers' step traffic in one
+	// Exchange (default 60s). A peer that dies mid-run surfaces here.
+	ExchangeTimeout time.Duration
+	// ReconnectAttempts bounds the redials after a link failure
+	// (default 5); the acceptor side instead waits for the dialer's redial.
+	ReconnectAttempts int
+	// ReconnectBackoff is the initial redial backoff, doubled per attempt
+	// (default 50ms).
+	ReconnectBackoff time.Duration
+	// MaxFrameBytes bounds one frame's payload (default 16 MiB).
+	MaxFrameBytes int
+	// Logf, when set, receives connection lifecycle diagnostics.
+	Logf func(format string, args ...interface{})
+}
+
+func (o TCPOptions) withDefaults() TCPOptions {
+	if o.MeshTimeout <= 0 {
+		o.MeshTimeout = 30 * time.Second
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 3 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 10 * time.Second
+	}
+	if o.ExchangeTimeout <= 0 {
+		o.ExchangeTimeout = 60 * time.Second
+	}
+	if o.ReconnectAttempts <= 0 {
+		o.ReconnectAttempts = 5
+	}
+	if o.ReconnectBackoff <= 0 {
+		o.ReconnectBackoff = 50 * time.Millisecond
+	}
+	if o.MaxFrameBytes <= 0 {
+		o.MaxFrameBytes = DefaultMaxFrameBytes
+	}
+	return o
+}
+
+// TCP is the real-network Transport backend: a full mesh of stdlib TCP
+// connections between N OS processes. Rank i dials every lower rank and
+// accepts from every higher rank, so each pair shares exactly one
+// connection. Exchange frames each BSP step with per-link step-end
+// markers: TCP's per-link FIFO guarantees a peer's data frames for step k
+// arrive before its k-th marker, so the inbox is complete when every
+// peer's marker is in — no global clock needed.
+type TCP struct {
+	rank  int
+	peers []Peer
+	opts  TCPOptions
+
+	ln     net.Listener
+	links  []*tcpLink // by rank; links[rank] == nil
+	ctr    counters
+	xid    uint64
+	failed []Message
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// tcpLink is the connection state for one peer.
+type tcpLink struct {
+	t      *TCP
+	peer   int
+	dialer bool // this side re-establishes the link after failures
+
+	mu   sync.Mutex // guards conn/w and the write path
+	conn net.Conn
+	w    *bufio.Writer
+	gen  int // bumped on every (re)connect
+
+	rmu   sync.Mutex
+	rcond *sync.Cond
+	items []tcpItem // decoded frames in arrival order
+	dead  bool      // no conn and no prospect of repair
+}
+
+// tcpItem is one received frame: a data message or a step-end marker.
+type tcpItem struct {
+	marker bool
+	xid    uint32
+	msg    Message
+}
+
+// NewTCP joins the mesh described by the manifest as the given rank: it
+// listens on peers[rank].Addr, dials every lower rank (retrying while
+// those processes are still starting), accepts every higher rank, and
+// returns once all Size()-1 links are up.
+func NewTCP(peers []Peer, rank int, opts TCPOptions) (*TCP, error) {
+	if len(peers) < 2 {
+		return nil, fmt.Errorf("transport: tcp mesh needs >= 2 peers, got %d", len(peers))
+	}
+	if rank < 0 || rank >= len(peers) {
+		return nil, fmt.Errorf("transport: rank %d outside manifest of %d peers", rank, len(peers))
+	}
+	for i, p := range peers {
+		if p.Rank != i {
+			return nil, fmt.Errorf("transport: manifest rank %d at position %d (must be sorted, dense)", p.Rank, i)
+		}
+	}
+	t := &TCP{rank: rank, peers: peers, opts: opts.withDefaults(), links: make([]*tcpLink, len(peers))}
+	for q := range peers {
+		if q == rank {
+			continue
+		}
+		l := &tcpLink{t: t, peer: q, dialer: q < rank}
+		l.rcond = sync.NewCond(&l.rmu)
+		t.links[q] = l
+	}
+	ln, err := net.Listen("tcp", peers[rank].Addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: rank %d listen %s: %w", rank, peers[rank].Addr, err)
+	}
+	t.ln = ln
+	t.wg.Add(1)
+	go t.acceptLoop()
+
+	deadline := time.Now().Add(t.opts.MeshTimeout)
+	var dialErr error
+	var dialWG sync.WaitGroup
+	var dialMu sync.Mutex
+	for q := 0; q < rank; q++ {
+		dialWG.Add(1)
+		go func(q int) {
+			defer dialWG.Done()
+			if err := t.links[q].dial(deadline); err != nil {
+				dialMu.Lock()
+				if dialErr == nil {
+					dialErr = err
+				}
+				dialMu.Unlock()
+			}
+		}(q)
+	}
+	dialWG.Wait()
+	if dialErr != nil {
+		t.Close()
+		return nil, dialErr
+	}
+	// Wait for every higher rank to dial in.
+	for q := rank + 1; q < len(peers); q++ {
+		if err := t.links[q].waitConnected(deadline); err != nil {
+			t.Close()
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Addr returns the listener's actual address (useful when the manifest
+// used port 0).
+func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+// Rank implements Transport.
+func (t *TCP) Rank() int { return t.rank }
+
+// Size implements Transport.
+func (t *TCP) Size() int { return len(t.peers) }
+
+func (t *TCP) logf(format string, args ...interface{}) {
+	if t.opts.Logf != nil {
+		t.opts.Logf(format, args...)
+	}
+}
+
+// acceptLoop installs inbound connections onto their links for the whole
+// life of the endpoint — a later inbound connection from a known higher
+// rank replaces the existing one (the dialer's reconnect).
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go t.handshakeInbound(conn)
+	}
+}
+
+// readHandshake reads exactly one empty-body frame off the raw connection
+// (handshake frames are fixed-size), avoiding any buffered read-ahead that
+// would swallow bytes of the frames that follow.
+func readHandshake(conn net.Conn, maxBytes int) (frame, error) {
+	buf := make([]byte, headerLen+trailerLen)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		return frame{}, err
+	}
+	return readFrame(bytes.NewReader(buf), maxBytes)
+}
+
+// handshakeInbound reads the dialer's handshake, replies, and installs the
+// connection on the peer's link.
+func (t *TCP) handshakeInbound(conn net.Conn) {
+	conn.SetDeadline(time.Now().Add(t.opts.DialTimeout))
+	f, err := readHandshake(conn, t.opts.MaxFrameBytes)
+	if err != nil || f.Tag != tagHandshake || f.To != t.rank {
+		t.logf("transport: rank %d rejecting inbound connection: %v", t.rank, err)
+		conn.Close()
+		return
+	}
+	peer := f.From
+	if peer <= t.rank || peer >= len(t.peers) {
+		t.logf("transport: rank %d rejecting handshake from invalid rank %d", t.rank, peer)
+		conn.Close()
+		return
+	}
+	reply := appendFrame(nil, frame{Tag: tagHandshake, From: t.rank, To: peer, Seq: frameVersion})
+	if _, err := conn.Write(reply); err != nil {
+		conn.Close()
+		return
+	}
+	conn.SetDeadline(time.Time{})
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	t.links[peer].install(conn)
+}
+
+// dial establishes the link to a lower rank, retrying until the deadline
+// while the peer process may still be starting.
+func (l *tcpLink) dial(deadline time.Time) error {
+	t := l.t
+	backoff := t.opts.ReconnectBackoff
+	for {
+		if t.closed.Load() {
+			return fmt.Errorf("transport: endpoint closed while dialing rank %d", l.peer)
+		}
+		conn, err := l.dialOnce()
+		if err == nil {
+			l.install(conn)
+			return nil
+		}
+		if time.Now().Add(backoff).After(deadline) {
+			return fmt.Errorf("transport: rank %d could not reach rank %d at %s: %w",
+				t.rank, l.peer, t.peers[l.peer].Addr, err)
+		}
+		time.Sleep(backoff)
+		if backoff < time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// dialOnce performs one dial + handshake round trip.
+func (l *tcpLink) dialOnce() (net.Conn, error) {
+	t := l.t
+	conn, err := net.DialTimeout("tcp", t.peers[l.peer].Addr, t.opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	conn.SetDeadline(time.Now().Add(t.opts.DialTimeout))
+	hs := appendFrame(nil, frame{Tag: tagHandshake, From: t.rank, To: l.peer, Seq: frameVersion})
+	if _, err := conn.Write(hs); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	f, err := readHandshake(conn, t.opts.MaxFrameBytes)
+	if err != nil || f.Tag != tagHandshake || f.From != l.peer {
+		conn.Close()
+		if err == nil {
+			err = fmt.Errorf("transport: bad handshake reply (tag %d from %d)", f.Tag, f.From)
+		}
+		return nil, err
+	}
+	conn.SetDeadline(time.Time{})
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return conn, nil
+}
+
+// install replaces the link's connection (counting a reconnect if one
+// existed) and starts its reader.
+func (l *tcpLink) install(conn net.Conn) {
+	l.mu.Lock()
+	if l.conn != nil {
+		l.conn.Close()
+		l.t.ctr.reconnects.Add(1)
+	}
+	l.conn = conn
+	l.w = bufio.NewWriterSize(conn, 64<<10)
+	l.gen++
+	gen := l.gen
+	l.mu.Unlock()
+	l.rmu.Lock()
+	l.dead = false
+	l.rmu.Unlock()
+	l.rcond.Broadcast()
+	l.t.wg.Add(1)
+	go l.readLoop(conn, gen)
+}
+
+// waitConnected blocks until the link has a connection or the deadline
+// passes.
+func (l *tcpLink) waitConnected(deadline time.Time) error {
+	for {
+		l.mu.Lock()
+		ok := l.conn != nil
+		l.mu.Unlock()
+		if ok {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("transport: rank %d never heard from rank %d", l.t.rank, l.peer)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// readLoop decodes frames from one connection until it fails or is
+// replaced. Corrupt frames are counted and skipped (the length prefix
+// keeps the stream in sync); a read error marks the link for repair.
+func (l *tcpLink) readLoop(conn net.Conn, gen int) {
+	defer l.t.wg.Done()
+	r := bufio.NewReaderSize(conn, 64<<10)
+	for {
+		f, err := readFrame(r, l.t.opts.MaxFrameBytes)
+		if err != nil {
+			if errors.Is(err, ErrCorruptFrame) {
+				l.t.ctr.crcErrors.Add(1)
+				continue
+			}
+			l.readerGone(conn, gen, err)
+			return
+		}
+		l.t.ctr.framesRecv.Add(1)
+		if f.Tag == tagStepEnd {
+			l.push(tcpItem{marker: true, xid: f.Seq})
+			continue
+		}
+		payload, perr := decodePayload(f.Kind, f.Body)
+		if perr != nil {
+			// A frame that passed CRC but fails payload decoding is a
+			// protocol bug or an in-flight corruption the CRC missed;
+			// reject it like a corrupt frame.
+			l.t.ctr.crcErrors.Add(1)
+			l.t.logf("transport: rank %d dropping undecodable frame from %d: %v", l.t.rank, f.From, perr)
+			continue
+		}
+		l.t.ctr.msgsRecv.Add(1)
+		l.t.ctr.bytesRecv.Add(int64(len(f.Body)))
+		l.push(tcpItem{msg: Message{From: f.From, To: f.To, Tag: f.Tag, Bytes: len(f.Body), Payload: payload}})
+	}
+}
+
+// readerGone handles a failed connection: the dialer side redials with
+// backoff; the acceptor side waits for the dialer's new connection. If the
+// endpoint is closing, or redial fails, the link is marked dead so waiting
+// receivers fail fast.
+func (l *tcpLink) readerGone(conn net.Conn, gen int, err error) {
+	t := l.t
+	l.mu.Lock()
+	stale := l.gen != gen // already replaced by a newer connection
+	l.mu.Unlock()
+	if stale || t.closed.Load() {
+		return
+	}
+	if err != io.EOF {
+		t.logf("transport: rank %d link to %d failed: %v", t.rank, l.peer, err)
+	}
+	conn.Close()
+	if !l.dialer {
+		// The dialer redials; nothing to do but wait. Receivers keep
+		// waiting under the Exchange timeout.
+		return
+	}
+	backoff := t.opts.ReconnectBackoff
+	for attempt := 0; attempt < t.opts.ReconnectAttempts; attempt++ {
+		if t.closed.Load() {
+			return
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+		c, derr := l.dialOnce()
+		if derr == nil {
+			t.ctr.reconnects.Add(1)
+			l.installReconnected(c)
+			return
+		}
+	}
+	l.rmu.Lock()
+	l.dead = true
+	l.rmu.Unlock()
+	l.rcond.Broadcast()
+}
+
+// installReconnected swaps in a redialed connection without double-counting
+// the reconnect (the caller counted it).
+func (l *tcpLink) installReconnected(conn net.Conn) {
+	l.mu.Lock()
+	l.conn = conn
+	l.w = bufio.NewWriterSize(conn, 64<<10)
+	l.gen++
+	gen := l.gen
+	l.mu.Unlock()
+	l.rmu.Lock()
+	l.dead = false
+	l.rmu.Unlock()
+	l.rcond.Broadcast()
+	l.t.wg.Add(1)
+	go l.readLoop(conn, gen)
+}
+
+// push appends one received item and wakes the collector.
+func (l *tcpLink) push(it tcpItem) {
+	l.rmu.Lock()
+	l.items = append(l.items, it)
+	l.rmu.Unlock()
+	l.rcond.Broadcast()
+}
+
+// send writes one encoded frame with the write deadline, redialing with
+// backoff on failure (dialer side) or waiting briefly for the peer's
+// redial (acceptor side). Reports whether the frame was written.
+func (l *tcpLink) send(buf []byte) error {
+	t := l.t
+	deadline := time.Now().Add(t.opts.ExchangeTimeout)
+	backoff := t.opts.ReconnectBackoff
+	for attempt := 0; ; attempt++ {
+		l.mu.Lock()
+		conn, w := l.conn, l.w
+		if conn != nil {
+			conn.SetWriteDeadline(time.Now().Add(t.opts.WriteTimeout))
+			_, err := w.Write(buf)
+			if err == nil {
+				err = w.Flush()
+			}
+			conn.SetWriteDeadline(time.Time{})
+			if err == nil {
+				l.mu.Unlock()
+				t.ctr.framesSent.Add(1)
+				return nil
+			}
+			// The write failed: drop the connection; the reader's repair
+			// path (or our redial below) re-establishes it.
+			conn.Close()
+			if l.dialer {
+				l.conn, l.w = nil, nil
+			}
+			l.mu.Unlock()
+			t.logf("transport: rank %d write to %d failed: %v", t.rank, l.peer, err)
+		} else {
+			l.mu.Unlock()
+		}
+		if t.closed.Load() {
+			return fmt.Errorf("transport: endpoint closed")
+		}
+		if attempt >= t.opts.ReconnectAttempts || time.Now().After(deadline) {
+			return fmt.Errorf("transport: rank %d cannot reach rank %d after %d attempts", t.rank, l.peer, attempt)
+		}
+		if l.dialer {
+			if c, err := l.dialOnce(); err == nil {
+				t.ctr.reconnects.Add(1)
+				l.installReconnected(c)
+				continue
+			}
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// takeStep blocks until the link's next step-end marker arrives, then
+// removes and returns the data messages queued before it (the peer's
+// traffic for the current exchange).
+func (l *tcpLink) takeStep(deadline time.Time) ([]Message, error) {
+	// A timer kicks the cond so the wait honors the deadline.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(50 * time.Millisecond):
+				l.rcond.Broadcast()
+			}
+		}
+	}()
+	l.rmu.Lock()
+	defer l.rmu.Unlock()
+	for {
+		for i, it := range l.items {
+			if it.marker {
+				msgs := make([]Message, 0, i)
+				for _, d := range l.items[:i] {
+					msgs = append(msgs, d.msg)
+				}
+				l.items = append(l.items[:0], l.items[i+1:]...)
+				return msgs, nil
+			}
+		}
+		if l.t.closed.Load() {
+			return nil, fmt.Errorf("transport: endpoint closed")
+		}
+		if l.dead {
+			return nil, fmt.Errorf("transport: link to rank %d is down", l.peer)
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("transport: rank %d timed out waiting for rank %d's step traffic", l.t.rank, l.peer)
+		}
+		l.rcond.Wait()
+	}
+}
+
+// Exchange implements Transport: send this rank's messages, mark the step
+// end on every link, and collect every peer's step traffic.
+func (t *TCP) Exchange(out []Message) ([]Message, error) {
+	if t.closed.Load() {
+		return nil, fmt.Errorf("transport: exchange on closed endpoint")
+	}
+	t.xid++
+	xid := uint32(t.xid)
+	t.ctr.exchanges.Add(1)
+	var local []Message
+	seq := make([]uint32, len(t.peers))
+	for i := range out {
+		msg := out[i]
+		msg.From = t.rank
+		if err := validDest(msg, len(t.peers)); err != nil {
+			return nil, err
+		}
+		if msg.To == t.rank {
+			local = append(local, msg)
+			continue
+		}
+		kind, body, err := encodePayload(msg.Payload)
+		if err != nil {
+			return nil, err
+		}
+		buf := appendFrame(make([]byte, 0, headerLen+len(body)+trailerLen), frame{
+			Tag: msg.Tag, Kind: kind, From: t.rank, To: msg.To, Seq: seq[msg.To], Body: body,
+		})
+		seq[msg.To]++
+		if err := t.links[msg.To].send(buf); err != nil {
+			// Real packet loss: surface through the same path as the fault
+			// layer's abandoned messages so the engine re-marks the rows.
+			t.ctr.sendFailures.Add(1)
+			t.failed = append(t.failed, msg)
+			t.logf("transport: rank %d abandoning %d-byte message to %d: %v", t.rank, msg.Bytes, msg.To, err)
+			continue
+		}
+		t.ctr.msgsSent.Add(1)
+		t.ctr.bytesSent.Add(int64(len(body)))
+	}
+	for q, l := range t.links {
+		if l == nil {
+			continue
+		}
+		marker := appendFrame(nil, frame{Tag: tagStepEnd, From: t.rank, To: q, Seq: xid})
+		if err := l.send(marker); err != nil {
+			return nil, fmt.Errorf("transport: step marker to rank %d: %w", q, err)
+		}
+	}
+	deadline := time.Now().Add(t.opts.ExchangeTimeout)
+	var in []Message
+	for q := 0; q < len(t.peers); q++ {
+		if q == t.rank {
+			in = append(in, local...)
+			continue
+		}
+		msgs, err := t.links[q].takeStep(deadline)
+		if err != nil {
+			return nil, err
+		}
+		in = append(in, msgs...)
+	}
+	return in, nil
+}
+
+// Broadcast implements Transport over Exchange.
+func (t *TCP) Broadcast(root int, msg Message) (*Message, error) {
+	if t.rank == root {
+		t.ctr.broadcasts.Add(1)
+	}
+	return broadcastVia(t, root, msg)
+}
+
+// Barrier implements Transport as an empty Exchange.
+func (t *TCP) Barrier() error {
+	t.ctr.barriers.Add(1)
+	_, err := t.Exchange(nil)
+	return err
+}
+
+// TakeFailed implements Transport.
+func (t *TCP) TakeFailed() []Message {
+	f := t.failed
+	t.failed = nil
+	return f
+}
+
+// InFlight implements Transport: the TCP backend holds nothing between
+// exchanges.
+func (t *TCP) InFlight() int { return 0 }
+
+// Stats implements Transport.
+func (t *TCP) Stats() Stats { return t.ctr.snapshot() }
+
+// Close implements Transport.
+func (t *TCP) Close() error {
+	if t.closed.Swap(true) {
+		return nil
+	}
+	t.ln.Close()
+	for _, l := range t.links {
+		if l == nil {
+			continue
+		}
+		l.mu.Lock()
+		if l.conn != nil {
+			l.conn.Close()
+		}
+		l.mu.Unlock()
+		l.rcond.Broadcast()
+	}
+	t.wg.Wait()
+	return nil
+}
