@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build test vet race chaos bench bench-json bench-compare obs-check transport-check clean
+.PHONY: check build test vet race chaos chaos-cluster bench bench-json bench-compare obs-check transport-check clean
 
-check: build test vet race transport-check
+check: build test vet race transport-check chaos-cluster
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,16 @@ chaos:
 	$(GO) test -race -count=1 -run 'TestChaos' ./internal/core
 	$(GO) test -race -count=1 ./internal/fault ./internal/cluster
 	$(GO) test -race -count=1 -run 'TestServer|TestHealthz|TestClient' ./internal/serve
+
+# Cluster chaos gate: the real-OS-process robustness suite under the race
+# detector — SIGKILL one of three ranks mid-recombination (heartbeat
+# detection, degraded convergence, shard-restored rejoin, bit-identical
+# result) and dynamic vertex additions across processes — plus an
+# end-to-end aacluster run streaming a vertex batch over the wire,
+# verified against the exact oracle of the grown graph.
+chaos-cluster:
+	$(GO) test -race -count=1 -run 'TestChaosSIGKILLRejoinBitIdentical|TestMultiProcessTCPDynamicEvents|TestRunnerInprocCrashRejoinBitIdentical' ./internal/rank
+	$(GO) run ./cmd/aacluster -launch -p 3 -n 300 -events 5 -verify
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -39,6 +39,7 @@ import (
 	"strings"
 	"time"
 
+	"anytime/internal/change"
 	"anytime/internal/gen"
 	"anytime/internal/graph"
 	"anytime/internal/obs"
@@ -64,14 +65,26 @@ func main() {
 
 		calibrate = flag.Bool("calibrate", false, "measure o/g/L over the real transport and exit")
 		rounds    = flag.Int("rounds", 32, "calibration ping-pong rounds")
+		calOut    = flag.String("calibrate-out", "", "rank 0: write the calibration JSON here (feed to aaexperiments -model)")
 		verify    = flag.Bool("verify", false, "rank 0: check the result against the exact oracle")
 		out       = flag.String("out", "", "rank 0: write the distance matrix (text) here")
-		metrics   = flag.String("metrics", "", "serve aa_transport_* metrics on this address (e.g. :9090)")
+		metrics   = flag.String("metrics", "", "serve aa_transport_*/aa_rank_* metrics on this address (e.g. :9090)")
+
+		hbInterval   = flag.Duration("hb-interval", 0, "heartbeat interval (0 disables failure detection)")
+		hbTimeout    = flag.Duration("hb-timeout", 0, "silence after which a peer is down (default 4x -hb-interval)")
+		shardDir     = flag.String("shard-dir", "", "write this rank's recovery shard here every -shard-every steps")
+		shardEvery   = flag.Int("shard-every", 1, "recovery-shard cadence in RC steps")
+		rejoinWait   = flag.Duration("rejoin-wait", 0, "how long survivors idle in degraded mode waiting for a rejoin")
+		minSteps     = flag.Int("min-steps", 0, "force at least this many RC steps before convergence may stop")
+		stepThrottle = flag.Duration("step-throttle", 0, "sleep this long after every RC step")
+		rejoin       = flag.Bool("rejoin", false, "join as a restarted rank: rejoin the running mesh and restore from the recovery shard")
+		supervise    = flag.Bool("supervise", false, "with -launch: relaunch a crashed rank (with -rejoin) after backoff")
+		events       = flag.Int("events", 0, "rank 0: stream a dynamic vertex batch of this size into the run")
 	)
 	flag.Parse()
 
 	if *launch {
-		os.Exit(launchMesh(*procs, *calibrate))
+		os.Exit(launchMesh(*procs, *calibrate, *supervise, *hbInterval))
 	}
 	peers, err := loadPeers(*peersFlag, *manifest)
 	if err != nil {
@@ -80,13 +93,20 @@ func main() {
 	if *rankID < 0 || *rankID >= len(peers) {
 		fatal(fmt.Errorf("-rank %d out of range for %d peers", *rankID, len(peers)))
 	}
-	tr, err := transport.NewTCP(peers, *rankID, transport.TCPOptions{})
+	opts := transport.TCPOptions{HeartbeatInterval: *hbInterval, HeartbeatTimeout: *hbTimeout}
+	var tr *transport.TCP
+	if *rejoin {
+		tr, err = transport.RejoinTCP(peers, *rankID, opts)
+	} else {
+		tr, err = transport.NewTCP(peers, *rankID, opts)
+	}
 	if err != nil {
 		fatal(fmt.Errorf("joining mesh: %w", err))
 	}
 	defer tr.Close()
+	var reg *obs.Registry
 	if *metrics != "" {
-		serveMetrics(*metrics, tr)
+		reg = serveMetrics(*metrics, tr)
 	}
 
 	if *calibrate {
@@ -98,6 +118,12 @@ func main() {
 			fmt.Println(cal.String())
 			model := cal.Model(tr.Size())
 			fmt.Printf("model: L=%v o=%v g=%v/B P=%d\n", model.L, model.O, model.G, model.P)
+			if *calOut != "" {
+				if err := transport.SaveCalibration(*calOut, cal); err != nil {
+					fatal(err)
+				}
+				fmt.Printf("wrote %s\n", *calOut)
+			}
 		}
 		return
 	}
@@ -106,12 +132,28 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	start := time.Now()
-	r, err := rank.New(tr, rank.Config{
+	cfg := rank.Config{
 		Graph: g, Seed: *seed, Workers: *workers, TileSize: *tile, MaxSteps: *steps,
-	})
+		ShardDir: *shardDir, ShardEvery: *shardEvery,
+		MinSteps: *minSteps, StepThrottle: *stepThrottle, RejoinWait: *rejoinWait,
+	}
+	start := time.Now()
+	var r *rank.Runner
+	if *rejoin {
+		r, err = rank.Rejoin(tr, cfg)
+	} else {
+		r, err = rank.New(tr, cfg)
+	}
 	if err != nil {
 		fatal(err)
+	}
+	if reg != nil {
+		rank.RegisterMetrics(reg, r)
+	}
+	if !*rejoin && tr.Rank() == 0 && *events > 0 {
+		if err := r.QueueEvents(demoBatch(g.NumVertices(), *events, *seed)); err != nil {
+			fatal(err)
+		}
 	}
 	setup := time.Since(start)
 	nsteps, err := r.Run()
@@ -120,10 +162,18 @@ func main() {
 	}
 	elapsed := time.Since(start)
 	st, ts := r.Stats(), tr.Stats()
-	fmt.Printf("rank %d/%d: converged in %d steps, %v (setup %v); ia=%d relax=%d reships=%d; sent %d msgs / %d B, recv %d msgs / %d B, reconnects=%d\n",
+	fmt.Printf("rank %d/%d: converged in %d steps, %v (setup %v); ia=%d relax=%d reships=%d events=%d; sent %d msgs / %d B, recv %d msgs / %d B, reconnects=%d retries=%d\n",
 		tr.Rank(), tr.Size(), nsteps, elapsed.Round(time.Millisecond), setup.Round(time.Millisecond),
-		st.IAOps, st.RelaxOps, st.Reships,
-		ts.MessagesSent, ts.BytesSent, ts.MessagesRecv, ts.BytesRecv, ts.Reconnects)
+		st.IAOps, st.RelaxOps, st.Reships, st.EventsApplied,
+		ts.MessagesSent, ts.BytesSent, ts.MessagesRecv, ts.BytesRecv, ts.Reconnects, ts.RetryAttempts)
+	if down := r.DownSeen(); len(down) > 0 {
+		fmt.Printf("rank %d: survived outage of ranks %v (degraded convergences=%d, rejoins integrated=%d)\n",
+			tr.Rank(), down, st.DegradedConvergences, st.Rejoins)
+	}
+	if r.Degraded() {
+		fmt.Printf("rank %d: WARNING: stopped in degraded mode, ranks %v still down — distances exclude their contribution\n",
+			tr.Rank(), r.DownProcs())
+	}
 
 	// GatherDistances is a collective, so whether to gather is rank 0's
 	// decision, broadcast to everyone — a rank joined without -verify/-out
@@ -164,8 +214,11 @@ func main() {
 }
 
 // launchMesh reserves P localhost ports and re-execs this binary once per
-// rank, forwarding every non-launch flag. It returns the exit code.
-func launchMesh(p int, calibrate bool) int {
+// rank, forwarding every non-launch flag. With supervise, a rank that dies
+// mid-run is relaunched after a backoff with -rejoin, re-entering the mesh
+// through the liveness plane (which supervision therefore forces on). It
+// returns the exit code.
+func launchMesh(p int, calibrate, supervise bool, hbInterval time.Duration) int {
 	if p < 2 {
 		fmt.Fprintln(os.Stderr, "aacluster: -launch needs -p >= 2")
 		return 2
@@ -183,37 +236,98 @@ func launchMesh(p int, calibrate bool) int {
 		fmt.Fprintf(os.Stderr, "aacluster: %v\n", err)
 		return 1
 	}
-	// Forward everything except the launch-mode flags.
+	// Forward everything except the launch/supervision-mode flags.
 	var passthrough []string
-	skip := map[string]bool{"launch": true, "p": true, "rank": true, "peers": true, "manifest": true, "metrics": true}
+	skip := map[string]bool{
+		"launch": true, "p": true, "rank": true, "peers": true, "manifest": true,
+		"metrics": true, "supervise": true, "rejoin": true,
+	}
 	flag.Visit(func(f *flag.Flag) {
 		if !skip[f.Name] {
 			passthrough = append(passthrough, "-"+f.Name+"="+f.Value.String())
 		}
 	})
-	cmds := make([]*exec.Cmd, p)
-	for r := 0; r < p; r++ {
+	if supervise && hbInterval <= 0 {
+		// A rejoin needs failure detection on every rank; default it on.
+		passthrough = append(passthrough, "-hb-interval=500ms")
+	}
+	spawn := func(r int, rejoin bool) (*exec.Cmd, error) {
 		args := append([]string{
 			"-rank=" + strconv.Itoa(r),
 			"-peers=" + strings.Join(addrs, ","),
 		}, passthrough...)
+		if rejoin {
+			args = append(args, "-rejoin")
+		}
 		cmd := exec.Command(exe, args...)
 		cmd.Stdout = prefixWriter(fmt.Sprintf("[rank %d] ", r), os.Stdout)
 		cmd.Stderr = prefixWriter(fmt.Sprintf("[rank %d] ", r), os.Stderr)
-		if err := cmd.Start(); err != nil {
+		return cmd, cmd.Start()
+	}
+	type exit struct {
+		rank int
+		err  error
+	}
+	exits := make(chan exit, p)
+	watch := func(r int, cmd *exec.Cmd) {
+		go func() { exits <- exit{r, cmd.Wait()} }()
+	}
+	for r := 0; r < p; r++ {
+		cmd, err := spawn(r, false)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "aacluster: starting rank %d: %v\n", r, err)
 			return 1
 		}
-		cmds[r] = cmd
+		watch(r, cmd)
 	}
-	code := 0
-	for r, cmd := range cmds {
-		if err := cmd.Wait(); err != nil {
-			fmt.Fprintf(os.Stderr, "aacluster: rank %d: %v\n", r, err)
+	const maxRestarts = 3
+	restarts := make([]int, p)
+	code, running := 0, p
+	for running > 0 {
+		e := <-exits
+		// Rank 0 coordinates votes and rejoins; its death ends the run.
+		if e.err != nil && supervise && e.rank != 0 && restarts[e.rank] < maxRestarts {
+			restarts[e.rank]++
+			backoff := time.Duration(restarts[e.rank]) * 500 * time.Millisecond
+			fmt.Fprintf(os.Stderr, "aacluster: rank %d died (%v); relaunching with -rejoin in %v (attempt %d/%d)\n",
+				e.rank, e.err, backoff, restarts[e.rank], maxRestarts)
+			time.Sleep(backoff)
+			cmd, err := spawn(e.rank, true)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "aacluster: relaunching rank %d: %v\n", e.rank, err)
+				code = 1
+				running--
+				continue
+			}
+			watch(e.rank, cmd)
+			continue
+		}
+		if e.err != nil {
+			fmt.Fprintf(os.Stderr, "aacluster: rank %d: %v\n", e.rank, e.err)
 			code = 1
 		}
+		running--
 	}
 	return code
+}
+
+// demoBatch builds the -events vertex batch: k new vertices, each wired to
+// a deterministic existing vertex and chained to its batch predecessor —
+// enough structure to exercise internal, external, and cross-batch edges
+// over the wire.
+func demoBatch(n, k int, seed int64) change.Event {
+	b := &change.VertexBatch{NumVertices: k}
+	for i := 0; i < k; i++ {
+		exist := int32((seed + int64(i)*2654435761) % int64(n))
+		if exist < 0 {
+			exist += int32(n)
+		}
+		b.External = append(b.External, change.ExternalEdge{New: int32(i), Existing: exist, Weight: graph.Weight(1 + i%4)})
+		if i > 0 {
+			b.Internal = append(b.Internal, change.InternalEdge{A: int32(i - 1), B: int32(i), Weight: graph.Weight(1 + (i+1)%4)})
+		}
+	}
+	return change.Event{Batch: b}
 }
 
 func loadPeers(inline, manifestPath string) ([]transport.Peer, error) {
@@ -305,7 +419,7 @@ func writeDistances(path string, dist [][]graph.Dist) error {
 	return f.Close()
 }
 
-func serveMetrics(addr string, tr transport.Transport) {
+func serveMetrics(addr string, tr transport.Transport) *obs.Registry {
 	reg := obs.NewRegistry()
 	transport.RegisterMetrics(reg, tr, "tcp")
 	mux := http.NewServeMux()
@@ -318,6 +432,7 @@ func serveMetrics(addr string, tr transport.Transport) {
 			fmt.Fprintf(os.Stderr, "aacluster: metrics server: %v\n", err)
 		}
 	}()
+	return reg
 }
 
 func freePorts(n int) ([]string, error) {

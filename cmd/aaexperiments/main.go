@@ -19,6 +19,7 @@ import (
 
 	"anytime/internal/harness"
 	"anytime/internal/obs"
+	"anytime/internal/transport"
 )
 
 func main() {
@@ -30,9 +31,20 @@ func main() {
 		quick = flag.Bool("quick", false, "smaller sweeps")
 		fig   = flag.String("fig", "", "run one experiment: fig4..fig8, analysis, ablations, or scaling")
 		trace = flag.String("trace", "", "write a phase-span trace (JSONL) of every engine run to this file; convert with aatrace")
+		model = flag.String("model", "", "calibration JSON (from aacluster -calibrate -calibrate-out) replacing the default LogP model")
 	)
 	flag.Parse()
 	cfg := harness.Config{N: *n, P: *p, M: *m, Seed: *seed, Quick: *quick}
+	if *model != "" {
+		cal, err := transport.LoadCalibration(*model)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aaexperiments: -model: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.Model = cal.Model(*p)
+		fmt.Printf("model: measured L=%v o=%v g=%v/B (calibrated %s)\n",
+			cfg.Model.L, cfg.Model.O, cfg.Model.G, *model)
+	}
 	if *trace != "" {
 		cfg.Obs = obs.NewTracer(obs.DefaultCapacity)
 		defer func() {

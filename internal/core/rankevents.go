@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+
+	"anytime/internal/change"
+	"anytime/internal/dv"
+	"anytime/internal/graph"
+)
+
+// Dynamic events over the multi-process runner. Rank 0 owns the event
+// intake and ships each step's accepted events to every live rank inside
+// the data exchange; every rank then applies the identical event list at
+// the identical step boundary, so the graphs, partitions, and round-robin
+// assignment cursors evolve in lockstep without any extra coordination.
+// The EventLog records the applied journal: a rank that was down while
+// events were applied replays the journal from the base graph when it
+// rejoins, deterministically re-deriving the exact same topology and
+// partition the survivors hold (verified by the partition checksum in the
+// rejoin-go payload).
+
+// EventLog tracks the deterministic dynamic-event state of one rank: the
+// round-robin placement cursor, the stream map resolving cross-batch
+// pending edges, and the journal of applied events.
+type EventLog struct {
+	p         int
+	rrNext    int
+	streamMap []int32
+	journal   []change.Event
+}
+
+// NewEventLog creates the event state for a P-rank runner.
+func NewEventLog(p int) *EventLog { return &EventLog{p: p} }
+
+// Journal returns the applied events in application order.
+func (l *EventLog) Journal() []change.Event { return l.journal }
+
+// appliedEvent reports what one event did to the graph, for the caller's
+// table-level follow-up.
+type appliedEvent struct {
+	first  int     // first global ID of the batch's new vertices (batch only)
+	count  int     // new vertices added
+	assign []int32 // rank of each new vertex
+	edges  []resolvedEdge
+}
+
+// apply mutates the graph and partition for one event and advances the
+// journal. Only vertex batches and edge additions are supported across
+// processes; the non-monotone kinds (deletions, weight increases) need the
+// engine's reset path and stay single-process.
+func (l *EventLog) apply(g *graph.Graph, part *graph.Partition, ev change.Event) (appliedEvent, error) {
+	var ae appliedEvent
+	switch {
+	case ev.Batch != nil:
+		b := ev.Batch
+		if err := b.Validate(g.NumVertices()); err != nil {
+			return ae, err
+		}
+		for _, ed := range b.Pending {
+			if int(ed.EarlierBatchVertex) >= len(l.streamMap) {
+				return ae, fmt.Errorf("core: pending edge references stream vertex %d of %d", ed.EarlierBatchVertex, len(l.streamMap))
+			}
+		}
+		first := g.AddVertices(b.NumVertices)
+		assign := make([]int32, b.NumVertices)
+		for i := range assign {
+			assign[i] = int32((l.rrNext + i) % l.p)
+		}
+		if b.NumVertices > 0 {
+			l.rrNext = (l.rrNext + b.NumVertices) % l.p
+		}
+		part.Extend(assign)
+		for i := 0; i < b.NumVertices; i++ {
+			l.streamMap = append(l.streamMap, int32(first+i))
+		}
+		ae = appliedEvent{first: first, count: b.NumVertices, assign: assign}
+		for _, ed := range b.Internal {
+			ae.edges = append(ae.edges, resolvedEdge{first + int(ed.A), first + int(ed.B), ed.Weight})
+		}
+		for _, ed := range b.External {
+			ae.edges = append(ae.edges, resolvedEdge{first + int(ed.New), int(ed.Existing), ed.Weight})
+		}
+		for _, ed := range b.Pending {
+			ae.edges = append(ae.edges, resolvedEdge{first + int(ed.New), int(l.streamMap[ed.EarlierBatchVertex]), ed.Weight})
+		}
+	case ev.EdgeAdds != nil:
+		n := g.NumVertices()
+		for _, ed := range ev.EdgeAdds {
+			if ed.U < 0 || int(ed.U) >= n || ed.V < 0 || int(ed.V) >= n || ed.U == ed.V || ed.Weight <= 0 {
+				return ae, fmt.Errorf("core: invalid edge addition {%d,%d,%d} on graph of %d", ed.U, ed.V, ed.Weight, n)
+			}
+			ae.edges = append(ae.edges, resolvedEdge{int(ed.U), int(ed.V), ed.Weight})
+		}
+	default:
+		return ae, fmt.Errorf("core: event kind not supported across processes (deletions/weight changes/rebalance are single-process)")
+	}
+	// Insert only the genuinely new edges, and report exactly those back:
+	// a re-added existing edge (whatever its weight) is a no-op — the graph
+	// keeps the original weight, so seeding rows with the event's weight
+	// would fabricate a connection the graph does not have.
+	kept := ae.edges[:0]
+	for _, ed := range ae.edges {
+		if g.HasEdge(ed.u, ed.v) {
+			continue
+		}
+		if err := g.AddEdge(ed.u, ed.v, ed.w); err != nil {
+			return ae, err
+		}
+		kept = append(kept, ed)
+	}
+	ae.edges = kept
+	l.journal = append(l.journal, ev)
+	return ae, nil
+}
+
+// Replay re-derives the graph and partition evolution of a journal — the
+// rejoin path: a returning rank applies the journal it missed to the base
+// graph and provably arrives at the survivors' exact topology, because
+// every mutation is a deterministic function of (base state, journal).
+func (l *EventLog) Replay(g *graph.Graph, part *graph.Partition, journal []change.Event) error {
+	for i, ev := range journal {
+		if _, err := l.apply(g, part, ev); err != nil {
+			return fmt.Errorf("core: journal replay event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ApplyEvents applies one step's event list to this rank: the graph and
+// partition advance through the log, the DV table grows columns for the
+// new vertices, the rank adds rows for the new vertices it owns (born
+// dirty and ship-all), and every *owned* endpoint row of a new edge is
+// re-seeded with the direct edge and marked for a full re-ship — the
+// engine's edge-addition invariant (every live edge represented in its
+// endpoints' rows) that makes the min-plus fixed point exact. The sub-graph
+// view is rebuilt afterwards. Every live rank must call this with the same
+// events at the same step boundary.
+func (rs *RankState) ApplyEvents(log *EventLog, evs []change.Event) error {
+	if len(evs) == 0 {
+		return nil
+	}
+	p := rs.p
+	me := int32(p.id)
+	for _, ev := range evs {
+		ae, err := log.apply(rs.g, rs.part, ev)
+		if err != nil {
+			return err
+		}
+		if ae.count > 0 {
+			p.table.ExtendCols(ae.count)
+			for i := 0; i < ae.count; i++ {
+				if ae.assign[i] == me {
+					p.table.AddRow(int32(ae.first + i))
+				}
+			}
+		}
+		for _, ed := range ae.edges {
+			if r := p.table.Row(int32(ed.u)); r != nil {
+				r.RelaxVia(int32(ed.v), graph.Dist(ed.w), int32(ed.v))
+				r.MarkShipAll()
+			}
+			if r := p.table.Row(int32(ed.v)); r != nil {
+				r.RelaxVia(int32(ed.u), graph.Dist(ed.w), int32(ed.u))
+				r.MarkShipAll()
+			}
+		}
+	}
+	p.sub = graph.ExtractSub(rs.g, rs.part, me)
+	rs.refreshHasUpdate()
+	return nil
+}
+
+// refreshHasUpdate rescans the local boundary for dirty rows — the
+// convergence vote after a topology change must see the new work.
+func (rs *RankState) refreshHasUpdate() {
+	p := rs.p
+	p.hasUpdate = false
+	for _, v := range p.sub.LocalBoundary {
+		if r := p.table.Row(v); r != nil && r.Dirty {
+			p.hasUpdate = true
+			break
+		}
+	}
+}
+
+// Sub returns the rank's current sub-graph view (rebuilt by ApplyEvents).
+func (rs *RankState) Sub() *graph.Sub { return rs.p.sub }
+
+// MarkAllShipAll marks every row of the table for a full re-ship — the
+// rejoiner's re-entry move: its restored rows must re-reach every
+// neighbor, whatever the shard lost.
+func (rs *RankState) MarkAllShipAll() {
+	for _, r := range rs.p.table.Rows() {
+		r.MarkShipAll()
+	}
+	rs.p.hasUpdate = rs.p.table.Len() > 0
+}
+
+// MarkRejoinShipAll is the survivors' half of the rejoin protocol: every
+// local-boundary row adjacent to the rejoined rank's part is marked for a
+// full re-ship, so the restored rows re-receive everything they missed —
+// the same migration pattern Engine.rejoin uses, whose dirty cascade
+// provably reconverges the engine to the sequential oracle.
+func (rs *RankState) MarkRejoinShipAll(pid int32) {
+	p := rs.p
+	for _, v := range p.sub.LocalBoundary {
+		r := p.table.Row(v)
+		if r == nil {
+			continue
+		}
+		for _, a := range rs.g.Neighbors(int(v)) {
+			if rs.part.Part[a.To] == pid {
+				r.MarkShipAll()
+				p.hasUpdate = true
+				break
+			}
+		}
+	}
+}
+
+// ReseedDirectEdges re-seeds every row's incident direct edges — the
+// restore-from-shard soundness repair shared with Engine.restoreShard: an
+// edge added after the shard was written is represented in neither
+// endpoint's restored row, and row-composition relaxation can never
+// rediscover a direct edge on its own.
+func ReseedDirectEdges(t *dv.Matrix, g *graph.Graph) {
+	for _, row := range t.Rows() {
+		for _, a := range g.Neighbors(int(row.Owner)) {
+			row.RelaxVia(a.To, a.Weight, a.To)
+		}
+	}
+}

@@ -60,16 +60,18 @@ func (e *Engine) down(p int) bool { return e.inj != nil && e.inj.Down(p) }
 // anyDown reports whether any processor is currently crashed.
 func (e *Engine) anyDown() bool { return e.inj != nil && e.inj.AnyDown() }
 
-// encodeShard serializes processor p's DV table: magic, step, width, rows
-// (owner, dirty, pending window, distances, next hops), ResizeCopies, and
-// a CRC32-IEEE trailer over everything after the magic.
-func (e *Engine) encodeShard(p *proc) []byte {
+// EncodeShard serializes one DV table as a recovery shard: magic, the RC
+// step it captures, width, rows (owner, dirty, pending window, distances,
+// next hops), ResizeCopies, and a CRC32-IEEE trailer over everything after
+// the magic. The format (AASHRD01) is shared by the in-process simulator's
+// in-memory shards and the multi-process runner's on-disk shard files.
+func EncodeShard(t *dv.Matrix, step int) []byte {
 	var buf bytes.Buffer
 	buf.WriteString(shardMagic)
 	enc := &binWriter{w: &buf}
-	n := p.table.Cols()
-	rows := p.table.Rows()
-	enc.i64(int64(e.step))
+	n := t.Cols()
+	rows := t.Rows()
+	enc.i64(int64(step))
 	enc.i64(int64(n))
 	enc.i64(int64(len(rows)))
 	for _, r := range rows {
@@ -86,10 +88,71 @@ func (e *Engine) encodeShard(p *proc) []byte {
 			enc.i32(h)
 		}
 	}
-	enc.i64(p.table.ResizeCopies)
+	enc.i64(t.ResizeCopies)
 	sum := crc32.ChecksumIEEE(buf.Bytes()[len(shardMagic):])
 	enc.i64(int64(sum))
 	return buf.Bytes()
+}
+
+// DecodeShard parses a recovery shard into a width-n matrix, keeping only
+// the rows keep accepts (rows deleted or migrated away since the shard was
+// written are skipped; a nil keep keeps everything). Columns added since
+// the shard stay at InfDist. It returns the matrix and the RC step the
+// shard captured. The caller owns the soundness repair that must follow a
+// restore: re-seeding every row's incident direct edges (see the comment
+// in restoreShard).
+func DecodeShard(blob []byte, n int, keep func(owner int32) bool) (*dv.Matrix, int, error) {
+	if len(blob) < len(shardMagic)+8 {
+		return nil, 0, fmt.Errorf("core: recovery shard truncated (%d bytes)", len(blob))
+	}
+	if string(blob[:len(shardMagic)]) != shardMagic {
+		return nil, 0, fmt.Errorf("core: not a recovery shard (magic %q)", blob[:len(shardMagic)])
+	}
+	payload := blob[len(shardMagic) : len(blob)-8]
+	var sumBuf binReader
+	sumBuf.r = bytes.NewReader(blob[len(blob)-8:])
+	if crc32.ChecksumIEEE(payload) != uint32(sumBuf.i64()) {
+		return nil, 0, ErrCorruptShard
+	}
+	dec := &binReader{r: bytes.NewReader(payload)}
+	step := int(dec.i64())
+	w := int(dec.i64())
+	rowCount := int(dec.i64())
+	if dec.err != nil || w < 0 || w > n || rowCount < 0 || rowCount > w {
+		return nil, 0, fmt.Errorf("core: corrupt recovery shard header")
+	}
+	t := dv.NewMatrix(n)
+	for i := 0; i < rowCount; i++ {
+		owner := dec.i32()
+		dirty := dec.bool()
+		all := dec.bool()
+		lo, hi := dec.i32(), dec.i32()
+		_, _, _, _ = dirty, all, lo, hi // superseded: rejoin re-marks ship-all
+		if dec.err != nil || owner < 0 || int(owner) >= w {
+			return nil, 0, fmt.Errorf("core: corrupt recovery shard row %d", i)
+		}
+		if keep != nil && !keep(owner) {
+			for j := 0; j < 2*w; j++ {
+				dec.i32()
+			}
+			continue
+		}
+		row := t.AddRow(owner)
+		for j := 0; j < w; j++ {
+			row.D[j] = dec.i32()
+		}
+		for j := 0; j < w; j++ {
+			row.NH[j] = dec.i32()
+		}
+		if dec.err != nil || row.D[owner] != 0 {
+			return nil, 0, fmt.Errorf("core: corrupt recovery shard row %d", owner)
+		}
+	}
+	t.ResizeCopies = dec.i64()
+	if dec.err != nil {
+		return nil, 0, fmt.Errorf("core: corrupt recovery shard: %w", dec.err)
+	}
+	return t, step, nil
 }
 
 // writeShards serializes every processor's table into its recovery shard,
@@ -105,7 +168,7 @@ func (e *Engine) writeShards() {
 	e.mach.Parallel(func(pid int) {
 		wm := e.markProc(pid)
 		p := e.procs[pid]
-		shard := e.encodeShard(p)
+		shard := EncodeShard(p.table, e.step)
 		e.shards[pid] = shard
 		e.mach.Charge(pid, int64(len(shard)))
 		addOps(&e.metrics.ShardBytes, int64(len(shard)))
@@ -124,58 +187,16 @@ func (e *Engine) writeShards() {
 // relaxation reconverges from it.
 func (e *Engine) restoreShard(pid int) error {
 	shard := e.shards[pid]
-	if len(shard) < len(shardMagic)+8 {
+	if len(shard) == 0 {
 		return fmt.Errorf("core: processor %d has no recovery shard", pid)
 	}
-	if string(shard[:len(shardMagic)]) != shardMagic {
-		return fmt.Errorf("core: not a recovery shard (magic %q)", shard[:len(shardMagic)])
-	}
-	payload := shard[len(shardMagic) : len(shard)-8]
-	var sumBuf binReader
-	sumBuf.r = bytes.NewReader(shard[len(shard)-8:])
-	if crc32.ChecksumIEEE(payload) != uint32(sumBuf.i64()) {
-		return ErrCorruptShard
-	}
-	dec := &binReader{r: bytes.NewReader(payload)}
-	dec.i64() // shard step: informational
-	w := int(dec.i64())
-	rowCount := int(dec.i64())
-	n := e.g.NumVertices()
-	if dec.err != nil || w < 0 || w > n || rowCount < 0 || rowCount > w {
-		return fmt.Errorf("core: corrupt recovery shard header for processor %d", pid)
-	}
 	p := e.procs[pid]
-	t := dv.NewMatrix(n)
-	for i := 0; i < rowCount; i++ {
-		owner := dec.i32()
-		dirty := dec.bool()
-		all := dec.bool()
-		lo, hi := dec.i32(), dec.i32()
-		_, _, _, _ = dirty, all, lo, hi // superseded: rejoin re-marks ship-all
-		if dec.err != nil || owner < 0 || int(owner) >= w {
-			return fmt.Errorf("core: corrupt recovery shard row for processor %d", pid)
-		}
-		if !e.alive[owner] || e.part.Part[owner] != int32(pid) {
-			// Deleted or migrated away since the shard: skip its values.
-			for j := 0; j < 2*w; j++ {
-				dec.i32()
-			}
-			continue
-		}
-		row := t.AddRow(owner)
-		for j := 0; j < w; j++ {
-			row.D[j] = dec.i32()
-		}
-		for j := 0; j < w; j++ {
-			row.NH[j] = dec.i32()
-		}
-		if dec.err != nil || row.D[owner] != 0 {
-			return fmt.Errorf("core: corrupt recovery shard row %d for processor %d", owner, pid)
-		}
-	}
-	t.ResizeCopies = dec.i64()
-	if dec.err != nil {
-		return fmt.Errorf("core: corrupt recovery shard for processor %d: %w", pid, dec.err)
+	t, _, err := DecodeShard(shard, e.g.NumVertices(), func(owner int32) bool {
+		// Deleted or migrated away since the shard: skip its values.
+		return e.alive[owner] && e.part.Part[owner] == int32(pid)
+	})
+	if err != nil {
+		return fmt.Errorf("core: processor %d: %w", pid, err)
 	}
 	// Local vertices with no shard row: added or migrated in after the
 	// shard was written. They get fresh (all-InfDist) rows here and are

@@ -18,6 +18,7 @@ func (c Config) engineOptions(strat core.Strategy) core.Options {
 	o.Workers = c.Workers
 	o.Strategy = strat
 	o.Obs = c.Obs
+	o.Model = c.Model // zero value falls back to the default gigabit model
 	return o
 }
 

@@ -15,6 +15,7 @@ import (
 
 	"anytime/internal/gen"
 	"anytime/internal/graph"
+	"anytime/internal/logp"
 	"anytime/internal/obs"
 )
 
@@ -32,6 +33,12 @@ type Config struct {
 	Quick bool
 	// Workers per processor in the IA phase (default 2).
 	Workers int
+	// Model overrides the simulated cluster's LogP parameters — e.g. a
+	// calibration measured on the real TCP transport (aacluster -calibrate
+	// -calibrate-out) fed back in, so the virtual clocks reflect measured
+	// o/g/L instead of the default gigabit model. Zero value keeps the
+	// default; Model.P is overridden by P either way.
+	Model logp.Model
 	// Obs, when set, receives phase-level spans from every engine the
 	// experiments build (aaexperiments -trace writes them out as JSONL).
 	Obs *obs.Tracer

@@ -1,0 +1,42 @@
+package rank
+
+import (
+	"strconv"
+
+	"anytime/internal/obs"
+)
+
+// RegisterMetrics exposes one rank's liveness plane on an obs Registry in
+// Prometheus text form, under the aa_rank_* namespace. Scrapes run on the
+// metrics server's goroutines concurrently with the step loop, so every
+// read goes through thread-safe sources only: the transport's liveness
+// view (its own locks) and the runner's atomic rejoin counter — never the
+// runner's step-loop state.
+func RegisterMetrics(reg *obs.Registry, r *Runner) {
+	self := r.t.Rank()
+	for q := 0; q < r.t.Size(); q++ {
+		q := q
+		labels := obs.Labels("rank", strconv.Itoa(self), "peer", strconv.Itoa(q))
+		reg.GaugeFunc("aa_rank_up", "1 while the peer's link is active, 0 once failure detection holds it down or pending.",
+			labels, func() float64 {
+				if q != self && r.live != nil && r.live.PeerDown(q) {
+					return 0
+				}
+				return 1
+			})
+		if q == self {
+			continue
+		}
+		reg.GaugeFunc("aa_rank_heartbeat_age_seconds", "Seconds since the peer was last heard from (0 when unknown or in-process).",
+			labels, func() float64 {
+				if r.live == nil {
+					return 0
+				}
+				return r.live.HeartbeatAge(q).Seconds()
+			})
+	}
+	reg.CounterFunc("aa_rank_rejoins_total", "Peer rejoins integrated by this rank (a rejoining rank counts its own re-entry).",
+		obs.Labels("rank", strconv.Itoa(self)), func() float64 {
+			return float64(r.rejoinsN.Load())
+		})
+}

@@ -28,7 +28,9 @@ func TestMain(m *testing.M) {
 
 // childMain is one OS process of the integration run. The parent passes
 // the peer manifest and graph parameters through the environment; rank 0
-// writes the gathered distance matrix to AA_OUT.
+// writes the gathered distance matrix to AA_OUT. The optional fault-plane
+// variables (heartbeats, shard dir, rejoin mode, step pacing, dynamic
+// events, status reporting) drive the chaos tests.
 func childMain() int {
 	fail := func(err error) int {
 		fmt.Fprintf(os.Stderr, "child rank %s: %v\n", os.Getenv("AA_CHILD_RANK"), err)
@@ -54,17 +56,50 @@ func childMain() int {
 	if err != nil {
 		return fail(fmt.Errorf("graph: %w", err))
 	}
-	tr, err := transport.NewTCP(peers, rankID, transport.TCPOptions{
-		MeshTimeout:     20 * time.Second,
-		ExchangeTimeout: 20 * time.Second,
-	})
+	envDur := func(key string) time.Duration {
+		d, _ := time.ParseDuration(os.Getenv(key))
+		return d
+	}
+	envInt := func(key string) int {
+		v, _ := strconv.Atoi(os.Getenv(key))
+		return v
+	}
+	opts := transport.TCPOptions{
+		MeshTimeout:       20 * time.Second,
+		ExchangeTimeout:   20 * time.Second,
+		HeartbeatInterval: envDur("AA_HB_INTERVAL"),
+	}
+	rejoining := os.Getenv("AA_REJOIN") == "1"
+	var tr *transport.TCP
+	if rejoining {
+		tr, err = transport.RejoinTCP(peers, rankID, opts)
+	} else {
+		tr, err = transport.NewTCP(peers, rankID, opts)
+	}
 	if err != nil {
 		return fail(fmt.Errorf("mesh: %w", err))
 	}
 	defer tr.Close()
-	r, err := New(tr, Config{Graph: g, Seed: seed})
+	cfg := Config{
+		Graph: g, Seed: seed,
+		ShardDir:     os.Getenv("AA_SHARD_DIR"),
+		MinSteps:     envInt("AA_MIN_STEPS"),
+		StepThrottle: envDur("AA_STEP_THROTTLE"),
+		RejoinWait:   envDur("AA_REJOIN_WAIT"),
+	}
+	var r *Runner
+	if rejoining {
+		r, err = Rejoin(tr, cfg)
+	} else {
+		r, err = New(tr, cfg)
+	}
 	if err != nil {
 		return fail(err)
+	}
+	if rankID == 0 && !rejoining && os.Getenv("AA_EVENTS") == "1" {
+		if err := r.QueueEvents(testEvents(n)...); err != nil {
+			return fail(err)
+		}
 	}
 	if _, err := r.Run(); err != nil {
 		return fail(err)
@@ -78,7 +113,27 @@ func childMain() int {
 			return fail(err)
 		}
 	}
+	if dir := os.Getenv("AA_STATUS"); dir != "" {
+		st := r.Stats()
+		line := fmt.Sprintf("down=%s degraded=%d rejoins=%d converged=%t\n",
+			intsCSV(r.DownSeen()), st.DegradedConvergences, st.Rejoins, r.Converged())
+		path := fmt.Sprintf("%s/status-%d.txt", dir, rankID)
+		if err := os.WriteFile(path, []byte(line), 0o644); err != nil {
+			return fail(err)
+		}
+	}
 	return 0
+}
+
+func intsCSV(xs []int) string {
+	if len(xs) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.Itoa(x)
+	}
+	return strings.Join(parts, ",")
 }
 
 // writeDistances encodes the n x n matrix as little-endian u32 cells.

@@ -13,10 +13,14 @@ package rank
 
 import (
 	"fmt"
+	"sync/atomic"
+	"time"
 
+	"anytime/internal/change"
 	"anytime/internal/core"
 	"anytime/internal/dv"
 	"anytime/internal/graph"
+	"anytime/internal/obs"
 	"anytime/internal/partition"
 	"anytime/internal/sssp"
 	"anytime/internal/transport"
@@ -41,6 +45,29 @@ type Config struct {
 	NoLocalRefine bool
 	// MaxSteps bounds Run (default 10_000).
 	MaxSteps int
+
+	// ShardDir, when set, makes the rank write its CRC'd recovery shard
+	// (the AASHRD01 format of the in-process simulator) to
+	// <ShardDir>/aarank-<rank>.shard every ShardEvery steps — the local
+	// state a relaunched process restores from at rejoin.
+	ShardDir string
+	// ShardEvery is the shard cadence in RC steps (default 1).
+	ShardEvery int
+	// MinSteps forces the convergence decision to "continue" while fewer
+	// steps have run — a chaos-test hook guaranteeing a kill window; 0
+	// disables it.
+	MinSteps int
+	// StepThrottle sleeps this long at the end of every step (paces the
+	// degraded idle loop and widens chaos-test windows); 0 disables it.
+	StepThrottle time.Duration
+	// RejoinWait is how long rank 0 keeps the survivors idle-stepping in
+	// degraded mode waiting for a dead rank to rejoin before letting the
+	// run stop degraded (default 0: stop at the first degraded
+	// convergence). Only rank 0's clock is consulted, so every rank stops
+	// on the same decision.
+	RejoinWait time.Duration
+	// Obs records crash/rejoin spans on this tracer (nil-safe).
+	Obs *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -56,6 +83,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxSteps <= 0 {
 		c.MaxSteps = 10_000
 	}
+	if c.ShardEvery <= 0 {
+		c.ShardEvery = 1
+	}
 	return c
 }
 
@@ -65,6 +95,11 @@ type Stats struct {
 	IAOps    int64
 	RelaxOps int64
 	Reships  int // failed boundary messages re-marked for re-shipping
+
+	DegradedConvergences int // convergence votes that passed with ranks down
+	Rejoins              int // peers re-integrated after a death
+	PeerDownEvents       int // peer-death notifications observed
+	EventsApplied        int // dynamic events applied
 }
 
 // Runner is one rank of a multi-process run.
@@ -73,7 +108,6 @@ type Runner struct {
 	cfg  Config
 	g    *graph.Graph
 	part *graph.Partition
-	sub  *graph.Sub
 	rs   *core.RankState
 
 	// carry holds boundary-DV deltas that surfaced outside the data
@@ -82,6 +116,25 @@ type Runner struct {
 	carry     []*dv.Delta
 	converged bool
 	stats     Stats
+
+	// Liveness plane (nil live = transport has no failure detection and
+	// a peer death is fatal, the pre-liveness behavior).
+	live     transport.Liveness
+	log      *core.EventLog
+	down     []bool // rank 0's authoritative view, mirrored by the decision broadcast
+	degraded bool
+	// downSeen snapshots DownProcs at the first degraded convergence (the
+	// outage report that survives reconvergence).
+	downSeen []int
+	// queued dynamic events, rank 0 only; shipped inside the next data
+	// exchange.
+	queued []change.Event
+	// rejoinDeadline is rank 0's degraded-mode stop clock (zero until the
+	// first death).
+	rejoinDeadline time.Time
+	// rejoinsN mirrors Stats.Rejoins for concurrent readers (the metrics
+	// scrape goroutine must not touch stats).
+	rejoinsN atomic.Int64
 }
 
 // New runs the DD and IA phases for this process's rank: partition the
@@ -111,14 +164,33 @@ func New(t transport.Transport, cfg Config) (*Runner, error) {
 	if err := verifyPartition(t, part); err != nil {
 		return nil, err
 	}
-	r := &Runner{t: t, cfg: cfg, g: g, part: part}
-	r.sub = graph.ExtractSub(g, part, int32(t.Rank()))
+	r := newRunner(t, cfg, g, part)
+	sub := graph.ExtractSub(g, part, int32(t.Rank()))
 
 	n := g.NumVertices()
 	table := dv.NewMatrix(n)
-	for _, v := range r.sub.Local {
+	for _, v := range sub.Local {
 		table.AddRow(v)
 	}
+	r.stats.IAOps = localIA(g, sub, table, cfg.Workers)
+	r.rs = core.NewRankState(t.Rank(), g, part, sub, table, !cfg.NoLocalRefine, cfg.Workers, cfg.TileSize)
+	return r, nil
+}
+
+// newRunner wires the shared runner state, discovering the transport's
+// optional liveness plane.
+func newRunner(t transport.Transport, cfg Config, g *graph.Graph, part *graph.Partition) *Runner {
+	r := &Runner{t: t, cfg: cfg, g: g, part: part,
+		log:  core.NewEventLog(t.Size()),
+		down: make([]bool, t.Size()),
+	}
+	r.live, _ = transport.AsLiveness(t)
+	return r
+}
+
+// localIA computes the rank's initial approximation: every local row's
+// single-source distances restricted to local-only paths.
+func localIA(g *graph.Graph, sub *graph.Sub, table *dv.Matrix, workers int) int64 {
 	rows := table.Rows()
 	sources := make([]int32, len(rows))
 	slices := make([][]graph.Dist, len(rows))
@@ -129,12 +201,9 @@ func New(t transport.Transport, cfg Config) (*Runner, error) {
 		hops[i] = row.NH
 	}
 	if graph.Stats(g).UnitWeights {
-		r.stats.IAOps = sssp.MultiSourceHopsBFS(g, sources, slices, hops, r.sub.IsLocal, cfg.Workers)
-	} else {
-		r.stats.IAOps = sssp.MultiSourceHops(g, sources, slices, hops, r.sub.IsLocal, cfg.Workers)
+		return sssp.MultiSourceHopsBFS(g, sources, slices, hops, sub.IsLocal, workers)
 	}
-	r.rs = core.NewRankState(t.Rank(), g, part, r.sub, table, !cfg.NoLocalRefine, cfg.Workers, cfg.TileSize)
-	return r, nil
+	return sssp.MultiSourceHops(g, sources, slices, hops, sub.IsLocal, workers)
 }
 
 // verifyPartition checks that every process computed the same vertex
@@ -186,13 +255,22 @@ func partChecksum(p *graph.Partition) uint64 {
 }
 
 // Step performs one recombination step across all processes: ship dirty
-// boundary deltas, exchange, relax, re-mark failed deliveries, and vote on
-// convergence. It returns true while more steps are needed.
+// boundary deltas (and, from rank 0, this step's queued dynamic events),
+// exchange, relax, apply events, re-mark failed deliveries, write the
+// recovery shard, and vote on convergence. It returns true while more
+// steps are needed.
 func (r *Runner) Step() (bool, error) {
 	groups, _ := r.rs.ShipDeltas()
 	var out []transport.Message
 	for q, deltas := range groups {
 		if len(deltas) == 0 {
+			continue
+		}
+		if r.down[q] {
+			// Shipping to a known-down rank would bounce back through
+			// TakeFailed and re-dirty the rows forever, blocking the
+			// degraded convergence. Drop it: activation's
+			// MarkRejoinShipAll re-ships everything the rank missed.
 			continue
 		}
 		out = append(out, transport.Message{
@@ -202,76 +280,50 @@ func (r *Runner) Step() (bool, error) {
 			Payload: deltas,
 		})
 	}
+	out, err := r.shipEvents(out)
+	if err != nil {
+		return false, err
+	}
 	in, err := r.t.Exchange(out)
 	if err != nil {
 		return false, fmt.Errorf("rank %d: exchange: %w", r.t.Rank(), err)
 	}
 	ext := r.carry
 	r.carry = nil
+	var events []change.Event
 	for _, msg := range in {
-		if msg.Tag != transport.TagBoundaryDV {
-			continue
+		switch msg.Tag {
+		case transport.TagBoundaryDV:
+			ext = append(ext, msg.Payload.([]*dv.Delta)...)
+		case transport.TagNewVertexRow:
+			if evs, ok := msg.Payload.([]change.Event); ok {
+				events = append(events, evs...)
+			}
 		}
-		ext = append(ext, msg.Payload.([]*dv.Delta)...)
 	}
 	r.stats.RelaxOps += r.rs.RelaxPhase(ext)
 	if failed := r.t.TakeFailed(); len(failed) > 0 {
 		r.stats.Reships += len(failed)
 		r.rs.ReMarkFailed(failed)
 	}
+	if len(events) > 0 {
+		// Every live rank received the identical list at this boundary;
+		// down ranks catch up from the journal at rejoin.
+		if err := r.rs.ApplyEvents(r.log, events); err != nil {
+			return false, fmt.Errorf("rank %d: dynamic events: %w", r.t.Rank(), err)
+		}
+		r.stats.EventsApplied += len(events)
+	}
 	r.stats.Steps++
+	r.writeShard()
 	more, err := r.voteConvergence()
 	if err != nil {
 		return false, err
 	}
-	r.converged = !more
+	if r.cfg.StepThrottle > 0 {
+		time.Sleep(r.cfg.StepThrottle)
+	}
 	return more, nil
-}
-
-// voteConvergence is the "no more updates in any processor" allreduce:
-// every rank sends its vote to rank 0, which ORs them and broadcasts the
-// decision. A rank votes to continue while boundary rows are dirty or the
-// transport still holds messages in flight (a delayed delivery carries
-// updates nobody has seen).
-func (r *Runner) voteConvergence() (bool, error) {
-	vote := byte(0)
-	if r.rs.HasUpdate() || r.t.InFlight() > 0 {
-		vote = 1
-	}
-	var out []transport.Message
-	if r.t.Rank() != 0 {
-		out = []transport.Message{{To: 0, Tag: transport.TagControl, Bytes: 1, Payload: []byte{vote}}}
-	}
-	in, err := r.t.Exchange(out)
-	if err != nil {
-		return false, fmt.Errorf("rank %d: convergence gather: %w", r.t.Rank(), err)
-	}
-	decision := vote
-	for _, msg := range in {
-		switch msg.Tag {
-		case transport.TagControl:
-			if r.t.Rank() != 0 {
-				continue
-			}
-			b := msg.Payload.([]byte)
-			if len(b) > 0 && b[0] != 0 {
-				decision = 1
-			}
-		case transport.TagBoundaryDV:
-			// A delayed boundary delivery released during the vote: keep
-			// it for the next relax phase. Its sender voted to continue
-			// (the message counted as in flight), so no step is lost.
-			r.carry = append(r.carry, msg.Payload.([]*dv.Delta)...)
-		}
-	}
-	msg, err := r.t.Broadcast(0, transport.Message{Tag: transport.TagControl, Bytes: 1, Payload: []byte{decision}})
-	if err != nil {
-		return false, fmt.Errorf("rank %d: convergence broadcast: %w", r.t.Rank(), err)
-	}
-	if r.t.Rank() != 0 {
-		decision = msg.Payload.([]byte)[0]
-	}
-	return decision != 0, nil
 }
 
 // Run steps until convergence (or MaxSteps) and returns the steps taken.
@@ -290,14 +342,16 @@ func (r *Runner) Run() (int, error) {
 	return steps, fmt.Errorf("rank %d: no convergence after %d steps", r.t.Rank(), steps)
 }
 
-// Converged reports whether the last Step's vote declared convergence.
+// Converged reports whether the last Step's vote declared convergence
+// (with every rank up — a degraded stop is not convergence).
 func (r *Runner) Converged() bool { return r.converged }
 
 // Stats returns this rank's work counters.
 func (r *Runner) Stats() Stats { return r.stats }
 
-// Sub returns this rank's sub-graph structure.
-func (r *Runner) Sub() *graph.Sub { return r.sub }
+// Sub returns this rank's sub-graph structure (rebuilt after dynamic
+// events).
+func (r *Runner) Sub() *graph.Sub { return r.rs.Sub() }
 
 // Partition returns the (verified) vertex assignment.
 func (r *Runner) Partition() *graph.Partition { return r.part }

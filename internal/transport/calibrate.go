@@ -1,7 +1,9 @@
 package transport
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"sort"
 	"time"
 
@@ -48,6 +50,30 @@ func (c Calibration) Model(p int) logp.Model {
 	m := logp.GigabitCluster(p)
 	m.L, m.O, m.G = c.L, c.O, c.G
 	return m
+}
+
+// SaveCalibration writes the calibration as JSON, so a measured
+// interconnect model can be fed back into harness runs (aaexperiments
+// -model) long after the cluster is gone.
+func SaveCalibration(path string, c Calibration) error {
+	blob, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+// LoadCalibration reads a calibration JSON written by SaveCalibration.
+func LoadCalibration(path string) (Calibration, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return Calibration{}, err
+	}
+	var c Calibration
+	if err := json.Unmarshal(blob, &c); err != nil {
+		return Calibration{}, fmt.Errorf("transport: calibration file %s: %w", path, err)
+	}
+	return c, nil
 }
 
 // String formats the calibration as a one-line report row.

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"anytime/internal/change"
 	"anytime/internal/dv"
 	"anytime/internal/graph"
 )
@@ -71,9 +72,166 @@ func decodeDeltas(body []byte) ([]*dv.Delta, error) {
 	return out, nil
 }
 
+// The event payload codec ships dynamic-graph change descriptors between
+// processes: a u32 event count, then per event a u8 kind byte (1 = vertex
+// batch, 2 = edge additions) followed by the kind's body. Only the change
+// kinds the cross-process runner applies are wire-encodable; the richer
+// kinds (deletions, weight changes, rebalance) stay single-process until
+// their distributed reset path exists.
+
+const (
+	wireEventBatch    = 1
+	wireEventEdgeAdds = 2
+)
+
+func appendU32(dst []byte, v uint32) []byte {
+	var u [4]byte
+	binary.LittleEndian.PutUint32(u[:], v)
+	return append(dst, u[:]...)
+}
+
+// appendEvents serializes an event list onto dst. Unsupported change kinds
+// are an error: silently dropping part of an event stream would desynchronize
+// the ranks' graphs.
+func appendEvents(dst []byte, evs []change.Event) ([]byte, error) {
+	dst = appendU32(dst, uint32(len(evs)))
+	for i, ev := range evs {
+		switch {
+		case ev.Batch != nil:
+			b := ev.Batch
+			dst = append(dst, wireEventBatch)
+			dst = appendU32(dst, uint32(b.NumVertices))
+			dst = appendU32(dst, uint32(len(b.Internal)))
+			for _, e := range b.Internal {
+				dst = appendU32(dst, uint32(e.A))
+				dst = appendU32(dst, uint32(e.B))
+				dst = appendU32(dst, uint32(e.Weight))
+			}
+			dst = appendU32(dst, uint32(len(b.External)))
+			for _, e := range b.External {
+				dst = appendU32(dst, uint32(e.New))
+				dst = appendU32(dst, uint32(e.Existing))
+				dst = appendU32(dst, uint32(e.Weight))
+			}
+			dst = appendU32(dst, uint32(len(b.Pending)))
+			for _, e := range b.Pending {
+				dst = appendU32(dst, uint32(e.New))
+				dst = appendU32(dst, uint32(e.EarlierBatchVertex))
+				dst = appendU32(dst, uint32(e.Weight))
+			}
+		case ev.EdgeAdds != nil:
+			dst = append(dst, wireEventEdgeAdds)
+			dst = appendU32(dst, uint32(len(ev.EdgeAdds)))
+			for _, e := range ev.EdgeAdds {
+				dst = appendU32(dst, uint32(e.U))
+				dst = appendU32(dst, uint32(e.V))
+				dst = appendU32(dst, uint32(e.Weight))
+			}
+		default:
+			return nil, fmt.Errorf("transport: event %d has no wire-encodable change kind", i)
+		}
+	}
+	return dst, nil
+}
+
+// EncodeEvents serializes an event list with the wire codec — exposed so
+// control payloads (the rejoin-go journal) can embed an event stream.
+func EncodeEvents(evs []change.Event) ([]byte, error) { return appendEvents(nil, evs) }
+
+// DecodeEvents is the inverse of EncodeEvents.
+func DecodeEvents(body []byte) ([]change.Event, error) { return decodeEvents(body) }
+
+// eventReader is a cursor over an encoded event body with sticky error
+// handling.
+type eventReader struct {
+	body []byte
+	err  error
+}
+
+func (r *eventReader) u8() uint8 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.body) < 1 {
+		r.err = fmt.Errorf("transport: truncated event body")
+		return 0
+	}
+	v := r.body[0]
+	r.body = r.body[1:]
+	return v
+}
+
+func (r *eventReader) u32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.body) < 4 {
+		r.err = fmt.Errorf("transport: truncated event body")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.body)
+	r.body = r.body[4:]
+	return v
+}
+
+// count reads a list length and bounds it by the remaining bytes (elemBytes
+// each) so a corrupt count cannot drive a huge allocation.
+func (r *eventReader) count(elemBytes int) int {
+	n := r.u32()
+	if r.err == nil && int64(n)*int64(elemBytes) > int64(len(r.body)) {
+		r.err = fmt.Errorf("transport: event list of %d elements exceeds %d remaining bytes", n, len(r.body))
+		return 0
+	}
+	return int(n)
+}
+
+// decodeEvents parses a frame body produced by appendEvents.
+func decodeEvents(body []byte) ([]change.Event, error) {
+	r := &eventReader{body: body}
+	n := r.count(1)
+	evs := make([]change.Event, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		switch kind := r.u8(); kind {
+		case wireEventBatch:
+			b := &change.VertexBatch{NumVertices: int(r.u32())}
+			for j, nIn := 0, r.count(12); j < nIn && r.err == nil; j++ {
+				b.Internal = append(b.Internal, change.InternalEdge{
+					A: int32(r.u32()), B: int32(r.u32()), Weight: graph.Weight(r.u32())})
+			}
+			for j, nEx := 0, r.count(12); j < nEx && r.err == nil; j++ {
+				b.External = append(b.External, change.ExternalEdge{
+					New: int32(r.u32()), Existing: int32(r.u32()), Weight: graph.Weight(r.u32())})
+			}
+			for j, nPe := 0, r.count(12); j < nPe && r.err == nil; j++ {
+				b.Pending = append(b.Pending, change.PendingEdge{
+					New: int32(r.u32()), EarlierBatchVertex: int32(r.u32()), Weight: graph.Weight(r.u32())})
+			}
+			evs = append(evs, change.Event{Batch: b})
+		case wireEventEdgeAdds:
+			nAdd := r.count(12)
+			adds := make([]change.EdgeAdd, 0, nAdd)
+			for j := 0; j < nAdd && r.err == nil; j++ {
+				adds = append(adds, change.EdgeAdd{
+					U: int32(r.u32()), V: int32(r.u32()), Weight: graph.Weight(r.u32())})
+			}
+			evs = append(evs, change.Event{EdgeAdds: adds})
+		default:
+			return nil, fmt.Errorf("transport: unknown wire event kind %d", kind)
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.body) != 0 {
+		return nil, fmt.Errorf("transport: %d trailing bytes after event list", len(r.body))
+	}
+	return evs, nil
+}
+
 // encodePayload turns a message payload into a frame body plus its kind
-// byte. The TCP backend supports delta lists (the boundary-DV plane) and
-// opaque bytes (control traffic); anything else is a caller bug.
+// byte. The TCP backend supports delta lists (the boundary-DV plane),
+// dynamic-event lists, and opaque bytes (control traffic); anything else
+// is a caller bug.
 func encodePayload(payload interface{}) (kind uint8, body []byte, err error) {
 	switch p := payload.(type) {
 	case nil:
@@ -82,6 +240,12 @@ func encodePayload(payload interface{}) (kind uint8, body []byte, err error) {
 		return payloadRaw, p, nil
 	case []*dv.Delta:
 		return payloadDeltas, appendDeltas(make([]byte, 0, EncodedDeltaBytes(p)), p), nil
+	case []change.Event:
+		body, err := appendEvents(nil, p)
+		if err != nil {
+			return 0, nil, err
+		}
+		return payloadEvents, body, nil
 	default:
 		return 0, nil, fmt.Errorf("transport: payload type %T is not wire-encodable", payload)
 	}
@@ -98,6 +262,12 @@ func decodePayload(kind uint8, body []byte) (interface{}, error) {
 			return nil, err
 		}
 		return ds, nil
+	case payloadEvents:
+		evs, err := decodeEvents(body)
+		if err != nil {
+			return nil, err
+		}
+		return evs, nil
 	default:
 		return nil, fmt.Errorf("transport: unknown payload kind %d", kind)
 	}

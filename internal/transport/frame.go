@@ -35,9 +35,12 @@ const (
 	trailerLen   = 4
 
 	// payloadRaw marks an opaque []byte payload; payloadDeltas marks a
-	// dv.Delta list encoded by appendDeltas.
+	// dv.Delta list encoded by appendDeltas; payloadEvents marks a
+	// change.Event list encoded by appendEvents (the dynamic-graph event
+	// stream shipped from rank 0 to every peer).
 	payloadRaw    = 0
 	payloadDeltas = 1
+	payloadEvents = 2
 
 	// DefaultMaxFrameBytes bounds one frame's payload; larger messages are
 	// a protocol error (the engine's MaxMsgBytes chunking keeps payloads

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Hub is the single-process delivery fabric: per-rank mailboxes guarded by
@@ -15,6 +16,13 @@ type Hub struct {
 	boxes [][]hubMsg
 	seq   []uint32 // per-sender sequence within the current step
 	ctr   counters
+
+	// Liveness plane (mirrors the TCP backend's): a rank aborted via
+	// Inproc.Abort is down — sticky until RejoinInproc + Activate.
+	live    []bool
+	pending []bool
+	events  [][]LivenessEvent // per-rank observation queues
+	goCh    []chan []byte     // per-rank rejoin-go channels
 }
 
 type hubMsg struct {
@@ -24,7 +32,18 @@ type hubMsg struct {
 
 // NewHub creates a hub for n ranks.
 func NewHub(n int) *Hub {
-	return &Hub{boxes: make([][]hubMsg, n), seq: make([]uint32, n)}
+	h := &Hub{
+		boxes:   make([][]hubMsg, n),
+		seq:     make([]uint32, n),
+		live:    make([]bool, n),
+		pending: make([]bool, n),
+		events:  make([][]LivenessEvent, n),
+		goCh:    make([]chan []byte, n),
+	}
+	for i := range h.live {
+		h.live[i] = true
+	}
+	return h
 }
 
 // Size returns the number of ranks.
@@ -117,6 +136,27 @@ func (b *groupBarrier) await() {
 	b.mu.Unlock()
 }
 
+// leave removes one member from the barrier (a crashed rank). If every
+// remaining member is already waiting, the generation releases — the
+// survivors' collective completes without the dead rank.
+func (b *groupBarrier) leave() {
+	b.mu.Lock()
+	b.n--
+	if b.count == b.n && b.n > 0 {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+	}
+	b.mu.Unlock()
+}
+
+// join adds one member back (an activated rejoiner).
+func (b *groupBarrier) join() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
 // Inproc is the in-process Transport backend: n endpoints over one shared
 // Hub, synchronized by a group barrier. It carries payloads by reference
 // (no serialization), so an engine run over it is bit-identical to the
@@ -127,6 +167,7 @@ type Inproc struct {
 	hub     *Hub
 	barrier *groupBarrier
 	closed  bool
+	failed  []Message // messages addressed to down ranks
 }
 
 // NewInprocGroup creates n connected in-process endpoints.
@@ -163,6 +204,14 @@ func (t *Inproc) Exchange(out []Message) ([]Message, error) {
 		}
 	}
 	for _, msg := range out {
+		t.hub.mu.Lock()
+		down := !t.hub.live[msg.To]
+		t.hub.mu.Unlock()
+		if down {
+			t.hub.ctr.sendFailures.Add(1)
+			t.failed = append(t.failed, msg)
+			continue
+		}
 		t.hub.Deliver(msg)
 	}
 	if t.rank == 0 {
@@ -194,9 +243,14 @@ func (t *Inproc) Barrier() error {
 	return nil
 }
 
-// TakeFailed implements Transport: the in-process hub never loses a
-// message.
-func (t *Inproc) TakeFailed() []Message { return nil }
+// TakeFailed implements Transport: the hub never loses a message to a live
+// rank, but messages addressed to a down rank surface here (the same
+// channel real delivery failures use on the TCP backend).
+func (t *Inproc) TakeFailed() []Message {
+	f := t.failed
+	t.failed = nil
+	return f
+}
 
 // InFlight implements Transport.
 func (t *Inproc) InFlight() int { return 0 }
@@ -209,4 +263,145 @@ func (t *Inproc) Stats() Stats { return t.hub.Stats() }
 func (t *Inproc) Close() error {
 	t.closed = true
 	return nil
+}
+
+// Abort simulates this rank crashing: it leaves the barrier group (so
+// survivors' collectives complete without it), marks itself down on the
+// hub, discards its stale inbox, and notifies every live peer. The
+// endpoint is unusable afterwards; RejoinInproc creates its replacement.
+// Call it between steps (the in-process analogue of SIGKILL is
+// cooperative — a goroutine cannot be killed mid-collective).
+func (t *Inproc) Abort() {
+	h := t.hub
+	h.mu.Lock()
+	if !h.live[t.rank] {
+		h.mu.Unlock()
+		return
+	}
+	h.live[t.rank] = false
+	h.boxes[t.rank] = nil
+	for q := range h.live {
+		if q != t.rank && h.live[q] {
+			h.events[q] = append(h.events[q], LivenessEvent{Rank: t.rank, Kind: LiveDown})
+		}
+	}
+	h.mu.Unlock()
+	t.barrier.leave()
+	t.closed = true
+}
+
+// RejoinInproc creates the replacement endpoint for a crashed rank, in the
+// pending state: it carries no traffic and is outside the barrier group
+// until every live rank activates it at an agreed step boundary, after
+// which AwaitRejoinGo returns the coordinator's go payload and the rank
+// re-enters the step loop. peer is any live endpoint of the group.
+func RejoinInproc(peer *Inproc, rank int) *Inproc {
+	h := peer.hub
+	h.mu.Lock()
+	h.pending[rank] = true
+	h.boxes[rank] = nil
+	h.goCh[rank] = make(chan []byte, 1)
+	h.mu.Unlock()
+	return &Inproc{rank: rank, hub: h, barrier: peer.barrier}
+}
+
+// TakeLiveness implements Liveness.
+func (t *Inproc) TakeLiveness() []LivenessEvent {
+	h := t.hub
+	h.mu.Lock()
+	evs := h.events[t.rank]
+	h.events[t.rank] = nil
+	h.mu.Unlock()
+	return evs
+}
+
+// PeerDown implements Liveness (a pending rejoiner is still down — it
+// carries no traffic until activated).
+func (t *Inproc) PeerDown(q int) bool {
+	if q == t.rank || q < 0 || q >= t.hub.Size() {
+		return false
+	}
+	h := t.hub
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return !h.live[q]
+}
+
+// PendingRejoin implements Liveness.
+func (t *Inproc) PendingRejoin(q int) bool {
+	if q < 0 || q >= t.hub.Size() {
+		return false
+	}
+	h := t.hub
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.pending[q]
+}
+
+// Activate implements Liveness: the first caller flips the pending rank
+// live and rejoins it to the barrier group; every live rank observes the
+// transition in its own event queue. Idempotent across callers.
+func (t *Inproc) Activate(q int) {
+	if q < 0 || q >= t.hub.Size() {
+		return
+	}
+	h := t.hub
+	h.mu.Lock()
+	first := h.pending[q]
+	if first {
+		h.pending[q] = false
+		h.live[q] = true
+		for p := range h.live {
+			if p != q && h.live[p] {
+				h.events[p] = append(h.events[p], LivenessEvent{Rank: q, Kind: LiveRejoin})
+			}
+		}
+	}
+	h.mu.Unlock()
+	if first {
+		t.barrier.join()
+	}
+}
+
+// HeartbeatAge implements Liveness: in-process peers are always fresh.
+func (t *Inproc) HeartbeatAge(int) time.Duration { return 0 }
+
+// SendRejoinGo implements Liveness.
+func (t *Inproc) SendRejoinGo(q int, payload []byte) error {
+	if q < 0 || q >= t.hub.Size() {
+		return fmt.Errorf("transport: rejoin-go to invalid rank %d", q)
+	}
+	h := t.hub
+	h.mu.Lock()
+	ch := h.goCh[q]
+	h.mu.Unlock()
+	if ch == nil {
+		return fmt.Errorf("transport: rank %d has no rejoin endpoint", q)
+	}
+	select {
+	case ch <- payload:
+	default:
+	}
+	return nil
+}
+
+// AwaitRejoinGo implements RejoinWaiter for an endpoint created by
+// RejoinInproc.
+func (t *Inproc) AwaitRejoinGo(timeout time.Duration) ([]byte, error) {
+	h := t.hub
+	h.mu.Lock()
+	ch := h.goCh[t.rank]
+	h.mu.Unlock()
+	if ch == nil {
+		return nil, fmt.Errorf("transport: endpoint was not created with RejoinInproc")
+	}
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	select {
+	case payload := <-ch:
+		return payload, nil
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("transport: rank %d not released into the group within %v", t.rank, timeout)
+	}
 }

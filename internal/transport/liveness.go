@@ -1,0 +1,115 @@
+package transport
+
+import "time"
+
+// The liveness plane: both backends can detect a dead peer (real heartbeat
+// timeouts over TCP, an explicit crash call in-process) and surface the
+// death — and a later rejoin — to the runner without changing the core
+// Transport interface. Liveness is an optional capability discovered by
+// type assertion; the bulk-synchronous collectives keep working across a
+// death by treating a down peer as contributing no traffic.
+//
+// Down is sticky: once a peer is marked down it stays down until the
+// explicit rejoin handshake completes, even if its old connection flaps
+// back to life. A restarted process re-enters the mesh in a *pending*
+// state (links installed, no traffic) and is atomically integrated at a
+// step boundary by the runner's consensus: every live rank reports its
+// pending links in the convergence vote, rank 0 broadcasts the activation
+// set in the decision, and every rank activates the link at the same
+// exchange boundary — so the step-end marker streams stay aligned.
+
+// LiveKind is the kind of a liveness transition.
+type LiveKind uint8
+
+const (
+	// LiveDown reports a peer newly marked down (heartbeat timeout, or
+	// reconnect budget exhausted).
+	LiveDown LiveKind = iota
+	// LiveRejoin reports a pending peer activated back into the plane.
+	LiveRejoin
+)
+
+// LivenessEvent is one liveness transition observed by an endpoint.
+type LivenessEvent struct {
+	Rank int
+	Kind LiveKind
+}
+
+// Liveness is the optional failure-detection surface of a Transport
+// backend. Backends without liveness (or with it disabled) simply do not
+// implement it.
+type Liveness interface {
+	// TakeLiveness returns the liveness transitions observed since the
+	// last call and clears the list.
+	TakeLiveness() []LivenessEvent
+	// PeerDown reports whether rank q is currently considered down
+	// (including pending-rejoin: a pending peer carries no traffic yet).
+	PeerDown(q int) bool
+	// PendingRejoin reports whether rank q has completed the rejoin
+	// handshake and waits for activation.
+	PendingRejoin(q int) bool
+	// Activate integrates a pending peer into the plane at the current
+	// exchange boundary. All live ranks must call it at the same boundary
+	// (the runner's decision broadcast coordinates this). Idempotent.
+	Activate(q int)
+	// HeartbeatAge is the time since rank q was last heard from; zero for
+	// self or when unknown.
+	HeartbeatAge(q int) time.Duration
+	// SendRejoinGo releases a pending-activated rejoiner into the step
+	// loop, handing it the opaque go payload (the runner's state digest:
+	// partition checksum plus the dynamic-event journal). Only the
+	// coordinating rank calls it, after Activate.
+	SendRejoinGo(q int, payload []byte) error
+}
+
+// RejoinWaiter is the rejoiner's side of the rejoin handshake: an endpoint
+// created by RejoinTCP / RejoinInproc blocks here until the coordinator
+// releases it.
+type RejoinWaiter interface {
+	// AwaitRejoinGo blocks until the coordinator's go signal arrives and
+	// returns its payload.
+	AwaitRejoinGo(timeout time.Duration) ([]byte, error)
+}
+
+// AsLiveness discovers the liveness surface of a transport, unwrapping the
+// fault layer: the Lossy wrapper sits above the backend and does not carry
+// liveness itself, but its backend might.
+func AsLiveness(t Transport) (Liveness, bool) {
+	for {
+		if lv, ok := t.(Liveness); ok {
+			return lv, true
+		}
+		if l, ok := t.(*Lossy); ok {
+			t = l.inner
+			continue
+		}
+		return nil, false
+	}
+}
+
+// splitmix64 is the seeded mixer behind the jittered backoff (and the
+// fault plane's fate schedule) — deterministic, dependency-free.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// jitterBackoff returns the pause before retry `attempt` (0-based):
+// exponential growth from base, capped at cap_, scaled by a deterministic
+// jitter factor in [0.5, 1.0) keyed on (seed, attempt). The jitter spreads
+// a fleet of ranks redialing one restarted peer over half the window
+// instead of thundering in lockstep.
+func jitterBackoff(attempt int, base, cap_ time.Duration, seed uint64) time.Duration {
+	d := base
+	for i := 0; i < attempt && d < cap_; i++ {
+		d *= 2
+	}
+	if d > cap_ {
+		d = cap_
+	}
+	r := splitmix64(seed ^ uint64(attempt)*0x9e3779b97f4a7c15)
+	frac := 0.5 + 0.5*float64(r>>11)/float64(1<<53)
+	return time.Duration(float64(d) * frac)
+}

@@ -152,5 +152,12 @@ func (l *Lossy) FaultStats() LossyStats {
 	}
 }
 
-// Close implements Transport.
-func (l *Lossy) Close() error { return l.inner.Close() }
+// Close implements Transport. Messages still held in flight by the delay
+// fate are drained into the failed list first — a shutdown must not
+// silently drop undelivered deltas; callers can still collect them with
+// TakeFailed after Close.
+func (l *Lossy) Close() error {
+	l.failed = append(l.failed, l.delayed...)
+	l.delayed = nil
+	return l.inner.Close()
+}

@@ -41,6 +41,8 @@ func RegisterMetrics(reg *obs.Registry, t Transport, backend string) {
 		func(s Stats) int64 { return s.CRCErrors })
 	counter("send_failures_total", "Messages abandoned after reconnect/resend budgets.",
 		func(s Stats) int64 { return s.SendFailures })
+	counter("retries_total", "Redial/rewrite attempts taken by the jittered backoff loops (TCP).",
+		func(s Stats) int64 { return s.RetryAttempts })
 	reg.GaugeFunc("aa_transport_in_flight", "Messages accepted but not yet delivered (delayed or queued).",
 		labels, func() float64 { return float64(t.InFlight()) })
 }

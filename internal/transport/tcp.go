@@ -32,14 +32,26 @@ type TCPOptions struct {
 	// ExchangeTimeout bounds the wait for the peers' step traffic in one
 	// Exchange (default 60s). A peer that dies mid-run surfaces here.
 	ExchangeTimeout time.Duration
-	// ReconnectAttempts bounds the redials after a link failure
-	// (default 5); the acceptor side instead waits for the dialer's redial.
+	// ReconnectAttempts is the retry budget for redials after a link
+	// failure (default 5); the acceptor side instead waits for the
+	// dialer's redial.
 	ReconnectAttempts int
-	// ReconnectBackoff is the initial redial backoff, doubled per attempt
-	// (default 50ms).
+	// ReconnectBackoff is the initial redial backoff; retries grow
+	// exponentially from it with deterministic jitter in [0.5, 1.0) of the
+	// window (capped at 1s), so a fleet of ranks redialing one restarted
+	// peer spreads out instead of thundering in lockstep (default 50ms).
 	ReconnectBackoff time.Duration
 	// MaxFrameBytes bounds one frame's payload (default 16 MiB).
 	MaxFrameBytes int
+	// HeartbeatInterval enables the liveness plane: every active link
+	// carries a heartbeat frame this often, and the endpoint implements
+	// the Liveness interface. 0 disables liveness (legacy behavior: a
+	// peer death surfaces as an Exchange error).
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout is the silence after which a peer is marked down
+	// (default 4x HeartbeatInterval). Down is sticky: only the rejoin
+	// handshake revives the link.
+	HeartbeatTimeout time.Duration
 	// Logf, when set, receives connection lifecycle diagnostics.
 	Logf func(format string, args ...interface{})
 }
@@ -66,8 +78,24 @@ func (o TCPOptions) withDefaults() TCPOptions {
 	if o.MaxFrameBytes <= 0 {
 		o.MaxFrameBytes = DefaultMaxFrameBytes
 	}
+	if o.HeartbeatInterval > 0 && o.HeartbeatTimeout <= 0 {
+		o.HeartbeatTimeout = 4 * o.HeartbeatInterval
+	}
 	return o
 }
+
+// maxBackoff caps one jittered redial pause.
+const maxBackoff = time.Second
+
+// Link lifecycle states. Active links carry step traffic; a down link is
+// skipped by every collective (its peer contributes nothing); a pending
+// link has completed the rejoin handshake and waits for the runner's
+// consensus to activate it at an agreed exchange boundary.
+const (
+	linkActive int32 = iota
+	linkDown
+	linkPending
+)
 
 // TCP is the real-network Transport backend: a full mesh of stdlib TCP
 // connections between N OS processes. Rank i dials every lower rank and
@@ -76,10 +104,16 @@ func (o TCPOptions) withDefaults() TCPOptions {
 // markers: TCP's per-link FIFO guarantees a peer's data frames for step k
 // arrive before its k-th marker, so the inbox is complete when every
 // peer's marker is in — no global clock needed.
+//
+// With HeartbeatInterval set the endpoint also implements Liveness: every
+// link carries periodic heartbeats, a silent or unreachable peer is marked
+// down (sticky), collectives continue without it, and a restarted process
+// re-enters through RejoinTCP's pending handshake.
 type TCP struct {
 	rank  int
 	peers []Peer
 	opts  TCPOptions
+	live  bool // liveness plane enabled
 
 	ln     net.Listener
 	links  []*tcpLink // by rank; links[rank] == nil
@@ -88,6 +122,14 @@ type TCP struct {
 	failed []Message
 	closed atomic.Bool
 	wg     sync.WaitGroup
+
+	hbStop   chan struct{}
+	hbPaused atomic.Bool // test hook: stop sending heartbeats, keep receiving
+
+	lmu    sync.Mutex
+	events []LivenessEvent
+
+	goCh chan []byte // rejoiner side: the coordinator's go signal
 }
 
 // tcpLink is the connection state for one peer.
@@ -101,10 +143,12 @@ type tcpLink struct {
 	w    *bufio.Writer
 	gen  int // bumped on every (re)connect
 
+	state     atomic.Int32 // linkActive / linkDown / linkPending (transitions under rmu)
+	lastHeard atomic.Int64 // UnixNano of the last frame from this peer
+
 	rmu   sync.Mutex
 	rcond *sync.Cond
 	items []tcpItem // decoded frames in arrival order
-	dead  bool      // no conn and no prospect of repair
 }
 
 // tcpItem is one received frame: a data message or a step-end marker.
@@ -114,11 +158,7 @@ type tcpItem struct {
 	msg    Message
 }
 
-// NewTCP joins the mesh described by the manifest as the given rank: it
-// listens on peers[rank].Addr, dials every lower rank (retrying while
-// those processes are still starting), accepts every higher rank, and
-// returns once all Size()-1 links are up.
-func NewTCP(peers []Peer, rank int, opts TCPOptions) (*TCP, error) {
+func newTCPEndpoint(peers []Peer, rank int, opts TCPOptions) (*TCP, error) {
 	if len(peers) < 2 {
 		return nil, fmt.Errorf("transport: tcp mesh needs >= 2 peers, got %d", len(peers))
 	}
@@ -130,7 +170,8 @@ func NewTCP(peers []Peer, rank int, opts TCPOptions) (*TCP, error) {
 			return nil, fmt.Errorf("transport: manifest rank %d at position %d (must be sorted, dense)", p.Rank, i)
 		}
 	}
-	t := &TCP{rank: rank, peers: peers, opts: opts.withDefaults(), links: make([]*tcpLink, len(peers))}
+	opts = opts.withDefaults()
+	t := &TCP{rank: rank, peers: peers, opts: opts, live: opts.HeartbeatInterval > 0, links: make([]*tcpLink, len(peers))}
 	for q := range peers {
 		if q == rank {
 			continue
@@ -146,7 +187,18 @@ func NewTCP(peers []Peer, rank int, opts TCPOptions) (*TCP, error) {
 	t.ln = ln
 	t.wg.Add(1)
 	go t.acceptLoop()
+	return t, nil
+}
 
+// NewTCP joins the mesh described by the manifest as the given rank: it
+// listens on peers[rank].Addr, dials every lower rank (retrying while
+// those processes are still starting), accepts every higher rank, and
+// returns once all Size()-1 links are up.
+func NewTCP(peers []Peer, rank int, opts TCPOptions) (*TCP, error) {
+	t, err := newTCPEndpoint(peers, rank, opts)
+	if err != nil {
+		return nil, err
+	}
 	deadline := time.Now().Add(t.opts.MeshTimeout)
 	var dialErr error
 	var dialWG sync.WaitGroup
@@ -155,7 +207,7 @@ func NewTCP(peers []Peer, rank int, opts TCPOptions) (*TCP, error) {
 		dialWG.Add(1)
 		go func(q int) {
 			defer dialWG.Done()
-			if err := t.links[q].dial(deadline); err != nil {
+			if err := t.links[q].dial(deadline, tagHandshake); err != nil {
 				dialMu.Lock()
 				if dialErr == nil {
 					dialErr = err
@@ -176,7 +228,72 @@ func NewTCP(peers []Peer, rank int, opts TCPOptions) (*TCP, error) {
 			return nil, err
 		}
 	}
+	t.startHeartbeat()
 	return t, nil
+}
+
+// RejoinTCP re-enters an existing mesh as a restarted rank: it listens on
+// its manifest address again and dials *every* peer (the dial asymmetry of
+// the initial mesh does not apply — the survivors' old connections to this
+// rank are gone) with the rejoin handshake, which the survivors install in
+// the pending state. The caller must then block in AwaitRejoinGo until the
+// coordinator activates the rank at a step boundary and releases it with
+// the go payload. Requires HeartbeatInterval (the liveness plane).
+func RejoinTCP(peers []Peer, rank int, opts TCPOptions) (*TCP, error) {
+	if opts.HeartbeatInterval <= 0 {
+		return nil, fmt.Errorf("transport: rejoin requires HeartbeatInterval (the liveness plane)")
+	}
+	t, err := newTCPEndpoint(peers, rank, opts)
+	if err != nil {
+		return nil, err
+	}
+	t.goCh = make(chan []byte, 1)
+	deadline := time.Now().Add(t.opts.MeshTimeout)
+	var dialErr error
+	var dialWG sync.WaitGroup
+	var dialMu sync.Mutex
+	for q := range peers {
+		if q == rank {
+			continue
+		}
+		l := t.links[q]
+		l.dialer = true // the rejoiner repairs every link from now on
+		dialWG.Add(1)
+		go func(l *tcpLink) {
+			defer dialWG.Done()
+			if err := l.dial(deadline, tagRejoin); err != nil {
+				dialMu.Lock()
+				if dialErr == nil {
+					dialErr = err
+				}
+				dialMu.Unlock()
+			}
+		}(l)
+	}
+	dialWG.Wait()
+	if dialErr != nil {
+		t.Close()
+		return nil, dialErr
+	}
+	t.startHeartbeat()
+	return t, nil
+}
+
+// AwaitRejoinGo implements RejoinWaiter: block until the coordinator's
+// tagRejoinGo frame arrives and return its payload.
+func (t *TCP) AwaitRejoinGo(timeout time.Duration) ([]byte, error) {
+	if t.goCh == nil {
+		return nil, fmt.Errorf("transport: endpoint was not created with RejoinTCP")
+	}
+	if timeout <= 0 {
+		timeout = t.opts.MeshTimeout
+	}
+	select {
+	case payload := <-t.goCh:
+		return payload, nil
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("transport: rank %d not released into the mesh within %v", t.rank, timeout)
+	}
 }
 
 // Addr returns the listener's actual address (useful when the manifest
@@ -195,9 +312,168 @@ func (t *TCP) logf(format string, args ...interface{}) {
 	}
 }
 
+// pushEvent queues one liveness transition for TakeLiveness.
+func (t *TCP) pushEvent(ev LivenessEvent) {
+	t.lmu.Lock()
+	t.events = append(t.events, ev)
+	t.lmu.Unlock()
+}
+
+// TakeLiveness implements Liveness.
+func (t *TCP) TakeLiveness() []LivenessEvent {
+	t.lmu.Lock()
+	evs := t.events
+	t.events = nil
+	t.lmu.Unlock()
+	return evs
+}
+
+// PeerDown implements Liveness: a pending peer is still down (it carries
+// no step traffic until activated).
+func (t *TCP) PeerDown(q int) bool {
+	if q == t.rank || q < 0 || q >= len(t.links) {
+		return false
+	}
+	return t.links[q].state.Load() != linkActive
+}
+
+// PendingRejoin implements Liveness.
+func (t *TCP) PendingRejoin(q int) bool {
+	if q == t.rank || q < 0 || q >= len(t.links) {
+		return false
+	}
+	return t.links[q].state.Load() == linkPending
+}
+
+// Activate implements Liveness: flip a pending link to active. All live
+// ranks must do this at the same exchange boundary; the link's marker
+// stream then starts at the next Exchange on both sides. Idempotent.
+func (t *TCP) Activate(q int) {
+	if q == t.rank || q < 0 || q >= len(t.links) {
+		return
+	}
+	l := t.links[q]
+	l.rmu.Lock()
+	pending := l.state.Load() == linkPending
+	if pending {
+		l.state.Store(linkActive)
+	}
+	l.rmu.Unlock()
+	if pending {
+		t.pushEvent(LivenessEvent{Rank: q, Kind: LiveRejoin})
+		l.rcond.Broadcast()
+	}
+}
+
+// HeartbeatAge implements Liveness.
+func (t *TCP) HeartbeatAge(q int) time.Duration {
+	if q == t.rank || q < 0 || q >= len(t.links) {
+		return 0
+	}
+	last := t.links[q].lastHeard.Load()
+	if last == 0 {
+		return 0
+	}
+	return time.Since(time.Unix(0, last))
+}
+
+// SendRejoinGo implements Liveness: release an activated rejoiner into the
+// step loop with the opaque go payload.
+func (t *TCP) SendRejoinGo(q int, payload []byte) error {
+	if q == t.rank || q < 0 || q >= len(t.links) {
+		return fmt.Errorf("transport: rejoin-go to invalid rank %d", q)
+	}
+	buf := appendFrame(make([]byte, 0, headerLen+len(payload)+trailerLen),
+		frame{Tag: tagRejoinGo, Kind: payloadRaw, From: t.rank, To: q, Body: payload})
+	return t.links[q].send(buf)
+}
+
+// startHeartbeat launches the liveness loop: send a heartbeat on every
+// connected link each interval, and mark links silent past the timeout
+// down. No-op when the liveness plane is disabled.
+func (t *TCP) startHeartbeat() {
+	if !t.live || t.hbStop != nil {
+		return
+	}
+	t.hbStop = make(chan struct{})
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		ticker := time.NewTicker(t.opts.HeartbeatInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-t.hbStop:
+				return
+			case <-ticker.C:
+			}
+			for q, l := range t.links {
+				if l == nil || l.state.Load() == linkDown {
+					continue
+				}
+				if !t.hbPaused.Load() {
+					l.sendHeartbeat(q)
+				}
+				last := l.lastHeard.Load()
+				if last != 0 && time.Since(time.Unix(0, last)) > t.opts.HeartbeatTimeout {
+					l.markDown(fmt.Sprintf("silent for %v", t.opts.HeartbeatTimeout))
+				}
+			}
+		}
+	}()
+}
+
+// sendHeartbeat writes one keepalive frame; a failed write just drops the
+// connection (the reader's repair path or the peer's timeout takes over).
+func (l *tcpLink) sendHeartbeat(q int) {
+	hb := appendFrame(nil, frame{Tag: tagHeartbeat, From: l.t.rank, To: q})
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.conn == nil {
+		return
+	}
+	l.conn.SetWriteDeadline(time.Now().Add(l.t.opts.WriteTimeout))
+	_, err := l.w.Write(hb)
+	if err == nil {
+		err = l.w.Flush()
+	}
+	l.conn.SetWriteDeadline(time.Time{})
+	if err != nil {
+		l.conn.Close()
+	} else {
+		l.t.ctr.framesSent.Add(1)
+	}
+}
+
+// markDown makes the link's peer down: sticky until a rejoin handshake.
+// Queued items are stale (a dead peer's partial step) and are discarded;
+// waiting collectives wake and skip the peer.
+func (l *tcpLink) markDown(reason string) {
+	l.rmu.Lock()
+	if l.state.Load() == linkDown {
+		l.rmu.Unlock()
+		return
+	}
+	l.state.Store(linkDown)
+	l.items = nil
+	l.rmu.Unlock()
+	l.mu.Lock()
+	if l.conn != nil {
+		l.conn.Close()
+		l.conn, l.w = nil, nil
+	}
+	l.mu.Unlock()
+	l.rcond.Broadcast()
+	if l.t.live {
+		l.t.pushEvent(LivenessEvent{Rank: l.peer, Kind: LiveDown})
+	}
+	l.t.logf("transport: rank %d marks rank %d down (%s)", l.t.rank, l.peer, reason)
+}
+
 // acceptLoop installs inbound connections onto their links for the whole
 // life of the endpoint — a later inbound connection from a known higher
-// rank replaces the existing one (the dialer's reconnect).
+// rank replaces the existing one (the dialer's reconnect), and a rejoin
+// handshake from any rank re-installs its link in the pending state.
 func (t *TCP) acceptLoop() {
 	defer t.wg.Done()
 	for {
@@ -221,22 +497,40 @@ func readHandshake(conn net.Conn, maxBytes int) (frame, error) {
 }
 
 // handshakeInbound reads the dialer's handshake, replies, and installs the
-// connection on the peer's link.
+// connection on the peer's link. A plain handshake is only valid from a
+// higher rank on a live link (the initial mesh and its reconnects); a
+// rejoin handshake is valid from any rank and parks the link in the
+// pending state until the runner activates it.
 func (t *TCP) handshakeInbound(conn net.Conn) {
 	conn.SetDeadline(time.Now().Add(t.opts.DialTimeout))
 	f, err := readHandshake(conn, t.opts.MaxFrameBytes)
-	if err != nil || f.Tag != tagHandshake || f.To != t.rank {
+	if err != nil || (f.Tag != tagHandshake && f.Tag != tagRejoin) || f.To != t.rank {
 		t.logf("transport: rank %d rejecting inbound connection: %v", t.rank, err)
 		conn.Close()
 		return
 	}
 	peer := f.From
-	if peer <= t.rank || peer >= len(t.peers) {
+	if peer == t.rank || peer < 0 || peer >= len(t.peers) {
 		t.logf("transport: rank %d rejecting handshake from invalid rank %d", t.rank, peer)
 		conn.Close()
 		return
 	}
-	reply := appendFrame(nil, frame{Tag: tagHandshake, From: t.rank, To: peer, Seq: frameVersion})
+	l := t.links[peer]
+	if f.Tag == tagHandshake {
+		if peer <= t.rank {
+			t.logf("transport: rank %d rejecting handshake from lower rank %d", t.rank, peer)
+			conn.Close()
+			return
+		}
+		if t.live && l.state.Load() == linkDown {
+			// Down is sticky: a flapping old connection must not silently
+			// revive the link — only the rejoin protocol does.
+			t.logf("transport: rank %d rejecting plain handshake from down rank %d", t.rank, peer)
+			conn.Close()
+			return
+		}
+	}
+	reply := appendFrame(nil, frame{Tag: f.Tag, From: t.rank, To: peer, Seq: frameVersion})
 	if _, err := conn.Write(reply); err != nil {
 		conn.Close()
 		return
@@ -245,49 +539,87 @@ func (t *TCP) handshakeInbound(conn net.Conn) {
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
-	t.links[peer].install(conn)
+	if f.Tag == tagRejoin {
+		l.installPending(conn)
+		return
+	}
+	l.install(conn)
 }
 
-// dial establishes the link to a lower rank, retrying until the deadline
-// while the peer process may still be starting.
-func (l *tcpLink) dial(deadline time.Time) error {
+// installPending installs a rejoined peer's connection: the link's old
+// life ends (if the death was never noticed locally, it is marked down
+// now, so the runner's liveness view agrees with the rejoin), the queue is
+// cleared, and the link parks in pending until Activate.
+func (l *tcpLink) installPending(conn net.Conn) {
+	if l.state.Load() != linkDown {
+		// The peer restarted faster than our failure detector: its old
+		// connection is dead even if we never noticed.
+		l.markDown("peer restarted")
+	}
+	l.mu.Lock()
+	if l.conn != nil {
+		l.conn.Close()
+	}
+	l.conn = conn
+	l.w = bufio.NewWriterSize(conn, 64<<10)
+	l.gen++
+	gen := l.gen
+	l.mu.Unlock()
+	l.rmu.Lock()
+	l.state.Store(linkPending)
+	l.items = nil
+	l.rmu.Unlock()
+	l.lastHeard.Store(time.Now().UnixNano())
+	l.t.ctr.reconnects.Add(1)
+	l.rcond.Broadcast()
+	l.t.wg.Add(1)
+	go l.readLoop(conn, gen)
+	l.t.logf("transport: rank %d holds rejoined rank %d pending activation", l.t.rank, l.peer)
+}
+
+// dial establishes the link to a peer, retrying with jittered backoff
+// until the deadline while the peer process may still be starting. hs is
+// the handshake tag: tagHandshake for the initial mesh, tagRejoin when
+// re-entering as a restarted rank.
+func (l *tcpLink) dial(deadline time.Time, hs Tag) error {
 	t := l.t
-	backoff := t.opts.ReconnectBackoff
-	for {
+	seed := uint64(t.rank)<<32 | uint64(l.peer)
+	for attempt := 0; ; attempt++ {
 		if t.closed.Load() {
 			return fmt.Errorf("transport: endpoint closed while dialing rank %d", l.peer)
 		}
-		conn, err := l.dialOnce()
+		conn, err := l.dialOnce(hs)
 		if err == nil {
 			l.install(conn)
 			return nil
 		}
-		if time.Now().Add(backoff).After(deadline) {
+		if attempt > 0 {
+			t.ctr.retryAttempts.Add(1)
+		}
+		pause := jitterBackoff(attempt, t.opts.ReconnectBackoff, maxBackoff, seed)
+		if time.Now().Add(pause).After(deadline) {
 			return fmt.Errorf("transport: rank %d could not reach rank %d at %s: %w",
 				t.rank, l.peer, t.peers[l.peer].Addr, err)
 		}
-		time.Sleep(backoff)
-		if backoff < time.Second {
-			backoff *= 2
-		}
+		time.Sleep(pause)
 	}
 }
 
 // dialOnce performs one dial + handshake round trip.
-func (l *tcpLink) dialOnce() (net.Conn, error) {
+func (l *tcpLink) dialOnce(hs Tag) (net.Conn, error) {
 	t := l.t
 	conn, err := net.DialTimeout("tcp", t.peers[l.peer].Addr, t.opts.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
 	conn.SetDeadline(time.Now().Add(t.opts.DialTimeout))
-	hs := appendFrame(nil, frame{Tag: tagHandshake, From: t.rank, To: l.peer, Seq: frameVersion})
-	if _, err := conn.Write(hs); err != nil {
+	buf := appendFrame(nil, frame{Tag: hs, From: t.rank, To: l.peer, Seq: frameVersion})
+	if _, err := conn.Write(buf); err != nil {
 		conn.Close()
 		return nil, err
 	}
 	f, err := readHandshake(conn, t.opts.MaxFrameBytes)
-	if err != nil || f.Tag != tagHandshake || f.From != l.peer {
+	if err != nil || f.Tag != hs || f.From != l.peer {
 		conn.Close()
 		if err == nil {
 			err = fmt.Errorf("transport: bad handshake reply (tag %d from %d)", f.Tag, f.From)
@@ -302,7 +634,9 @@ func (l *tcpLink) dialOnce() (net.Conn, error) {
 }
 
 // install replaces the link's connection (counting a reconnect if one
-// existed) and starts its reader.
+// existed) and starts its reader. Installing revives a link the legacy
+// (no-liveness) path had marked down; with liveness, down links only
+// revive through installPending + Activate.
 func (l *tcpLink) install(conn net.Conn) {
 	l.mu.Lock()
 	if l.conn != nil {
@@ -314,9 +648,12 @@ func (l *tcpLink) install(conn net.Conn) {
 	l.gen++
 	gen := l.gen
 	l.mu.Unlock()
-	l.rmu.Lock()
-	l.dead = false
-	l.rmu.Unlock()
+	if !l.t.live {
+		l.rmu.Lock()
+		l.state.Store(linkActive)
+		l.rmu.Unlock()
+	}
+	l.lastHeard.Store(time.Now().UnixNano())
 	l.rcond.Broadcast()
 	l.t.wg.Add(1)
 	go l.readLoop(conn, gen)
@@ -356,7 +693,19 @@ func (l *tcpLink) readLoop(conn net.Conn, gen int) {
 			return
 		}
 		l.t.ctr.framesRecv.Add(1)
-		if f.Tag == tagStepEnd {
+		l.lastHeard.Store(time.Now().UnixNano())
+		switch f.Tag {
+		case tagHeartbeat:
+			continue
+		case tagRejoinGo:
+			if l.t.goCh != nil {
+				select {
+				case l.t.goCh <- f.Body:
+				default:
+				}
+			}
+			continue
+		case tagStepEnd:
 			l.push(tcpItem{marker: true, xid: f.Seq})
 			continue
 		}
@@ -376,9 +725,10 @@ func (l *tcpLink) readLoop(conn net.Conn, gen int) {
 }
 
 // readerGone handles a failed connection: the dialer side redials with
-// backoff; the acceptor side waits for the dialer's new connection. If the
-// endpoint is closing, or redial fails, the link is marked dead so waiting
-// receivers fail fast.
+// jittered backoff under the retry budget; the acceptor side waits for the
+// dialer's new connection (or, with liveness, the heartbeat timeout). If
+// the endpoint is closing, or the budget runs out, the link goes down so
+// waiting receivers move on.
 func (l *tcpLink) readerGone(conn net.Conn, gen int, err error) {
 	t := l.t
 	l.mu.Lock()
@@ -391,29 +741,30 @@ func (l *tcpLink) readerGone(conn net.Conn, gen int, err error) {
 		t.logf("transport: rank %d link to %d failed: %v", t.rank, l.peer, err)
 	}
 	conn.Close()
+	if l.state.Load() != linkActive {
+		return // already down or pending a rejoin; nothing to repair
+	}
 	if !l.dialer {
-		// The dialer redials; nothing to do but wait. Receivers keep
-		// waiting under the Exchange timeout.
+		// The dialer redials; nothing to do but wait. With liveness the
+		// heartbeat timeout marks the link down if the peer never returns;
+		// without, receivers keep waiting under the Exchange timeout.
 		return
 	}
-	backoff := t.opts.ReconnectBackoff
+	seed := uint64(t.rank)<<32 | uint64(l.peer) | 1<<63
 	for attempt := 0; attempt < t.opts.ReconnectAttempts; attempt++ {
-		if t.closed.Load() {
+		if t.closed.Load() || l.state.Load() != linkActive {
 			return
 		}
-		time.Sleep(backoff)
-		backoff *= 2
-		c, derr := l.dialOnce()
+		t.ctr.retryAttempts.Add(1)
+		time.Sleep(jitterBackoff(attempt, t.opts.ReconnectBackoff, maxBackoff, seed))
+		c, derr := l.dialOnce(tagHandshake)
 		if derr == nil {
 			t.ctr.reconnects.Add(1)
 			l.installReconnected(c)
 			return
 		}
 	}
-	l.rmu.Lock()
-	l.dead = true
-	l.rmu.Unlock()
-	l.rcond.Broadcast()
+	l.markDown("reconnect budget exhausted")
 }
 
 // installReconnected swaps in a redialed connection without double-counting
@@ -425,30 +776,42 @@ func (l *tcpLink) installReconnected(conn net.Conn) {
 	l.gen++
 	gen := l.gen
 	l.mu.Unlock()
-	l.rmu.Lock()
-	l.dead = false
-	l.rmu.Unlock()
+	if !l.t.live {
+		l.rmu.Lock()
+		l.state.Store(linkActive)
+		l.rmu.Unlock()
+	}
+	l.lastHeard.Store(time.Now().UnixNano())
 	l.rcond.Broadcast()
 	l.t.wg.Add(1)
 	go l.readLoop(conn, gen)
 }
 
-// push appends one received item and wakes the collector.
+// push appends one received item and wakes the collector. Items are
+// dropped while the link is not active: a down peer's leftovers are stale,
+// and a pending rejoiner sends no step traffic before activation anyway.
 func (l *tcpLink) push(it tcpItem) {
 	l.rmu.Lock()
+	if l.state.Load() == linkDown {
+		l.rmu.Unlock()
+		return
+	}
 	l.items = append(l.items, it)
 	l.rmu.Unlock()
 	l.rcond.Broadcast()
 }
 
 // send writes one encoded frame with the write deadline, redialing with
-// backoff on failure (dialer side) or waiting briefly for the peer's
-// redial (acceptor side). Reports whether the frame was written.
+// jittered backoff on failure (dialer side) or waiting briefly for the
+// peer's redial (acceptor side). Reports whether the frame was written.
 func (l *tcpLink) send(buf []byte) error {
 	t := l.t
 	deadline := time.Now().Add(t.opts.ExchangeTimeout)
-	backoff := t.opts.ReconnectBackoff
+	seed := uint64(t.rank)<<32 | uint64(l.peer) | 1<<62
 	for attempt := 0; ; attempt++ {
+		if t.live && l.state.Load() == linkDown {
+			return fmt.Errorf("transport: rank %d is down", l.peer)
+		}
 		l.mu.Lock()
 		conn, w := l.conn, l.w
 		if conn != nil {
@@ -480,21 +843,23 @@ func (l *tcpLink) send(buf []byte) error {
 		if attempt >= t.opts.ReconnectAttempts || time.Now().After(deadline) {
 			return fmt.Errorf("transport: rank %d cannot reach rank %d after %d attempts", t.rank, l.peer, attempt)
 		}
+		t.ctr.retryAttempts.Add(1)
 		if l.dialer {
-			if c, err := l.dialOnce(); err == nil {
+			if c, err := l.dialOnce(tagHandshake); err == nil {
 				t.ctr.reconnects.Add(1)
 				l.installReconnected(c)
 				continue
 			}
 		}
-		time.Sleep(backoff)
-		backoff *= 2
+		time.Sleep(jitterBackoff(attempt, t.opts.ReconnectBackoff, maxBackoff, seed))
 	}
 }
 
 // takeStep blocks until the link's next step-end marker arrives, then
 // removes and returns the data messages queued before it (the peer's
-// traffic for the current exchange).
+// traffic for the current exchange). A link that goes down mid-wait
+// contributes nothing: with liveness that is a normal skip (the runner
+// handles the degraded step), without it is an error.
 func (l *tcpLink) takeStep(deadline time.Time) ([]Message, error) {
 	// A timer kicks the cond so the wait honors the deadline.
 	stop := make(chan struct{})
@@ -525,7 +890,10 @@ func (l *tcpLink) takeStep(deadline time.Time) ([]Message, error) {
 		if l.t.closed.Load() {
 			return nil, fmt.Errorf("transport: endpoint closed")
 		}
-		if l.dead {
+		if l.state.Load() != linkActive {
+			if l.t.live {
+				return nil, nil // down or pending peer: no traffic this step
+			}
 			return nil, fmt.Errorf("transport: link to rank %d is down", l.peer)
 		}
 		if time.Now().After(deadline) {
@@ -536,7 +904,9 @@ func (l *tcpLink) takeStep(deadline time.Time) ([]Message, error) {
 }
 
 // Exchange implements Transport: send this rank's messages, mark the step
-// end on every link, and collect every peer's step traffic.
+// end on every active link, and collect every active peer's step traffic.
+// Messages to down (or pending) peers are reported through TakeFailed so
+// the engine re-marks their rows, exactly like abandoned sends.
 func (t *TCP) Exchange(out []Message) ([]Message, error) {
 	if t.closed.Load() {
 		return nil, fmt.Errorf("transport: exchange on closed endpoint")
@@ -554,6 +924,11 @@ func (t *TCP) Exchange(out []Message) ([]Message, error) {
 		}
 		if msg.To == t.rank {
 			local = append(local, msg)
+			continue
+		}
+		if t.live && t.links[msg.To].state.Load() != linkActive {
+			t.ctr.sendFailures.Add(1)
+			t.failed = append(t.failed, msg)
 			continue
 		}
 		kind, body, err := encodePayload(msg.Payload)
@@ -576,11 +951,14 @@ func (t *TCP) Exchange(out []Message) ([]Message, error) {
 		t.ctr.bytesSent.Add(int64(len(body)))
 	}
 	for q, l := range t.links {
-		if l == nil {
+		if l == nil || (t.live && l.state.Load() != linkActive) {
 			continue
 		}
 		marker := appendFrame(nil, frame{Tag: tagStepEnd, From: t.rank, To: q, Seq: xid})
 		if err := l.send(marker); err != nil {
+			if t.live && l.state.Load() != linkActive {
+				continue // went down while sending: skip it this step
+			}
 			return nil, fmt.Errorf("transport: step marker to rank %d: %w", q, err)
 		}
 	}
@@ -589,6 +967,9 @@ func (t *TCP) Exchange(out []Message) ([]Message, error) {
 	for q := 0; q < len(t.peers); q++ {
 		if q == t.rank {
 			in = append(in, local...)
+			continue
+		}
+		if t.live && t.links[q].state.Load() != linkActive {
 			continue
 		}
 		msgs, err := t.links[q].takeStep(deadline)
@@ -615,7 +996,9 @@ func (t *TCP) Barrier() error {
 	return err
 }
 
-// TakeFailed implements Transport.
+// TakeFailed implements Transport. Failed messages survive Close: a
+// shutdown must not silently drop undelivered deltas the caller has not
+// collected yet.
 func (t *TCP) TakeFailed() []Message {
 	f := t.failed
 	t.failed = nil
@@ -633,6 +1016,9 @@ func (t *TCP) Stats() Stats { return t.ctr.snapshot() }
 func (t *TCP) Close() error {
 	if t.closed.Swap(true) {
 		return nil
+	}
+	if t.hbStop != nil {
+		close(t.hbStop)
 	}
 	t.ln.Close()
 	for _, l := range t.links {

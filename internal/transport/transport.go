@@ -41,6 +41,17 @@ const (
 	// tagHandshake opens a TCP link: it carries the dialer's rank and the
 	// protocol version.
 	tagHandshake
+	// tagHeartbeat is the liveness plane's keepalive: sent every
+	// HeartbeatInterval on every active link, consumed by the receiver's
+	// last-heard clock, never queued as step traffic.
+	tagHeartbeat
+	// tagRejoin opens a link from a restarted process: accepted from any
+	// rank (unlike tagHandshake) and installed in the pending state until
+	// the runner's consensus activates it.
+	tagRejoin
+	// tagRejoinGo releases an activated rejoiner into the step loop; its
+	// body is the coordinator's opaque go payload.
+	tagRejoinGo
 )
 
 // NumTags is the number of public message kinds (internal framing tags
@@ -135,18 +146,19 @@ type Transport interface {
 
 // Stats aggregates transport counters. All fields are cumulative.
 type Stats struct {
-	MessagesSent int64
-	MessagesRecv int64
-	BytesSent    int64
-	BytesRecv    int64
-	FramesSent   int64 // wire frames, incl. step-end markers (TCP only)
-	FramesRecv   int64
-	Exchanges    int64
-	Broadcasts   int64
-	Barriers     int64
-	Reconnects   int64 // links re-established after a failure (TCP only)
-	CRCErrors    int64 // frames rejected by the receiver's CRC
-	SendFailures int64 // messages abandoned after reconnect/resend budgets
+	MessagesSent  int64
+	MessagesRecv  int64
+	BytesSent     int64
+	BytesRecv     int64
+	FramesSent    int64 // wire frames, incl. step-end markers (TCP only)
+	FramesRecv    int64
+	Exchanges     int64
+	Broadcasts    int64
+	Barriers      int64
+	Reconnects    int64 // links re-established after a failure (TCP only)
+	CRCErrors     int64 // frames rejected by the receiver's CRC
+	SendFailures  int64 // messages abandoned after reconnect/resend budgets
+	RetryAttempts int64 // redial/rewrite attempts taken by the backoff loops (TCP only)
 }
 
 // counters is the atomic backing for Stats shared by the backends.
@@ -156,22 +168,24 @@ type counters struct {
 	framesSent, framesRecv              atomic.Int64
 	exchanges, broadcasts, barriers     atomic.Int64
 	reconnects, crcErrors, sendFailures atomic.Int64
+	retryAttempts                       atomic.Int64
 }
 
 func (c *counters) snapshot() Stats {
 	return Stats{
-		MessagesSent: c.msgsSent.Load(),
-		MessagesRecv: c.msgsRecv.Load(),
-		BytesSent:    c.bytesSent.Load(),
-		BytesRecv:    c.bytesRecv.Load(),
-		FramesSent:   c.framesSent.Load(),
-		FramesRecv:   c.framesRecv.Load(),
-		Exchanges:    c.exchanges.Load(),
-		Broadcasts:   c.broadcasts.Load(),
-		Barriers:     c.barriers.Load(),
-		Reconnects:   c.reconnects.Load(),
-		CRCErrors:    c.crcErrors.Load(),
-		SendFailures: c.sendFailures.Load(),
+		MessagesSent:  c.msgsSent.Load(),
+		MessagesRecv:  c.msgsRecv.Load(),
+		BytesSent:     c.bytesSent.Load(),
+		BytesRecv:     c.bytesRecv.Load(),
+		FramesSent:    c.framesSent.Load(),
+		FramesRecv:    c.framesRecv.Load(),
+		Exchanges:     c.exchanges.Load(),
+		Broadcasts:    c.broadcasts.Load(),
+		Barriers:      c.barriers.Load(),
+		Reconnects:    c.reconnects.Load(),
+		CRCErrors:     c.crcErrors.Load(),
+		SendFailures:  c.sendFailures.Load(),
+		RetryAttempts: c.retryAttempts.Load(),
 	}
 }
 
