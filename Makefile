@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race chaos chaos-cluster bench bench-json bench-compare obs-check transport-check clean
+.PHONY: check build test vet race chaos chaos-cluster bench bench-json bench-compare bench-paper obs-check transport-check clean
 
 check: build test vet race transport-check chaos-cluster
 
@@ -44,10 +44,13 @@ bench:
 # Archive the RC-phase and figure-reproduction benchmarks as JSON
 # (ns/op, allocs/op, and per-step shipping metrics) for diffing runs.
 # BENCHTIME trades archival stability for runtime: the figure benches run
-# few iterations per second, so 1s runs are noisy.
+# few iterations per second, so 1s runs are noisy. BenchmarkPaperScale is
+# in the sweep but self-skips unless AA_PAPER_BENCH=1 is exported, so the
+# default archive stays laptop-safe while a paper-tier run lands in the
+# same JSON.
 BENCHTIME ?= 2s
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkRC|BenchmarkFig4|BenchmarkFig8|BenchmarkTransportRoundTrip' -benchtime $(BENCHTIME) -benchmem ./... \
+	$(GO) test -run '^$$' -bench 'BenchmarkRC|BenchmarkFig4|BenchmarkFig8|BenchmarkTransportRoundTrip|BenchmarkPaperScale' -benchtime $(BENCHTIME) -benchmem ./... \
 		| $(GO) run ./cmd/benchjson > BENCH_rc.json
 
 # Regression gate: rerun the RC relax/refine-phase benchmarks (plus the
@@ -57,6 +60,13 @@ bench-compare:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkRCRelaxPhase|BenchmarkRCRefinePhase|BenchmarkRCStepTraced' -benchmem ./internal/core ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkTransportRoundTrip' -benchmem ./internal/transport ; } \
 		| $(GO) run ./cmd/benchjson -compare BENCH_rc.json
+
+# Paper-scale tier (opt-in, not part of `make check`): one full n=50,000 /
+# P=16 absorption trajectory — ~20 GB of DV state and minutes of wall time.
+# The AA_PAPER_BENCH gate keeps `bench`/`bench-json` laptop-safe; -benchtime
+# 1x runs exactly one trajectory. Results belong in EXPERIMENTS.md.
+bench-paper:
+	AA_PAPER_BENCH=1 $(GO) test -run '^$$' -bench 'BenchmarkPaperScale' -benchtime 1x -timeout 120m -v .
 
 # Transport gate: the pluggable message plane (frames, codec, fault
 # wrapper, TCP links) and the one-rank-per-process runner under the race

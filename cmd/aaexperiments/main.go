@@ -29,12 +29,26 @@ func main() {
 		m     = flag.Int("m", 3, "scale-free attachment degree")
 		seed  = flag.Int64("seed", 1, "random seed")
 		quick = flag.Bool("quick", false, "smaller sweeps")
-		fig   = flag.String("fig", "", "run one experiment: fig4..fig8, analysis, ablations, or scaling")
+		fig   = flag.String("fig", "", "run one experiment: fig4..fig8, analysis, ablations, scaling, or paper (full n=50,000 tier)")
 		trace = flag.String("trace", "", "write a phase-span trace (JSONL) of every engine run to this file; convert with aatrace")
 		model = flag.String("model", "", "calibration JSON (from aacluster -calibrate -calibrate-out) replacing the default LogP model")
 	)
 	flag.Parse()
 	cfg := harness.Config{N: *n, P: *p, M: *m, Seed: *seed, Quick: *quick}
+	if *fig == "paper" {
+		// The paper tier defaults to the full n=50,000 / P=16 testbed, not
+		// the laptop shrink: drop the flag defaults unless explicitly set,
+		// so harness.Paper's own defaults take over (-n 2000 still scales
+		// it down for a dry run).
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["n"] {
+			cfg.N = 0
+		}
+		if !set["p"] {
+			cfg.P = 0
+		}
+	}
 	if *model != "" {
 		cal, err := transport.LoadCalibration(*model)
 		if err != nil {
@@ -80,7 +94,7 @@ func main() {
 	if *fig != "" {
 		f := harness.ByID(*fig)
 		if f == nil {
-			fmt.Fprintf(os.Stderr, "aaexperiments: unknown figure %q (want fig4..fig8 or analysis)\n", *fig)
+			fmt.Fprintf(os.Stderr, "aaexperiments: unknown figure %q (want fig4..fig8, analysis, ablations, scaling, or paper)\n", *fig)
 			os.Exit(2)
 		}
 		run(f)

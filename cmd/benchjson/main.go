@@ -85,9 +85,16 @@ func compare(run *document, baselinePath string, threshold float64) error {
 		return fmt.Errorf("parsing %s: %w", baselinePath, err)
 	}
 	baseNS := map[string]float64{}
+	baseVirt := map[string]float64{}
 	for _, b := range base.Benchmarks {
-		if ns, ok := b.Metrics["ns/op"]; ok && gated(b.Name) {
+		if !gated(b.Name) {
+			continue
+		}
+		if ns, ok := b.Metrics["ns/op"]; ok {
 			baseNS[b.Name] = ns
+		}
+		if v, ok := b.Metrics["virt-ms/op"]; ok {
+			baseVirt[b.Name] = v
 		}
 	}
 	compared, failed := 0, 0
@@ -99,10 +106,20 @@ func compare(run *document, baselinePath string, threshold float64) error {
 		if !ok {
 			continue
 		}
+		// The simulated LogP clock rides along in the table: virtual time is
+		// what the figure reproductions report, so a wall-time comparison
+		// without it hides algorithmic (op-count) shifts behind machine noise.
+		virt := ""
+		if v, ok := b.Metrics["virt-ms/op"]; ok {
+			virt = fmt.Sprintf("  virt %8.3f ms", v)
+			if bv, ok := baseVirt[b.Name]; ok && bv > 0 {
+				virt += fmt.Sprintf(" (%+.1f%%)", 100*(v-bv)/bv)
+			}
+		}
 		old, ok := baseNS[b.Name]
 		delete(baseNS, b.Name)
 		if !ok {
-			fmt.Printf("  new  %-44s %14.0f ns/op (no baseline)\n", b.Name, ns)
+			fmt.Printf("  new  %-44s %14.0f ns/op (no baseline)%s\n", b.Name, ns, virt)
 			continue
 		}
 		compared++
@@ -112,8 +129,8 @@ func compare(run *document, baselinePath string, threshold float64) error {
 			verdict = "FAIL"
 			failed++
 		}
-		fmt.Printf("  %-4s %-44s %14.0f ns/op  baseline %14.0f  %+6.1f%%\n",
-			verdict, b.Name, ns, old, 100*delta)
+		fmt.Printf("  %-4s %-44s %14.0f ns/op  baseline %14.0f  %+6.1f%%%s\n",
+			verdict, b.Name, ns, old, 100*delta, virt)
 	}
 	for name := range baseNS {
 		fmt.Printf("  gone %-44s (in baseline, not in this run)\n", name)

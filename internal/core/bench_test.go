@@ -215,9 +215,12 @@ const (
 	benchRCN     = 400
 	benchRCP     = 4
 	benchRCBatch = 16
+	// benchRCSparse is the sparse-change batch: 4 vertices on n=400 leave
+	// ≤1% of the columns dirty, the regime the frontier masks target.
+	benchRCSparse = 4
 )
 
-func rcBenchSetup(b *testing.B, workers int) (ckpt []byte, opts Options, batch *change.VertexBatch) {
+func rcBenchSetup(b *testing.B, workers, batchSize int, noMask bool) (ckpt []byte, opts Options, batch *change.VertexBatch) {
 	b.Helper()
 	g, err := gen.BarabasiAlbert(benchRCN, 3, gen.Weights{Min: 1, Max: 4}, 1)
 	if err != nil {
@@ -228,6 +231,7 @@ func rcBenchSetup(b *testing.B, workers int) (ckpt []byte, opts Options, batch *
 	opts.P = benchRCP
 	opts.Workers = workers
 	opts.Seed = 1
+	opts.NoFrontierMask = noMask
 	e, err := New(g, opts)
 	if err != nil {
 		b.Fatal(err)
@@ -240,15 +244,15 @@ func rcBenchSetup(b *testing.B, workers int) (ckpt []byte, opts Options, batch *
 	if err := e.WriteCheckpoint(&buf); err != nil {
 		b.Fatal(err)
 	}
-	batch, err = gen.PreferentialBatch(e.Graph(), benchRCBatch, 2, 1, gen.Weights{Min: 1, Max: 4}, 42)
+	batch, err = gen.PreferentialBatch(e.Graph(), batchSize, 2, 1, gen.Weights{Min: 1, Max: 4}, 42)
 	if err != nil {
 		b.Fatal(err)
 	}
 	return buf.Bytes(), opts, batch
 }
 
-func benchRCRelaxPhase(b *testing.B, workers int, prePR bool) {
-	ckpt, opts, batch := rcBenchSetup(b, workers)
+func benchRCRelaxPhase(b *testing.B, workers, batchSize int, noMask, prePR bool) {
+	ckpt, opts, batch := rcBenchSetup(b, workers, batchSize, noMask)
 	var steps, rows, shipBytes, relaxOps int64
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -305,11 +309,99 @@ func benchRCRelaxPhase(b *testing.B, workers int, prePR bool) {
 }
 
 // BenchmarkRCRelaxPhasePrePRSerial is the baseline: the pre-PR serial path.
-func BenchmarkRCRelaxPhasePrePRSerial(b *testing.B) { benchRCRelaxPhase(b, 1, true) }
+func BenchmarkRCRelaxPhasePrePRSerial(b *testing.B) {
+	benchRCRelaxPhase(b, 1, benchRCBatch, false, true)
+}
 
-func BenchmarkRCRelaxPhaseWorkers1(b *testing.B) { benchRCRelaxPhase(b, 1, false) }
+func BenchmarkRCRelaxPhaseWorkers1(b *testing.B) {
+	benchRCRelaxPhase(b, 1, benchRCBatch, false, false)
+}
 
-func BenchmarkRCRelaxPhaseWorkers4(b *testing.B) { benchRCRelaxPhase(b, 4, false) }
+func BenchmarkRCRelaxPhaseWorkers4(b *testing.B) {
+	benchRCRelaxPhase(b, 4, benchRCBatch, false, false)
+}
+
+// benchRCRelaxSparseEdges is the frontier masks' target regime: a batch of
+// benchRCSparse shortcut edges (weight 1 between far-apart existing
+// vertices) queued into a converged engine. The immediate-update scans
+// record exactly which columns each row improved at, so the reconvergence
+// steps pivot rows whose frontiers are sparse — nearly every pivot column
+// is provably non-improving and the masked sweeps skip it. The NoMask twin
+// runs the identical workload with full-row sweeps; the pair is the masked
+// win, measured.
+func benchRCRelaxSparseEdges(b *testing.B, noMask bool) {
+	ckpt, opts, _ := rcBenchSetup(b, 1, benchRCSparse, noMask)
+	e, err := Restore(bytes.NewReader(ckpt), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Deterministic shortcut picks: the first benchRCSparse non-adjacent
+	// pairs at distance >= 8, no vertex reused, scanned in index order.
+	// Each edge weighs one less than the current distance, so it improves
+	// every affected row by exactly 1 — a genuinely sparse disturbance
+	// (few columns per row change) rather than a topology rewrite.
+	ds := e.Distances()
+	used := make([]bool, benchRCN)
+	var adds []change.EdgeAdd
+	for u := 0; u < benchRCN && len(adds) < benchRCSparse; u++ {
+		if used[u] || ds[u] == nil {
+			continue
+		}
+		for v := u + 1; v < benchRCN; v++ {
+			if used[v] || ds[u][v] == graph.InfDist || ds[u][v] < 8 || e.Graph().HasEdge(u, v) {
+				continue
+			}
+			adds = append(adds, change.EdgeAdd{U: int32(u), V: int32(v), Weight: ds[u][v] - 1})
+			used[u], used[v] = true, true
+			break
+		}
+	}
+	if len(adds) < benchRCSparse {
+		b.Fatalf("found only %d shortcut pairs", len(adds))
+	}
+	var steps, relaxOps, maskedOps int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e, err := Restore(bytes.NewReader(ckpt), opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := e.QueueEdgeAdds(adds...); err != nil {
+			b.Fatal(err)
+		}
+		// The engine restores converged, so this first step ships nothing
+		// and applies the edge batch at its end — the immediate-update
+		// scans, identical on both paths, stay untimed; the timed region is
+		// the pure relax/refine reconvergence cascade where the masked
+		// sweeps engage.
+		if !e.Step() {
+			b.Fatal("expected reconvergence work after the edge batch")
+		}
+		m0 := e.Metrics()
+		h0 := len(e.History())
+		b.StartTimer()
+		for e.Step() {
+		}
+		b.StopTimer()
+		m1 := e.Metrics()
+		steps += int64(m1.RCSteps - m0.RCSteps)
+		relaxOps += m1.RCOps - m0.RCOps
+		for _, s := range e.History()[h0:] {
+			maskedOps += s.MaskedOps
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	n := float64(b.N)
+	b.ReportMetric(float64(steps)/n, "steps/op")
+	b.ReportMetric(float64(relaxOps)/n, "relaxops/op")
+	b.ReportMetric(float64(maskedOps)/n, "maskedops/op")
+}
+
+func BenchmarkRCRelaxPhaseSparse(b *testing.B)       { benchRCRelaxSparseEdges(b, false) }
+func BenchmarkRCRelaxPhaseSparseNoMask(b *testing.B) { benchRCRelaxSparseEdges(b, true) }
 
 // ---------------------------------------------------------------------------
 // Refine-phase benchmarks: the tiled blocked-Floyd–Warshall pass in
@@ -354,6 +446,13 @@ func benchRCRefinePhase(b *testing.B, workers, tile int, prePR bool) {
 			p.pivot = resizeBools(p.pivot, len(rows))
 			for j := range p.changed {
 				p.changed[j] = true
+			}
+			// Dense epoch: the converged engine cleared every frontier, which
+			// would let the masked kernels skip the whole pass. Marking FAll
+			// forces the full-row sweeps, so this benchmark keeps measuring
+			// the dense/early-pass streaming path the 15% gate protects.
+			for _, r := range rows {
+				r.FAll = true
 			}
 			var ops int64
 			if prePR {
@@ -446,7 +545,7 @@ func BenchmarkRCShipBoundaryPrePR(b *testing.B) { benchShipBoundary(b, true) }
 // ---------------------------------------------------------------------------
 
 func BenchmarkRCStepTraced(b *testing.B) {
-	ckpt, opts, batch := rcBenchSetup(b, 1)
+	ckpt, opts, batch := rcBenchSetup(b, 1, benchRCBatch, false)
 	opts.Obs = obs.NewTracer(obs.DefaultCapacity)
 	var steps, spans int64
 	b.ReportAllocs()

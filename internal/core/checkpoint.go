@@ -16,6 +16,7 @@ import (
 	"anytime/internal/dv"
 	"anytime/internal/fault"
 	"anytime/internal/graph"
+	"anytime/internal/kernel"
 	"anytime/internal/obs"
 )
 
@@ -32,15 +33,18 @@ import (
 // which must use the same P.
 
 const (
-	// checkpointMagic is the current format (v5): like v4 it carries the
-	// fault/recovery counters and is guarded by a CRC32-IEEE trailer
-	// (8-byte little-endian) over everything between the magic and the
-	// trailer, but each processor's DV rows are laid out arena-style — all
-	// row headers, then every distance row back to back, then every
-	// next-hop row — so encode and decode stream the dv.Matrix arena
-	// instead of interleaving tiny fields per row.
-	checkpointMagic = "AACKPT05"
-	// checkpointMagicV4 is the previous CRC-guarded format with
+	// checkpointMagic is the current format (v6): the v5 arena layout plus
+	// each row's change-frontier state — an FAll flag and, when the row's
+	// frontier is tracked precisely, its bitmask words — appended per
+	// table, so a restored engine resumes masked min-plus sweeps without a
+	// conservative full-frontier epoch.
+	checkpointMagic = "AACKPT06"
+	// checkpointMagicV5 is the previous format: CRC-guarded with
+	// arena-style row layout (all headers, then every distance row back to
+	// back, then every next-hop row), no frontier section. Still readable;
+	// restored rows keep the conservative full frontier.
+	checkpointMagicV5 = "AACKPT05"
+	// checkpointMagicV4 is the older CRC-guarded format with
 	// interleaved per-row encoding, still readable.
 	checkpointMagicV4 = "AACKPT04"
 	// checkpointMagicV3 is the legacy unguarded format, still readable.
@@ -93,11 +97,11 @@ func (e *Engine) WriteCheckpoint(w io.Writer) error {
 }
 
 // encodePayload writes everything between the magic and the CRC trailer.
-func (e *Engine) encodePayload(enc *binWriter) { e.encodePayloadVersion(enc, 5) }
+func (e *Engine) encodePayload(enc *binWriter) { e.encodePayloadVersion(enc, 6) }
 
-// encodePayloadVersion writes the payload in the current (v5) or a legacy
-// (v3/v4) layout — the legacy paths only so tests can author old streams
-// and pin the compatibility reader.
+// encodePayloadVersion writes the payload in the current (v6) or a legacy
+// (v3/v4/v5) layout — the legacy paths only so tests can author old
+// streams and pin the compatibility reader.
 func (e *Engine) encodePayloadVersion(enc *binWriter, version int) {
 	n := e.g.NumVertices()
 	enc.i64(int64(n))
@@ -144,6 +148,23 @@ func (e *Engine) encodePayloadVersion(enc *binWriter, version int) {
 			for _, r := range rows {
 				for _, h := range r.NH[:n] {
 					enc.i32(h)
+				}
+			}
+			if version >= 6 {
+				// Change-frontier section: FAll flag per row, then the
+				// bitmask words of precisely-tracked rows. A masking-disabled
+				// engine has not maintained the bits, so its rows persist as
+				// FAll — the restored engine re-tracks from a conservative
+				// full frontier instead of trusting stale masks.
+				for _, r := range rows {
+					all := r.FAll || e.opts.NoFrontierMask
+					enc.bool(all)
+					if all {
+						continue
+					}
+					for _, w := range r.F {
+						enc.i64(int64(w))
+					}
 				}
 			}
 		} else {
@@ -199,12 +220,12 @@ func (e *Engine) writeMetrics(enc *binWriter, v4 bool) {
 	enc.bool(e.degraded)
 }
 
-// Restore reconstructs an engine from a checkpoint — current (AACKPT05,
+// Restore reconstructs an engine from a checkpoint — current (AACKPT06,
 // CRC32-verified before any decoding: a flipped byte yields
 // ErrCorruptCheckpoint, never a silently wrong engine), the previous
-// CRC-guarded AACKPT04, or legacy AACKPT03 (unguarded). opts must use the
-// same P as the checkpointed engine; the partitioners and LogP model may
-// differ (they affect only future events and accounting).
+// CRC-guarded AACKPT05/AACKPT04, or legacy AACKPT03 (unguarded). opts
+// must use the same P as the checkpointed engine; the partitioners and
+// LogP model may differ (they affect only future events and accounting).
 func Restore(r io.Reader, opts Options) (*Engine, error) {
 	opts = opts.withDefaults()
 	var rm spanMark
@@ -220,6 +241,8 @@ func Restore(r io.Reader, opts Options) (*Engine, error) {
 	version := 0
 	switch string(magic) {
 	case checkpointMagic:
+		version = 6
+	case checkpointMagicV5:
 		version = 5
 	case checkpointMagicV4:
 		version = 4
@@ -361,6 +384,30 @@ func Restore(r io.Reader, opts Options) (*Engine, error) {
 			for _, row := range t.Rows() {
 				fillNH(row)
 			}
+			if version >= 6 {
+				// Frontier section. Rows flagged FAll keep the conservative
+				// full frontier AddRow installed; the rest restore their
+				// exact bitmask words. Legacy streams (v3-v5) predate the
+				// section and fall through to FAll for every row — the only
+				// sound default for state checkpointed mid-convergence.
+				words := kernel.BitsetWords(n)
+				for _, row := range t.Rows() {
+					if dec.bool() {
+						continue
+					}
+					row.FAll = false
+					for wi := 0; wi < words; wi++ {
+						row.F[wi] = uint64(dec.i64())
+					}
+					if tail := uint(n & 63); tail != 0 {
+						// bits at or above the column count must stay zero
+						row.F[words-1] &= 1<<tail - 1
+					}
+				}
+				if dec.err != nil {
+					return nil, fmt.Errorf("core: corrupt checkpoint frontier in table %d", pid)
+				}
+			}
 		} else {
 			for i := 0; i < rows; i++ {
 				row, err := readHeader()
@@ -374,7 +421,7 @@ func Restore(r io.Reader, opts Options) (*Engine, error) {
 			}
 		}
 		t.ResizeCopies = dec.i64()
-		e.procs[pid] = &proc{id: pid, sub: sub, table: t, tr: opts.Obs}
+		e.procs[pid] = &proc{id: pid, sub: sub, table: t, tr: opts.Obs, maskOff: opts.NoFrontierMask}
 	}
 	e.readMetrics(dec, version >= 4)
 	if dec.err != nil {

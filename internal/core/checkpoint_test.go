@@ -418,3 +418,139 @@ func TestCheckpointRoundTripsFaultState(t *testing.T) {
 	}
 	requireExact(t, r)
 }
+
+// writeCheckpointV5 authors a legacy AACKPT05 stream (arena row layout, no
+// frontier section) so that compatibility path stays pinned too.
+func writeCheckpointV5(t *testing.T, e *Engine) []byte {
+	t.Helper()
+	var payload bytes.Buffer
+	enc := &binWriter{w: &payload}
+	e.encodePayloadVersion(enc, 5)
+	if enc.err != nil {
+		t.Fatal(enc.err)
+	}
+	var buf bytes.Buffer
+	buf.WriteString(checkpointMagicV5)
+	buf.Write(payload.Bytes())
+	tail := &binWriter{w: &buf}
+	tail.i64(int64(crc32.ChecksumIEEE(payload.Bytes())))
+	if tail.err != nil {
+		t.Fatal(tail.err)
+	}
+	return buf.Bytes()
+}
+
+// TestCheckpointLegacyV5Read pins the pre-frontier format: an AACKPT05
+// stream still restores with distances intact, its corruption detection
+// still works, and — because the stream carries no frontier state — every
+// restored row starts from the conservative full frontier (FAll), the only
+// sound epoch for masks of unknown provenance.
+func TestCheckpointLegacyV5Read(t *testing.T) {
+	e := checkpointTestEngine(t)
+	v5 := writeCheckpointV5(t, e)
+	r, err := Restore(bytes.NewReader(v5), e.Options())
+	if err != nil {
+		t.Fatalf("legacy v5 restore: %v", err)
+	}
+	requireExact(t, r)
+	od, rd := e.Distances(), r.Distances()
+	for v := range od {
+		for u := range od[v] {
+			if od[v][u] != rd[v][u] {
+				t.Fatalf("v5 restore diverged at [%d][%d]", v, u)
+			}
+		}
+	}
+	if r.StepsTaken() != e.StepsTaken() {
+		t.Fatalf("v5 restore steps = %d, want %d", r.StepsTaken(), e.StepsTaken())
+	}
+	for _, p := range r.procs {
+		for _, row := range p.table.Rows() {
+			if !row.FAll {
+				t.Fatalf("v5-restored row %d lost the conservative full frontier", row.Owner)
+			}
+		}
+	}
+	bad := append([]byte(nil), v5...)
+	bad[len(bad)/2] ^= 0x01
+	if _, err := Restore(bytes.NewReader(bad), e.Options()); !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatalf("corrupt v5: got %v, want ErrCorruptCheckpoint", err)
+	}
+}
+
+// TestCheckpointFrontierRoundTrip pins the v6 extension: mid-convergence
+// frontier state — FAll flags and exact bitmask words — survives a
+// checkpoint round trip, and a masking-disabled writer (whose bits were
+// never maintained) persists every row as FAll.
+func TestCheckpointFrontierRoundTrip(t *testing.T) {
+	g := testGraph(t, 60, 19)
+	o := defaultTestOptions(4, 19)
+	e, err := New(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Step() // mid-convergence: frontiers carry real bits
+	e.Step()
+	if e.Converged() {
+		t.Skip("engine converged in two steps; no mid-convergence state to pin")
+	}
+	var buf bytes.Buffer
+	if err := e.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore(bytes.NewReader(buf.Bytes()), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pid, p := range e.procs {
+		rows := p.table.Rows()
+		rrows := r.procs[pid].table.Rows()
+		if len(rows) != len(rrows) {
+			t.Fatalf("proc %d row count diverged", pid)
+		}
+		for i, row := range rows {
+			rrow := rrows[i]
+			if row.FAll != rrow.FAll {
+				t.Fatalf("proc %d row %d: FAll %v restored as %v", pid, row.Owner, row.FAll, rrow.FAll)
+			}
+			if row.FAll {
+				continue
+			}
+			for wi := range row.F {
+				if row.F[wi] != rrow.F[wi] {
+					t.Fatalf("proc %d row %d: frontier word %d diverged", pid, row.Owner, wi)
+				}
+			}
+		}
+	}
+	r.Run()
+	requireExact(t, r)
+
+	// A masking-disabled engine never maintained its bits: its checkpoint
+	// must persist every row as FAll, so a masking-enabled restore cannot
+	// trust stale masks.
+	om := o
+	om.NoFrontierMask = true
+	em, err := New(g, om)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em.Step()
+	buf.Reset()
+	if err := em.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rm, err := Restore(bytes.NewReader(buf.Bytes()), o) // masking back on
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pid, p := range rm.procs {
+		for _, row := range p.table.Rows() {
+			if !row.FAll {
+				t.Fatalf("proc %d row %d: maskless checkpoint restored without FAll", pid, row.Owner)
+			}
+		}
+	}
+	rm.Run()
+	requireExact(t, rm)
+}

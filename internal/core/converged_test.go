@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"anytime/internal/gen"
+)
+
+// NewConverged must hand back an engine that is already at the exact
+// global fixpoint: converged, oracle-exact, every row clean with an empty
+// frontier (the anchor epoch the masked kernels measure against), and a
+// Step that finds nothing to do.
+func TestNewConvergedWarmStart(t *testing.T) {
+	g := testGraph(t, 300, 7)
+	e, err := NewConverged(g, defaultTestOptions(4, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Converged() {
+		t.Fatal("NewConverged engine does not report converged")
+	}
+	requireExact(t, e)
+	for _, p := range e.procs {
+		for _, r := range p.table.Rows() {
+			if r.Dirty {
+				t.Fatalf("row %d dirty after converged construction", r.Owner)
+			}
+			if r.FAll || r.F.Any() {
+				t.Fatalf("row %d frontier not clear after converged construction", r.Owner)
+			}
+		}
+	}
+	if e.Step() {
+		t.Fatal("Step found work on a converged warm start")
+	}
+
+	// The warm start must be a legitimate convergence epoch: absorbing a
+	// vertex batch from it reconverges to the exact answer, with the masked
+	// relax path active (this is exactly the paper-scale measurement flow).
+	b, err := gen.PreferentialBatch(e.Graph(), 8, 2, 1, gen.Weights{Min: 1, Max: 4}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.QueueBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	if e.Run() == 0 {
+		t.Fatal("batch absorption took no steps")
+	}
+	if !e.Converged() {
+		t.Fatal("engine did not reconverge after the batch")
+	}
+	requireExact(t, e)
+}
+
+// The converged warm start must agree with the cold path not just on
+// distances but on the downstream dynamic behaviour: the same queued batch
+// absorbed by a cold-started (New + Run) engine and a warm-started one
+// yields bit-identical distance tables.
+func TestNewConvergedMatchesColdStart(t *testing.T) {
+	mk := func(warm bool) *Engine {
+		g := testGraph(t, 240, 13)
+		opts := defaultTestOptions(4, 13)
+		var e *Engine
+		var err error
+		if warm {
+			e, err = NewConverged(g, opts)
+		} else {
+			e, err = New(g, opts)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Run()
+		b, err := gen.PreferentialBatch(e.Graph(), 6, 2, 1, gen.Weights{Min: 1, Max: 4}, 29)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.QueueBatch(b); err != nil {
+			t.Fatal(err)
+		}
+		e.Run()
+		if !e.Converged() {
+			t.Fatal("engine did not converge")
+		}
+		return e
+	}
+	cold, warm := mk(false), mk(true)
+	cd, wd := cold.Distances(), warm.Distances()
+	for v := range cd {
+		if cd[v] == nil || wd[v] == nil {
+			t.Fatalf("vertex %d: missing row (cold=%v warm=%v)", v, cd[v] == nil, wd[v] == nil)
+		}
+		for u := range cd[v] {
+			if cd[v][u] != wd[v][u] {
+				t.Fatalf("dist[%d][%d]: cold %d, warm %d", v, u, cd[v][u], wd[v][u])
+			}
+		}
+	}
+}

@@ -45,8 +45,11 @@ func (e *Engine) applyEdgeAdd(u, v int, w graph.Weight, dynamicCut bool) {
 	// new edge can change: each may now border a part that has never seen
 	// any version of its row, so their next ship carries the full row.
 	// Every other row keeps its delta window (its receivers are unchanged).
-	rowU.MarkShipAll()
-	rowV.MarkShipAll()
+	// The frontier survives: every endpoint-row change below goes through a
+	// recorded relax scan, so the change extent stays exactly tracked and
+	// receivers can still mask their sweeps.
+	rowU.MarkShipFull()
+	rowV.MarkShipFull()
 	// Fig. 3 line 26: only edges that improve the endpoint distance
 	// trigger the update pass.
 	improves := graph.AddDist(rowU.D[int32(v)], 0) > w
@@ -115,14 +118,15 @@ func relaxViaEdge(x *dv.Row, u, v int32, w graph.Weight, du, dvv []graph.Dist) i
 	xD, xNH := x.D[:n], x.NH[:n]
 	// Two kernel passes over the two compositions. Equivalent to the fused
 	// per-target min: every applied update is a strict decrease, and the
-	// second pass compares against the first pass's result.
+	// second pass compares against the first pass's result. Improvements
+	// land in x's frontier so later masked sweeps see them.
 	if xu != graph.InfDist {
-		if lo, hi := kernel.MinPlusHops(xD, xNH, dvv[:n], xu, nhu); lo < hi {
+		if lo, hi := kernel.MinPlusHopsRec(xD, xNH, dvv[:n], xu, nhu, x.F, 0); lo < hi {
 			x.MarkChanged(lo, hi)
 		}
 	}
 	if xv != graph.InfDist {
-		if lo, hi := kernel.MinPlusHops(xD, xNH, du[:n], xv, nhv); lo < hi {
+		if lo, hi := kernel.MinPlusHopsRec(xD, xNH, du[:n], xv, nhv, x.F, 0); lo < hi {
 			x.MarkChanged(lo, hi)
 		}
 	}

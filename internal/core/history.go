@@ -56,6 +56,20 @@ type StepStats struct {
 	// Imbalance is max/mean over ProcBusy — the paper's Fig. 5 load-balance
 	// metric, live per step. 1.0 is perfectly balanced.
 	Imbalance float64
+
+	// Frontier telemetry (the masked min-plus kernels, DESIGN.md §14).
+
+	// FrontierWords is the number of nonzero frontier bitmask words across
+	// all rows after the step (FAll rows count as fully set).
+	FrontierWords int
+	// MaskedOps is the subset of RelaxOps performed through masked sweeps —
+	// columns actually visited under a frontier mask. Zero when masking is
+	// disabled or every pass fell back to full sweeps.
+	MaskedOps int64
+	// FrontierDensity is set frontier bits / total DV cells after the step:
+	// the quantity the ~25% density cutover is judged against, averaged over
+	// the whole table.
+	FrontierDensity float64
 }
 
 // History returns a copy of the per-step statistics recorded so far. The

@@ -100,6 +100,12 @@ type Options struct {
 	// NoLocalRefine disables the Floyd–Warshall-style local refinement
 	// recombination strategy (ablation; the refinement is on by default).
 	NoLocalRefine bool
+	// NoFrontierMask disables the frontier-masked min-plus kernels,
+	// restoring the full-row sweeps on every pass (ablation; masking is on
+	// by default). Results are bit-identical either way — masks only skip
+	// provably non-improving columns — so this knob trades work for
+	// nothing and exists for the invariance matrix and benchmarks.
+	NoFrontierMask bool
 	// ShipAllBoundary ships every boundary DV every step instead of only
 	// the ones updated since the previous RC step (ablation; dirty-only
 	// shipping is the default).

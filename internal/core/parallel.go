@@ -113,6 +113,63 @@ type refineRound struct {
 	tLo, tHi int
 	offs     []int32 // active pivot row indices (arena slots, ascending)
 	owners   []int32 // owners[i] = global vertex of pivot offs[i]
+	// masks[i] is pivot offs[i]'s frontier bitmask, or nil to force a full
+	// sweep through that pivot (masking disabled, ship-all row, or frontier
+	// density past the cutover). Decided once by the leader in advanceRound
+	// and shared read-only by every phase-B worker; the Bitset is a live
+	// view of the pivot row's frontier, whose bits only accumulate, so
+	// phase B sees at least the bits present at decision time.
+	masks []kernel.Bitset
+}
+
+// maskDensityCut is the frontier-density cutover: a pivot whose frontier
+// covers more than 1/maskDensityCut of the row width is swept with the
+// full-row BCE'd kernel instead — dense early passes keep the streaming
+// loop, sparse late passes skip untouched columns entirely.
+const maskDensityCut = 4 // mask only below 25% density
+
+// pivotMask returns the frontier mask to use for pivot row pr, or nil when
+// a full sweep is required (masking off, unknown change extent, or density
+// above the cutover).
+func (p *proc) pivotMask(pr *dv.Row) kernel.Bitset {
+	if p.maskOff || pr.FAll {
+		return nil
+	}
+	if pr.F.OnesCount()*maskDensityCut > p.table.Cols() {
+		return nil
+	}
+	return pr.F
+}
+
+// extMasks decides, once per relax phase, which received deltas' sweeps
+// may be frontier-masked: delta i gets its shipped frontier words unless
+// masking is off, the sender's change extent was unknown (no words), the
+// window is not 64-aligned (bit positions would not line up), or the
+// window's frontier is past the density cutover (streaming the full window
+// is cheaper than bit-peeling). The per-row decision — whether the
+// receiving row's own distance to the sender moved — stays in the inner
+// loop, exactly like the pivot-tile kernel's rec.Get(owner) check.
+func (p *proc) extMasks(ext []*dv.Delta) []kernel.Bitset {
+	if p.maskOff {
+		return nil
+	}
+	ms := make([]kernel.Bitset, len(ext))
+	any := false
+	for i, br := range ext {
+		m := br.F
+		if m == nil || br.Lo&63 != 0 {
+			continue
+		}
+		if m.OnesCount()*maskDensityCut > len(br.D) {
+			continue
+		}
+		ms[i] = m
+		any = true
+	}
+	if !any {
+		return nil
+	}
+	return ms
 }
 
 // relaxStep runs one processor's relax phase — external-delta relaxation
@@ -127,8 +184,11 @@ func (p *proc) relaxStep(ext []*dv.Delta, refine bool, w, tile int) int64 {
 	if tile < 1 {
 		tile = 1
 	}
+	p.stepMaskedOps = 0
+	extM := p.extMasks(ext)
 	if w <= 1 {
-		ops := p.relaxExternalBlock(ext, 0, n, tile)
+		ops, em := p.relaxExternalBlock(ext, extM, 0, n, tile)
+		p.stepMaskedOps += em
 		if refine {
 			ops += p.refineTiled(tile)
 		}
@@ -136,11 +196,13 @@ func (p *proc) relaxStep(ext []*dv.Delta, refine bool, w, tile int) int64 {
 	}
 	bounds := splitBlocks(n, w)
 	ops := make([]int64, w)
+	masked := make([]int64, w)
 	ph := newPhaser(w)
 	var (
-		round  refineRound
-		from   int
-		phaseA int64 // leader-run advance ops, serialized by the phaser lock
+		round        refineRound
+		from         int
+		phaseA       int64 // leader-run advance ops, serialized by the phaser lock
+		phaseAMasked int64
 	)
 	var wg sync.WaitGroup
 	for k := 0; k < w; k++ {
@@ -148,7 +210,7 @@ func (p *proc) relaxStep(ext []*dv.Delta, refine bool, w, tile int) int64 {
 		go func(k int) {
 			defer wg.Done()
 			lo, hi := bounds[k], bounds[k+1]
-			o := p.relaxExternalBlock(ext, lo, hi, tile)
+			o, mk := p.relaxExternalBlock(ext, extM, lo, hi, tile)
 			if refine {
 				for {
 					// Barrier: the remainder phase reads rows of every
@@ -156,7 +218,9 @@ func (p *proc) relaxStep(ext []*dv.Delta, refine bool, w, tile int) int64 {
 					// must be complete; the leader refines the next diagonal
 					// tile and publishes the round schedule.
 					ph.await(func() {
-						phaseA += p.advanceRound(&round, from, tile)
+						ao, am := p.advanceRound(&round, from, tile)
+						phaseA += ao
+						phaseAMasked += am
 						if round.tLo >= 0 {
 							from = round.tHi
 						}
@@ -164,16 +228,21 @@ func (p *proc) relaxStep(ext []*dv.Delta, refine bool, w, tile int) int64 {
 					if round.tLo < 0 {
 						break
 					}
-					o += p.phaseB(&round, lo, hi)
+					bo, bm := p.phaseB(&round, lo, hi)
+					o += bo
+					mk += bm
 				}
 			}
 			ops[k] = o
+			masked[k] = mk
 		}(k)
 	}
 	wg.Wait()
 	total := phaseA
-	for _, o := range ops {
+	p.stepMaskedOps += phaseAMasked
+	for k, o := range ops {
 		total += o
+		p.stepMaskedOps += masked[k]
 	}
 	return total
 }
@@ -187,9 +256,18 @@ func (p *proc) relaxStep(ext []*dv.Delta, refine bool, w, tile int) int64 {
 // Deltas are walked in chunks of `tile` so the chunk's delta payloads stay
 // cache-resident across the row sweep; within a row, chunk order preserves
 // the global delivery order exactly, so results are independent of tile.
-func (p *proc) relaxExternalBlock(ext []*dv.Delta, lo, hi, tile int) int64 {
+//
+// masks (from extMasks; may be nil) carries the deltas' shipped frontier
+// words: when delta b has one and row u's own distance to b is unchanged
+// since the last convergence (u.F bit b clear, no FAll), the sweep visits
+// only b's changed columns — the skipped ones hold their convergence-time
+// values, so the composition through an unchanged u.D[b] is provably
+// non-improving (see internal/kernel/masked.go). Improvements are recorded
+// into u's frontier either way — the exact (sparser) form of OR-ing the
+// received window in. Returns total ops and the masked-visit subtotal.
+func (p *proc) relaxExternalBlock(ext []*dv.Delta, masks []kernel.Bitset, lo, hi, tile int) (int64, int64) {
 	rows := p.table.Rows()
-	var ops int64
+	var ops, maskedOps int64
 	for base := 0; base < len(ext); base += tile {
 		chunk := ext[base:]
 		if len(chunk) > tile {
@@ -199,7 +277,11 @@ func (p *proc) relaxExternalBlock(ext []*dv.Delta, lo, hi, tile int) int64 {
 			u := rows[i]
 			uD := u.D
 			uNH := u.NH
-			for _, br := range chunk {
+			rec := u.F
+			if p.maskOff {
+				rec = nil
+			}
+			for ci, br := range chunk {
 				b := br.Owner
 				d := uD[b]
 				if d == graph.InfDist {
@@ -209,9 +291,21 @@ func (p *proc) relaxExternalBlock(ext []*dv.Delta, lo, hi, tile int) int64 {
 				if off >= len(uD) {
 					continue
 				}
-				// nhb: first hop toward b; improved paths to t go that way
-				clo, chi := kernel.MinPlusHops(uD[off:], uNH[off:], br.D, d, uNH[b])
-				ops += int64(len(br.D))
+				var mask kernel.Bitset
+				if masks != nil {
+					mask = masks[base+ci]
+				}
+				// nhb: first hop toward b; improved paths to t go that way.
+				var clo, chi int
+				if mask != nil && !u.FAll && !u.F.Get(int(b)) {
+					var visited int
+					clo, chi, visited = kernel.MinPlusHopsMasked(uD[off:], uNH[off:], br.D, d, uNH[b], mask, rec, off)
+					ops += int64(visited)
+					maskedOps += int64(visited)
+				} else {
+					clo, chi = kernel.MinPlusHopsRec(uD[off:], uNH[off:], br.D, d, uNH[b], rec, off)
+					ops += int64(len(br.D))
+				}
 				if clo < chi {
 					u.MarkChanged(off+clo, off+chi)
 					p.changed[i] = true
@@ -219,7 +313,7 @@ func (p *proc) relaxExternalBlock(ext []*dv.Delta, lo, hi, tile int) int64 {
 			}
 		}
 	}
-	return ops
+	return ops, maskedOps
 }
 
 // nextPivot returns the first row index >= from that local refinement must
@@ -240,13 +334,16 @@ func (p *proc) nextPivot(from int) int {
 // the tile's own rows through its active pivots, one pivot at a time in
 // index order, re-checking activity at visit time exactly like the serial
 // forward scan. Rows activated behind the scan cursor are picked up by the
-// next refine pass, as before. Returns the phase-A op count; r.tLo is set
-// to -1 when no active pivot remains.
-func (p *proc) advanceRound(r *refineRound, from, tile int) int64 {
+// next refine pass, as before. Each pivot's mask decision is made here —
+// once, serially — and published in r.masks so phase B seeds its sweeps
+// from the same frontier the diagonal pass used (and extended). Returns
+// the phase-A op count and its masked-visit subtotal; r.tLo is set to -1
+// when no active pivot remains.
+func (p *proc) advanceRound(r *refineRound, from, tile int) (int64, int64) {
 	wi := p.nextPivot(from)
 	if wi < 0 {
 		r.tLo = -1
-		return 0
+		return 0, 0
 	}
 	var tm obs.Span
 	if p.tr != nil {
@@ -260,13 +357,15 @@ func (p *proc) advanceRound(r *refineRound, from, tile int) int64 {
 	}
 	r.offs = r.offs[:0]
 	r.owners = r.owners[:0]
+	r.masks = r.masks[:0]
 	rows := p.table.Rows()
-	var ops int64
+	var ops, masked int64
 	for w := wi; w < r.tHi; w++ {
 		if !p.changed[w] && !p.pivot[w] {
 			continue
 		}
 		pr := rows[w]
+		mask := p.pivotMask(pr)
 		for ui := r.tLo; ui < r.tHi; ui++ {
 			if ui == w {
 				continue
@@ -276,8 +375,20 @@ func (p *proc) advanceRound(r *refineRound, from, tile int) int64 {
 			if d == graph.InfDist {
 				continue
 			}
-			clo, chi := kernel.MinPlusHops(u.D, u.NH, pr.D, d, u.NH[pr.Owner])
-			ops += int64(len(pr.D))
+			var clo, chi int
+			if mask != nil && !u.FAll && !u.F.Get(int(pr.Owner)) {
+				var visited int
+				clo, chi, visited = kernel.MinPlusHopsMasked(u.D, u.NH, pr.D, d, u.NH[pr.Owner], mask, u.F, 0)
+				ops += int64(visited)
+				masked += int64(visited)
+			} else {
+				rec := u.F
+				if p.maskOff {
+					rec = nil
+				}
+				clo, chi = kernel.MinPlusHopsRec(u.D, u.NH, pr.D, d, u.NH[pr.Owner], rec, 0)
+				ops += int64(len(pr.D))
+			}
 			if clo < chi {
 				u.MarkChanged(clo, chi)
 				p.changed[ui] = true
@@ -285,6 +396,7 @@ func (p *proc) advanceRound(r *refineRound, from, tile int) int64 {
 		}
 		r.offs = append(r.offs, int32(w))
 		r.owners = append(r.owners, pr.Owner)
+		r.masks = append(r.masks, mask)
 	}
 	if p.tr != nil {
 		// Tile-round spans are wall-only: the LogP charge for the refine
@@ -293,7 +405,7 @@ func (p *proc) advanceRound(r *refineRound, from, tile int) int64 {
 		tm.Value = int64(len(r.offs))
 		p.tr.Record(tm)
 	}
-	return ops
+	return ops, masked
 }
 
 // phaseB relaxes the rows [lo, hi) outside the round's tile through the
@@ -303,23 +415,31 @@ func (p *proc) advanceRound(r *refineRound, from, tile int) int64 {
 //
 // The pivot rows are streamed out of the arena; they are never written
 // here, so workers only need the one barrier that opened the round.
-func (p *proc) phaseB(r *refineRound, lo, hi int) int64 {
+func (p *proc) phaseB(r *refineRound, lo, hi int) (int64, int64) {
 	rows := p.table.Rows()
 	arena, stride := p.table.Arena()
-	var ops int64
+	var ops, masked int64
 	for ui := lo; ui < hi; ui++ {
 		if ui >= r.tLo && ui < r.tHi {
 			continue
 		}
 		u := rows[ui]
-		clo, chi, o := kernel.MinPlusTile(u.D, u.NH, arena, stride, r.offs, r.owners)
+		var clo, chi int
+		var o int64
+		if p.maskOff {
+			clo, chi, o = kernel.MinPlusTile(u.D, u.NH, arena, stride, r.offs, r.owners)
+		} else {
+			var m int64
+			clo, chi, o, m = kernel.MinPlusTileMasked(u.D, u.NH, arena, stride, r.offs, r.owners, r.masks, u.F, u.FAll)
+			masked += m
+		}
 		ops += o
 		if clo < chi {
 			u.MarkChanged(clo, chi)
 			p.changed[ui] = true
 		}
 	}
-	return ops
+	return ops, masked
 }
 
 // refineTiled is the w == 1 pass: the identical tile-round schedule run
@@ -329,11 +449,15 @@ func (p *proc) refineTiled(tile int) int64 {
 	var ops int64
 	from := 0
 	for {
-		ops += p.advanceRound(&r, from, tile)
+		ao, am := p.advanceRound(&r, from, tile)
+		ops += ao
+		p.stepMaskedOps += am
 		if r.tLo < 0 {
 			return ops
 		}
-		ops += p.phaseB(&r, 0, p.table.Len())
+		bo, bm := p.phaseB(&r, 0, p.table.Len())
+		ops += bo
+		p.stepMaskedOps += bm
 		from = r.tHi
 	}
 }

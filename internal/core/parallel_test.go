@@ -15,11 +15,16 @@ func dynamicScenario(t *testing.T, workers int) *Engine {
 }
 
 func dynamicScenarioTile(t *testing.T, workers, tile int) *Engine {
+	return dynamicScenarioMask(t, workers, tile, false)
+}
+
+func dynamicScenarioMask(t *testing.T, workers, tile int, noMask bool) *Engine {
 	t.Helper()
 	g := testGraph(t, 120, 21)
 	o := defaultTestOptions(4, 21)
 	o.Workers = workers
 	o.TileSize = tile
+	o.NoFrontierMask = noMask
 	e, err := New(g, o)
 	if err != nil {
 		t.Fatal(err)
@@ -94,39 +99,43 @@ func TestWorkerCountInvariance(t *testing.T) {
 	}
 }
 
-// Tile-size invariance: the blocked-refinement tile edge is a pure
-// scheduling knob — converged distances and closeness must be bit-identical
-// across tile sizes (including a tile spanning every row, i.e. untiled) and
-// worker counts, and match the sequential oracle. Runs under the -race
-// gate.
+// Tile-size and mask invariance: the blocked-refinement tile edge and the
+// frontier-mask knob are pure scheduling choices — converged distances and
+// closeness must be bit-identical across tile sizes (including a tile
+// spanning every row, i.e. untiled), worker counts, and masked-vs-full
+// sweeps, and match the sequential oracle. The masked kernels only skip
+// compositions the frontier proves non-improving, so every cell of this
+// matrix lands on the same numbers. Runs under the -race gate.
 func TestTileSizeInvariance(t *testing.T) {
-	ref := dynamicScenarioTile(t, 1, 8)
+	ref := dynamicScenarioMask(t, 1, 8, false)
 	requireExact(t, ref)
 	refDist := ref.Distances()
 	refSnap := ref.Snapshot()
 	for _, tile := range []int{8, 32, 64, 1 << 30 /* full: one tile spans all rows */} {
 		for _, w := range []int{1, 4} {
-			if tile == 8 && w == 1 {
-				continue // the reference run
-			}
-			e := dynamicScenarioTile(t, w, tile)
-			dist := e.Distances()
-			for v := range dist {
-				if (dist[v] == nil) != (refDist[v] == nil) {
-					t.Fatalf("tile=%d workers=%d: row presence differs at %d", tile, w, v)
+			for _, noMask := range []bool{false, true} {
+				if tile == 8 && w == 1 && !noMask {
+					continue // the reference run
 				}
-				for u := range dist[v] {
-					if dist[v][u] != refDist[v][u] {
-						t.Fatalf("tile=%d workers=%d: dist[%d][%d] = %d, want %d",
-							tile, w, v, u, dist[v][u], refDist[v][u])
+				e := dynamicScenarioMask(t, w, tile, noMask)
+				dist := e.Distances()
+				for v := range dist {
+					if (dist[v] == nil) != (refDist[v] == nil) {
+						t.Fatalf("tile=%d workers=%d noMask=%v: row presence differs at %d", tile, w, noMask, v)
+					}
+					for u := range dist[v] {
+						if dist[v][u] != refDist[v][u] {
+							t.Fatalf("tile=%d workers=%d noMask=%v: dist[%d][%d] = %d, want %d",
+								tile, w, noMask, v, u, dist[v][u], refDist[v][u])
+						}
 					}
 				}
-			}
-			snap := e.Snapshot()
-			for v := range snap.Closeness {
-				if snap.Closeness[v] != refSnap.Closeness[v] {
-					t.Fatalf("tile=%d workers=%d: closeness[%d] = %g, want %g",
-						tile, w, v, snap.Closeness[v], refSnap.Closeness[v])
+				snap := e.Snapshot()
+				for v := range snap.Closeness {
+					if snap.Closeness[v] != refSnap.Closeness[v] {
+						t.Fatalf("tile=%d workers=%d noMask=%v: closeness[%d] = %g, want %g",
+							tile, w, noMask, v, snap.Closeness[v], refSnap.Closeness[v])
+					}
 				}
 			}
 		}
@@ -271,6 +280,66 @@ func TestSplitBlocksCoverage(t *testing.T) {
 			if covered != n {
 				t.Fatalf("splitBlocks(%d,%d) covers %d", n, w, covered)
 			}
+		}
+	}
+}
+
+// Convergence is the anchor of the masked skip rule: once the engine
+// reports converged, every row's change frontier must be cleared (the new
+// epoch starts empty), and the step history must carry the frontier
+// telemetry — masked work when masking is on, none when it is off.
+func TestFrontierClearedAtConvergence(t *testing.T) {
+	g := testGraph(t, 120, 23)
+	e, err := New(g, defaultTestOptions(4, 23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	// A cold start is all-FAll rows (unknown extent), so the masked path
+	// only engages after the first convergence clears the epoch and a
+	// dynamic change leaves a sparse frontier behind.
+	b, err := gen.PreferentialBatch(e.Graph(), 10, 2, 1, gen.Weights{Min: 1, Max: 4}, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.QueueBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if !e.Converged() {
+		t.Fatal("not converged")
+	}
+	for pid, p := range e.procs {
+		for _, r := range p.table.Rows() {
+			if r.FAll {
+				t.Fatalf("proc %d row %d still FAll after convergence", pid, r.Owner)
+			}
+			if r.F.Any() {
+				t.Fatalf("proc %d row %d has frontier bits after convergence", pid, r.Owner)
+			}
+		}
+	}
+	var masked int64
+	for _, s := range e.History() {
+		masked += s.MaskedOps
+		if s.FrontierDensity < 0 || s.FrontierDensity > 1 {
+			t.Fatalf("step %d: frontier density %g out of range", s.Step, s.FrontierDensity)
+		}
+	}
+	if masked == 0 {
+		t.Fatal("no masked ops recorded across the run")
+	}
+
+	o := defaultTestOptions(4, 23)
+	o.NoFrontierMask = true
+	eo, err := New(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eo.Run()
+	for _, s := range eo.History() {
+		if s.MaskedOps != 0 {
+			t.Fatalf("step %d: masked ops %d with masking disabled", s.Step, s.MaskedOps)
 		}
 	}
 }

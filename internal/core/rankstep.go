@@ -130,6 +130,15 @@ func (rs *RankState) RelaxPhase(ext []*dv.Delta) int64 {
 // dirty — this rank's vote against convergence.
 func (rs *RankState) HasUpdate() bool { return rs.p.hasUpdate }
 
+// ClearFrontiers resets every row's change-frontier bitmask (and FAll
+// marks). The runner calls it when the coordinator's decision broadcast
+// carries the clean-fixpoint bit: the cluster reached an exact converged
+// fixpoint with every rank alive, the anchor state from which the masked
+// min-plus skip rule is provably sound. Clearing at the broadcast-decided
+// boundary keeps frontier epochs — and masked sweeps — identical on every
+// rank.
+func (rs *RankState) ClearFrontiers() { rs.p.table.ClearFrontiers() }
+
 // ReMarkFailed re-marks the rows of boundary messages the transport could
 // not deliver (real send failures or injected faults that exhausted the
 // resend budget) for a full re-ship — the single recovery path shared with

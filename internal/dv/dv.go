@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"anytime/internal/graph"
+	"anytime/internal/kernel"
 )
 
 // Row is the distance vector of one vertex: D[t] is the best known
@@ -32,6 +33,19 @@ type Row struct {
 	// Dirty marks the row as changed since it was last shipped to
 	// neighboring processors.
 	Dirty bool
+
+	// F is the row's dirty frontier: bit t set means D[t] changed since the
+	// last clean global convergence. The masked min-plus kernels consult it
+	// to skip provably non-improving columns (see internal/kernel/masked.go)
+	// and record into it as they relax. FAll marks the whole row changed
+	// with unknown extent — fresh, migrated, restored, or reset rows — and
+	// forces full sweeps both when the row pivots and when it is relaxed.
+	// Unlike the pending ship window, the frontier survives ClearPending/
+	// ClearDirty: it resets only at a clean global convergence
+	// (ClearFrontier), because that is the fixpoint the masking soundness
+	// argument is anchored to.
+	F    kernel.Bitset
+	FAll bool
 
 	// pendLo/pendHi delimit the half-open window of columns changed since
 	// the row was last shipped; pendAll forces a full-row ship when the
@@ -56,6 +70,9 @@ func (r *Row) RelaxVia(t int32, d graph.Dist, nh int32) bool {
 	if d < r.D[t] {
 		r.D[t] = d
 		r.NH[t] = nh
+		if r.F != nil {
+			r.F.Set(int(t))
+		}
 		r.MarkChanged(int(t), int(t)+1)
 		return true
 	}
@@ -88,6 +105,31 @@ func (r *Row) MarkChanged(lo, hi int) {
 func (r *Row) MarkShipAll() {
 	r.Dirty = true
 	r.pendAll = true
+	// Unknown change extent also invalidates the frontier: receivers and
+	// masked sweeps must treat every column as potentially changed.
+	r.FAll = true
+}
+
+// MarkShipFull forces the next ship to carry the full row while keeping
+// the frontier intact. For rows whose receiver set may have grown (an
+// edge-add endpoint now bordering a part that never saw the row) but whose
+// every change went through a recorded relax path: new receivers need the
+// full values, yet the masking skip rule stays sound for them too — it is
+// anchored to the last clean convergence, a global fixpoint property that
+// does not depend on which versions a receiver has seen.
+func (r *Row) MarkShipFull() {
+	r.Dirty = true
+	r.pendAll = true
+}
+
+// ClearFrontier resets the row's dirty frontier. Called only at a clean
+// global convergence, the fixpoint that re-anchors the masked kernels'
+// skip rule.
+func (r *Row) ClearFrontier() {
+	for i := range r.F {
+		r.F[i] = 0
+	}
+	r.FAll = false
 }
 
 // ClearPending resets the pending delta window after the row's snapshot
@@ -130,8 +172,15 @@ type Matrix struct {
 	stride int
 	d      []graph.Dist // len == slot capacity * stride
 	nh     []int32
-	rows   []*Row
-	index  map[int32]int // global vertex ID -> position in rows
+	// fw backs the rows' frontier bitmasks at wstride words per slot
+	// (wstride = BitsetWords(stride), so in-place column extension never
+	// re-lays the words). Bits at or beyond cols are kept zero — Set is
+	// only ever called on valid columns and slots are zeroed on (re)use —
+	// which lets relayouts and width growth copy words verbatim.
+	fw      []uint64
+	wstride int
+	rows    []*Row
+	index   map[int32]int // global vertex ID -> position in rows
 	// ResizeCopies counts element copies performed by column-extension
 	// reallocations (the paper's O(n+k) amortized DV-resize cost term).
 	ResizeCopies int64
@@ -143,7 +192,7 @@ func NewMatrix(cols int) *Matrix {
 	if stride < 1 {
 		stride = 1
 	}
-	return &Matrix{cols: cols, stride: stride, index: make(map[int32]int)}
+	return &Matrix{cols: cols, stride: stride, wstride: kernel.BitsetWords(stride), index: make(map[int32]int)}
 }
 
 // Cols returns the current logical row width (number of global vertices).
@@ -185,6 +234,8 @@ func (m *Matrix) view(i int) {
 	r := m.rows[i]
 	r.D = m.d[base : base+m.cols : base+m.stride]
 	r.NH = m.nh[base : base+m.cols : base+m.stride]
+	wbase := i * m.wstride
+	r.F = kernel.Bitset(m.fw[wbase : wbase+kernel.BitsetWords(m.cols) : wbase+m.wstride])
 }
 
 // ensureSlots grows the arena to hold at least `need` row slots, moving
@@ -204,9 +255,11 @@ func (m *Matrix) ensureSlots(need int) {
 	}
 	d := make([]graph.Dist, newCap*m.stride)
 	nh := make([]int32, newCap*m.stride)
+	fw := make([]uint64, newCap*m.wstride)
 	copy(d, m.d)
 	copy(nh, m.nh)
-	m.d, m.nh = d, nh
+	copy(fw, m.fw)
+	m.d, m.nh, m.fw = d, nh, fw
 	for i := range m.rows {
 		m.view(i)
 	}
@@ -223,6 +276,16 @@ func (m *Matrix) fillSlot(i, lo int) {
 	}
 }
 
+// fillSlotWords zeroes slot i's frontier words, clearing any stale bits
+// left by a previously removed row.
+func (m *Matrix) fillSlotWords(i int) {
+	wbase := i * m.wstride
+	fw := m.fw[wbase : wbase+m.wstride]
+	for w := range fw {
+		fw[w] = 0
+	}
+}
+
 // AddRow inserts a fresh row for global vertex v: all InfDist except
 // D[v] = 0. Panics if the row exists or v is outside the current width.
 func (m *Matrix) AddRow(v int32) *Row {
@@ -235,6 +298,7 @@ func (m *Matrix) AddRow(v int32) *Row {
 	i := len(m.rows)
 	m.ensureSlots(i + 1)
 	m.fillSlot(i, 0)
+	m.fillSlotWords(i)
 	base := i * m.stride
 	m.d[base+int(v)] = 0
 	m.nh[base+int(v)] = v
@@ -259,9 +323,11 @@ func (m *Matrix) RemoveRow(v int32) *Row {
 	r := m.rows[i]
 	d := make([]graph.Dist, m.cols)
 	nh := make([]int32, m.cols)
+	fw := make(kernel.Bitset, kernel.BitsetWords(m.cols))
 	copy(d, r.D)
 	copy(nh, r.NH)
-	r.D, r.NH, r.mx = d, nh, nil
+	copy(fw, r.F)
+	r.D, r.NH, r.F, r.mx = d, nh, fw, nil
 
 	last := len(m.rows) - 1
 	if i != last {
@@ -269,6 +335,9 @@ func (m *Matrix) RemoveRow(v int32) *Row {
 		dstBase := i * m.stride
 		copy(m.d[dstBase:dstBase+m.cols], m.d[srcBase:srcBase+m.cols])
 		copy(m.nh[dstBase:dstBase+m.cols], m.nh[srcBase:srcBase+m.cols])
+		wSrc := last * m.wstride
+		wDst := i * m.wstride
+		copy(m.fw[wDst:wDst+m.wstride], m.fw[wSrc:wSrc+m.wstride])
 		m.rows[i] = m.rows[last]
 		m.index[m.rows[i].Owner] = i
 		m.view(i)
@@ -299,6 +368,14 @@ func (m *Matrix) AdoptRow(r *Row) {
 	copy(m.d[base:base+n], r.D[:n])
 	copy(m.nh[base:base+n], r.NH[:n])
 	m.fillSlot(i, n)
+	m.fillSlotWords(i)
+	wbase := i * m.wstride
+	words := kernel.BitsetWords(m.cols)
+	copy(m.fw[wbase:wbase+words], r.F)
+	if tail := uint(m.cols & 63); tail != 0 {
+		// keep bits at/above cols zero even if the adopted row was wider
+		m.fw[wbase+words-1] &= 1<<tail - 1
+	}
 	r.mx = m
 	m.index[r.Owner] = i
 	m.rows = append(m.rows, r)
@@ -331,14 +408,19 @@ func (m *Matrix) ExtendCols(k int) {
 	if slotCap < len(m.rows) {
 		slotCap = len(m.rows)
 	}
+	newWstride := kernel.BitsetWords(newStride)
 	d := make([]graph.Dist, slotCap*newStride)
 	nh := make([]int32, slotCap*newStride)
+	fw := make([]uint64, slotCap*newWstride)
 	for i := range m.rows {
 		copy(d[i*newStride:], m.d[i*m.stride:i*m.stride+old])
 		copy(nh[i*newStride:], m.nh[i*m.stride:i*m.stride+old])
+		// frontier bits at/above old cols are zero, so whole words move
+		copy(fw[i*newWstride:], m.fw[i*m.wstride:(i+1)*m.wstride])
 		m.ResizeCopies += int64(old)
 	}
-	m.d, m.nh, m.stride = d, nh, newStride
+	m.d, m.nh, m.fw = d, nh, fw
+	m.stride, m.wstride = newStride, newWstride
 	for i := range m.rows {
 		m.fillSlot(i, old)
 		m.view(i)
@@ -363,6 +445,34 @@ func (m *Matrix) ClearDirty() {
 	}
 }
 
+// ClearFrontiers resets every attached row's dirty frontier in one arena
+// sweep. Called at a clean global convergence — the fixpoint that
+// re-anchors the masked kernels' skip rule.
+func (m *Matrix) ClearFrontiers() {
+	for w := range m.fw {
+		m.fw[w] = 0
+	}
+	for _, r := range m.rows {
+		r.FAll = false
+	}
+}
+
+// FrontierStats scans the frontier arena and returns the number of nonzero
+// frontier words and total set bits across all rows; FAll rows count as
+// fully set. Feeds the per-step FrontierWords/FrontierDensity telemetry.
+func (m *Matrix) FrontierStats() (words int, bits int64) {
+	for _, r := range m.rows {
+		if r.FAll {
+			words += len(r.F)
+			bits += int64(m.cols)
+			continue
+		}
+		words += r.F.NonzeroWords()
+		bits += int64(r.F.OnesCount())
+	}
+	return words, bits
+}
+
 // RowBytes returns the accounted wire size of one full row of the current
 // width: 4 bytes per distance plus an 8-byte header (owner + length).
 // Next hops are processor-local routing state and are never shipped, so
@@ -380,21 +490,53 @@ func CopyRow(r *Row) *Row {
 // [Lo, Lo+len(D)) of Owner's distance vector that changed since the row
 // was last shipped. Like CopyRow snapshots, deltas carry distances only.
 // A full-row ship is simply a delta with Lo == 0 spanning the whole row.
+//
+// F, when non-nil, is a snapshot of the sender row's change frontier over
+// the window: bit t set means column Lo+t changed since the last clean
+// global convergence. Lo is always 64-aligned when F travels, so F is a
+// verbatim word-slice of the sender's frontier and bit positions line up
+// with window offsets. Receivers whose own distance to Owner is likewise
+// unchanged may soundly restrict their relax sweep to the set bits (see
+// internal/kernel/masked.go); F == nil means the change extent is unknown
+// (ship-all rows, masking disabled) and forces a full-window sweep.
 type Delta struct {
 	Owner int32
 	Lo    int32
 	D     []graph.Dist
+	F     kernel.Bitset
 }
 
 // WireBytes is the accounted on-wire size of the delta: 4 bytes per
-// distance plus a 12-byte header (owner, lo, length).
-func (d *Delta) WireBytes() int { return 4*len(d.D) + 12 }
+// distance, 8 per frontier word, plus a 16-byte header (owner, lo,
+// distance count, frontier word count).
+func (d *Delta) WireBytes() int { return 4*len(d.D) + 8*len(d.F) + 16 }
+
+// frontierWindow snapshots the row's frontier words covering columns
+// [lo, hi), or nil when the change extent is unknown. lo must be
+// 64-aligned so the word slice's bit positions line up with window
+// offsets. The words are copied: in-process exchange hands the Delta to
+// receivers that read it while the sender's frontier keeps accumulating.
+func (r *Row) frontierWindow(lo, hi int) kernel.Bitset {
+	if r.FAll || len(r.F) == 0 {
+		return nil
+	}
+	wlo, whi := lo>>6, (hi+63)>>6
+	if whi > len(r.F) {
+		whi = len(r.F)
+	}
+	if wlo >= whi {
+		return nil
+	}
+	return append(kernel.Bitset(nil), r.F[wlo:whi]...)
+}
 
 // ShipDelta snapshots the row's pending-change window as a Delta. Rows
 // whose change extent is unknown (MarkShipAll) — and, defensively, dirty
-// rows with an empty window — snapshot the full row. The pending window is
-// not cleared here; the caller does that via ClearPending once the delta
-// is actually sent.
+// rows with an empty window — snapshot the full row. The window start is
+// rounded down to a 64-column boundary (at most 63 extra unchanged
+// columns) so the attached frontier words slice straight out of the row's
+// bitmask. The pending window is not cleared here; the caller does that
+// via ClearPending once the delta is actually sent.
 func (r *Row) ShipDelta() *Delta {
 	if r.pendAll || r.pendLo >= r.pendHi {
 		return r.FullDelta()
@@ -403,11 +545,12 @@ func (r *Row) ShipDelta() *Delta {
 	if hi > len(r.D) {
 		hi = len(r.D) // defensive: widths only grow, but never read past the row
 	}
-	return &Delta{Owner: r.Owner, Lo: int32(lo), D: append([]graph.Dist(nil), r.D[lo:hi]...)}
+	lo &^= 63
+	return &Delta{Owner: r.Owner, Lo: int32(lo), D: append([]graph.Dist(nil), r.D[lo:hi]...), F: r.frontierWindow(lo, hi)}
 }
 
 // FullDelta snapshots the entire row as a Delta (fresh or migrated rows,
 // and the ship-all-boundary ablation).
 func (r *Row) FullDelta() *Delta {
-	return &Delta{Owner: r.Owner, D: append([]graph.Dist(nil), r.D...)}
+	return &Delta{Owner: r.Owner, D: append([]graph.Dist(nil), r.D...), F: r.frontierWindow(0, len(r.D))}
 }

@@ -297,26 +297,33 @@ func TestPendingWindowLifecycle(t *testing.T) {
 	}
 	r.ClearPending()
 	r.ClearDirty()
+	r.ClearFrontier() // anchor a clean epoch: deltas now carry frontier words
 
-	// Point relaxations accumulate into one window.
+	// Point relaxations accumulate into one window. The shipped window
+	// rounds its start down to a 64-column boundary (here: 0) so the
+	// attached frontier words line up with window offsets.
 	r.Relax(5, 9)
 	r.Relax(3, 4)
 	if !r.Dirty {
 		t.Fatal("relax must dirty the row")
 	}
 	d = r.ShipDelta()
-	if d.Lo != 3 || len(d.D) != 3 {
-		t.Fatalf("delta = lo=%d len=%d, want window [3,6)", d.Lo, len(d.D))
+	if d.Lo != 0 || len(d.D) != 6 {
+		t.Fatalf("delta = lo=%d len=%d, want word-aligned window [0,6)", d.Lo, len(d.D))
 	}
-	if d.D[0] != 4 || d.D[2] != 9 {
+	if d.D[3] != 4 || d.D[5] != 9 {
 		t.Fatalf("delta columns wrong: %v", d.D)
 	}
-	if d.WireBytes() != 4*3+12 {
+	if len(d.F) != 1 || !d.F.Get(3) || !d.F.Get(5) || d.F.Get(4) {
+		t.Fatalf("delta frontier wrong: %v", d.F)
+	}
+	if d.WireBytes() != 4*6+8*1+16 {
 		t.Fatalf("WireBytes = %d", d.WireBytes())
 	}
 	// Delta snapshots must not alias the row.
-	d.D[0] = 1
-	if r.D[3] == 1 {
+	d.D[3] = 1
+	d.F[0] = 0
+	if r.D[3] == 1 || !r.F.Get(3) {
 		t.Fatal("ShipDelta aliases the row")
 	}
 
@@ -324,14 +331,15 @@ func TestPendingWindowLifecycle(t *testing.T) {
 	r.ClearPending()
 	r.MarkChanged(6, 7)
 	d = r.ShipDelta()
-	if d.Lo != 6 || len(d.D) != 1 {
-		t.Fatalf("post-ship delta = lo=%d len=%d, want window [6,7)", d.Lo, len(d.D))
+	if d.Lo != 0 || len(d.D) != 7 {
+		t.Fatalf("post-ship delta = lo=%d len=%d, want word-aligned window [0,7)", d.Lo, len(d.D))
 	}
 
-	// MarkShipAll overrides any window.
+	// MarkShipAll overrides any window, and the unknown change extent
+	// means no frontier words travel.
 	r.MarkShipAll()
-	if d := r.ShipDelta(); d.Lo != 0 || len(d.D) != 8 {
-		t.Fatal("MarkShipAll must force a full-row delta")
+	if d := r.ShipDelta(); d.Lo != 0 || len(d.D) != 8 || d.F != nil {
+		t.Fatal("MarkShipAll must force a full-row delta without frontier words")
 	}
 
 	// Dirty with an empty window (e.g. a restored pre-delta checkpoint)
@@ -351,13 +359,44 @@ func TestMarkChangedUnionsWindows(t *testing.T) {
 	r.MarkChanged(2, 5)
 	r.MarkChanged(8, 9)
 	d := r.ShipDelta()
-	if d.Lo != 2 || len(d.D) != 7 {
-		t.Fatalf("union window = [%d,%d), want [2,9)", d.Lo, int(d.Lo)+len(d.D))
+	if d.Lo != 0 || len(d.D) != 9 {
+		t.Fatalf("union window = [%d,%d), want word-aligned [0,9)", d.Lo, int(d.Lo)+len(d.D))
 	}
 	// Empty marks are no-ops.
 	r.ClearDirty()
 	r.MarkChanged(5, 5)
 	if r.Dirty {
 		t.Fatal("empty MarkChanged must not dirty the row")
+	}
+}
+
+// A window past the first word must round its start down to the word
+// boundary, and the shipped frontier words must be the row's words over
+// exactly that range, so window-relative bit positions address the right
+// columns.
+func TestShipDeltaFrontierAlignment(t *testing.T) {
+	tb := NewMatrix(130)
+	r := tb.AddRow(1)
+	r.ClearDirty()
+	r.ClearFrontier()
+	r.Relax(70, 9)
+	r.Relax(100, 4)
+	d := r.ShipDelta()
+	if d.Lo != 64 || len(d.D) != 101-64 {
+		t.Fatalf("delta = lo=%d len=%d, want word-aligned window [64,101)", d.Lo, len(d.D))
+	}
+	if d.D[70-64] != 9 || d.D[100-64] != 4 {
+		t.Fatalf("delta columns wrong: %v", d.D)
+	}
+	if len(d.F) != 1 || !d.F.Get(70-64) || !d.F.Get(100-64) || d.F.OnesCount() != 2 {
+		t.Fatalf("delta frontier wrong: %v", d.F)
+	}
+	// FullDelta over a clean-epoch row carries the whole frontier.
+	fd := r.FullDelta()
+	if fd.Lo != 0 || len(fd.D) != 130 || len(fd.F) != 3 {
+		t.Fatalf("full delta = lo=%d len=%d fwords=%d", fd.Lo, len(fd.D), len(fd.F))
+	}
+	if !fd.F.Get(70) || !fd.F.Get(100) || fd.F.OnesCount() != 2 {
+		t.Fatalf("full-delta frontier wrong: %v", fd.F)
 	}
 }

@@ -172,6 +172,9 @@ func ByID(id string) func(Config) (*Result, error) {
 		return Ablations
 	case "scaling":
 		return Scaling
+	case "paper":
+		// Paper-scale tier: NOT in All() — see the Paper doc comment.
+		return Paper
 	default:
 		return nil
 	}

@@ -1,0 +1,157 @@
+package kernel
+
+import (
+	"math/bits"
+
+	"anytime/internal/graph"
+)
+
+// This file holds the frontier-masked variants of the min-plus kernels.
+//
+// A frontier bitmask records, per row, which columns changed since the last
+// clean global convergence (a fixpoint of the relaxation system). At such a
+// fixpoint every composition through a pivot p satisfies
+//
+//	dst[p.owner] + p.D[t] >= dst[t]
+//
+// so a relaxation (dst, p, t) can only improve dst[t] if at least one of
+// the three participating values moved since then: dst's distance to the
+// pivot, the pivot's entry for t, or dst[t] itself — and dst[t] only ever
+// decreases, which cannot turn a non-improving composition into an
+// improving one. Hence a pass may soundly skip every column t where the
+// pivot's frontier bit is clear, provided dst's own distance-to-pivot entry
+// is also unchanged. Masks over-approximate the true change set, so masked
+// and full sweeps produce bit-identical distance matrices; masking is
+// purely a work filter.
+//
+// Rec variants keep a destination frontier current as they relax. The two
+// variants record at different granularities, trading precision against
+// hot-loop cost to match where each runs:
+//
+//   - MinPlusHopsRec (full sweeps) records the changed *window* [lo, hi) —
+//     the convex hull of the improved columns — with one SetRange after the
+//     sweep. Full sweeps run on dense passes where most compositions
+//     improve, so any per-improvement instruction is hot: per-bit recording
+//     inside the loop (whether a bounds-checked rec.Set or a register
+//     accumulator flushed per word) measures 2-3× slower end-to-end than
+//     the untouched MinPlusHops loop on the refine benches. The hull is an
+//     over-approximation of the true change set, which is sound — masks
+//     only ever need to be a superset — and matches the granularity the
+//     delta pending windows already use.
+//   - MinPlusHopsMasked (masked sweeps) records exact bits: it visits only
+//     the few frontier columns, so per-improvement cost is off the hot
+//     path and precision keeps sparse cascades sparse.
+
+// MinPlusHopsRec is MinPlusHops plus frontier recording: the changed
+// window [lo, hi) is folded into rec as bits base+lo .. base+hi-1 (rec
+// indexes the destination row's full column space; base is dst's offset
+// within it, nonzero when the caller pre-sliced dst to start mid-row).
+// rec may be nil.
+func MinPlusHopsRec(dst []graph.Dist, nh []int32, src []graph.Dist, add graph.Dist, hop int32, rec Bitset, base int) (lo, hi int) {
+	lo, hi = MinPlusHops(dst, nh, src, add, hop)
+	if rec != nil && lo < hi {
+		rec.SetRange(base+lo, base+hi)
+	}
+	return lo, hi
+}
+
+// MinPlusHopsMasked relaxes dst through a pivot row src, visiting only the
+// columns whose bits are set in mask (the pivot's frontier: columns of src
+// that changed since the last convergence). Improved columns are recorded
+// into rec (may be nil). It returns the changed window [lo, hi) plus the
+// number of columns actually visited, which is what the caller charges to
+// the LogP clock in place of the full row width.
+//
+// Iteration peels set bits per word via TrailingZeros64, so columns are
+// visited in ascending order — the same order as the full sweep — and the
+// soundness argument above makes the skipped columns provably
+// non-improving, so the result is bit-identical to MinPlusHops.
+func MinPlusHopsMasked(dst []graph.Dist, nh []int32, src []graph.Dist, add graph.Dist, hop int32, mask, rec Bitset, base int) (lo, hi, ops int) {
+	n := len(src)
+	if len(dst) < n {
+		n = len(dst)
+	}
+	src = src[:n]
+	dst = dst[:n]
+	nh = nh[:n]
+	lo, hi = n, 0
+	words := BitsetWords(n)
+	if words > len(mask) {
+		words = len(mask)
+	}
+	for w := 0; w < words; w++ {
+		word := mask[w]
+		for word != 0 {
+			t := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			if t >= n {
+				break
+			}
+			bt := src[t]
+			ops++
+			if bt == graph.InfDist {
+				continue
+			}
+			if nd := add + bt; nd < dst[t] {
+				dst[t] = nd
+				nh[t] = hop
+				if rec != nil {
+					rec.Set(base + t)
+				}
+				if lo > t {
+					lo = t
+				}
+				hi = t + 1
+			}
+		}
+	}
+	return lo, hi, ops
+}
+
+// MinPlusTileMasked is MinPlusTile with per-pivot frontier masks: pivot p's
+// sweep is restricted to masks[p] unless a full sweep is forced — because
+// the pivot has no mask (masks[p] == nil: dense frontier past the density
+// cutover, or a ship-all row whose change extent is unknown), because the
+// destination row's own change extent is unknown (dstFull), or because the
+// destination's distance *to* the pivot changed since the last convergence
+// (rec bit owners[p] set — the add operand moved, so unmasked columns may
+// improve too). rec is the destination row's frontier and is updated as
+// columns improve, so improvements applied by earlier pivots in the tile
+// feed later pivots' full/masked decisions exactly as the untiled sequence
+// would.
+//
+// Returns the changed window, total relax operations (full-width for full
+// sweeps, visited columns for masked ones — the LogP charge), and the
+// masked-visit subtotal (telemetry: how much work the masks let through).
+func MinPlusTileMasked(dst []graph.Dist, nh []int32, arena []graph.Dist, stride int, offs, owners []int32, masks []Bitset, rec Bitset, dstFull bool) (lo, hi int, ops, maskedOps int64) {
+	n := len(dst)
+	lo, hi = n, 0
+	for pi, off := range offs {
+		owner := int(owners[pi])
+		add := dst[owner]
+		if add == graph.InfDist {
+			continue
+		}
+		src := arena[int(off)*stride : int(off)*stride+n]
+		full := dstFull || masks[pi] == nil || (rec != nil && rec.Get(owner))
+		var clo, chi int
+		if full {
+			clo, chi = MinPlusHopsRec(dst, nh, src, add, nh[owner], rec, 0)
+			ops += int64(n)
+		} else {
+			var visited int
+			clo, chi, visited = MinPlusHopsMasked(dst, nh, src, add, nh[owner], masks[pi], rec, 0)
+			ops += int64(visited)
+			maskedOps += int64(visited)
+		}
+		if clo < chi {
+			if lo > clo {
+				lo = clo
+			}
+			if hi < chi {
+				hi = chi
+			}
+		}
+	}
+	return lo, hi, ops, maskedOps
+}

@@ -1,0 +1,281 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+
+	"anytime/internal/graph"
+)
+
+// fullMask returns a mask with every bit < n set — a masked sweep under it
+// must behave exactly like the full sweep.
+func fullMask(n int) Bitset {
+	b := NewBitset(n)
+	b.SetRange(0, n)
+	return b
+}
+
+func TestMinPlusHopsRecMatchesFullAndRecords(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(150)
+		base := rng.Intn(8)
+		dst := randomRow(rng, n, 0.2)
+		src := randomRow(rng, n, 0.3)
+		nh := make([]int32, n)
+		add := graph.Dist(rng.Intn(400))
+
+		wantDst := append([]graph.Dist(nil), dst...)
+		wantNH := append([]int32(nil), nh...)
+		wlo, whi := MinPlusHops(wantDst, wantNH, src, add, 5)
+
+		rec := NewBitset(base + n)
+		lo, hi := MinPlusHopsRec(dst, nh, src, add, 5, rec, base)
+		if lo != wlo || hi != whi {
+			t.Fatalf("trial %d: window (%d,%d), want (%d,%d)", trial, lo, hi, wlo, whi)
+		}
+		for i := range dst {
+			if dst[i] != wantDst[i] || nh[i] != wantNH[i] {
+				t.Fatalf("trial %d: index %d diverges", trial, i)
+			}
+		}
+		// nil rec degrades to the plain kernel without panicking.
+		lo2, hi2 := MinPlusHopsRec(dst, nh, src, add, 5, nil, 0)
+		if lo2 < hi2 {
+			t.Fatalf("trial %d: second pass improved again (%d,%d)", trial, lo2, hi2)
+		}
+	}
+}
+
+// MinPlusHopsRec records the convex hull of the changed columns — every
+// improved column must have its bit set (soundness: masks are supersets of
+// the true change set), bits outside the returned window must stay clear,
+// and the hull must be tight at both ends.
+func TestMinPlusHopsRecWindowBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(150)
+		base := rng.Intn(8)
+		orig := randomRow(rng, n, 0.2)
+		src := randomRow(rng, n, 0.3)
+		dst := append([]graph.Dist(nil), orig...)
+		nh := make([]int32, n)
+		add := graph.Dist(rng.Intn(400))
+
+		rec := NewBitset(base + n)
+		lo, hi := MinPlusHopsRec(dst, nh, src, add, 5, rec, base)
+		for i := 0; i < n; i++ {
+			improved := dst[i] != orig[i]
+			inWindow := i >= lo && i < hi
+			if improved && !rec.Get(base+i) {
+				t.Fatalf("trial %d: column %d improved but rec bit clear", trial, i)
+			}
+			if rec.Get(base+i) != inWindow {
+				t.Fatalf("trial %d: rec bit %d = %v but in-window = %v",
+					trial, base+i, rec.Get(base+i), inWindow)
+			}
+		}
+		if lo < hi && (dst[lo] == orig[lo] || dst[hi-1] == orig[hi-1]) {
+			t.Fatalf("trial %d: window (%d,%d) not tight", trial, lo, hi)
+		}
+		for i := 0; i < base; i++ {
+			if rec.Get(i) {
+				t.Fatalf("trial %d: bit %d below base set", trial, i)
+			}
+		}
+	}
+}
+
+func TestMinPlusHopsMaskedFullMaskMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(200)
+		dst := randomRow(rng, n, 0.2)
+		src := randomRow(rng, n, 0.3)
+		nh := make([]int32, n)
+		for i := range nh {
+			nh[i] = int32(rng.Intn(n))
+		}
+		add := graph.Dist(rng.Intn(400))
+
+		wantDst := append([]graph.Dist(nil), dst...)
+		wantNH := append([]int32(nil), nh...)
+		wlo, whi := MinPlusHops(wantDst, wantNH, src, add, 3)
+
+		lo, hi, ops := MinPlusHopsMasked(dst, nh, src, add, 3, fullMask(n), nil, 0)
+		if lo != wlo || hi != whi {
+			t.Fatalf("trial %d: window (%d,%d), want (%d,%d)", trial, lo, hi, wlo, whi)
+		}
+		if ops != n {
+			t.Fatalf("trial %d: ops %d, want %d (full mask visits everything)", trial, ops, n)
+		}
+		for i := range dst {
+			if dst[i] != wantDst[i] || nh[i] != wantNH[i] {
+				t.Fatalf("trial %d: index %d diverges", trial, i)
+			}
+		}
+	}
+}
+
+// TestMinPlusHopsMaskedSoundSkip builds the situation the engine relies on:
+// dst is at a fixpoint w.r.t. src (no composition improves), then src is
+// perturbed at a few columns with the perturbation recorded in a mask. A
+// masked sweep must then match a full sweep bit-for-bit.
+func TestMinPlusHopsMaskedSoundSkip(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 300; trial++ {
+		n := 8 + rng.Intn(200)
+		src := randomRow(rng, n, 0.3)
+		add := graph.Dist(1 + rng.Intn(100))
+		// Fixpoint dst: exactly the min-plus closure through src.
+		dst := make([]graph.Dist, n)
+		nh := make([]int32, n)
+		for i := range dst {
+			dst[i] = graph.Dist(rng.Intn(2000))
+			if src[i] != graph.InfDist && add+src[i] < dst[i] {
+				dst[i] = add + src[i]
+			}
+		}
+		// Perturb: lower a few src columns, mask records them.
+		mask := NewBitset(n)
+		k := 1 + rng.Intn(5)
+		for j := 0; j < k; j++ {
+			c := rng.Intn(n)
+			src[c] = graph.Dist(rng.Intn(50))
+			mask.Set(c)
+		}
+		// Over-approximation is allowed: add noise bits to the mask.
+		for j := 0; j < rng.Intn(4); j++ {
+			mask.Set(rng.Intn(n))
+		}
+
+		wantDst := append([]graph.Dist(nil), dst...)
+		wantNH := append([]int32(nil), nh...)
+		wlo, whi := MinPlusHops(wantDst, wantNH, src, add, 7)
+
+		rec := NewBitset(n)
+		lo, hi, ops := MinPlusHopsMasked(dst, nh, src, add, 7, mask, rec, 0)
+		if lo != wlo || hi != whi {
+			t.Fatalf("trial %d: window (%d,%d), want (%d,%d)", trial, lo, hi, wlo, whi)
+		}
+		if ops > mask.OnesCount() {
+			t.Fatalf("trial %d: visited %d > mask popcount %d", trial, ops, mask.OnesCount())
+		}
+		for i := range dst {
+			if dst[i] != wantDst[i] {
+				t.Fatalf("trial %d: dst[%d] = %d, want %d", trial, i, dst[i], wantDst[i])
+			}
+			if nh[i] != wantNH[i] {
+				t.Fatalf("trial %d: nh[%d] = %d, want %d", trial, i, nh[i], wantNH[i])
+			}
+			if rec.Get(i) && wlo > i {
+				t.Fatalf("trial %d: rec bit %d below changed window %d", trial, i, wlo)
+			}
+		}
+	}
+}
+
+func TestMinPlusTileMaskedMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 120; trial++ {
+		n := 8 + rng.Intn(120)
+		rows := 2 + rng.Intn(6)
+		stride := n + rng.Intn(8)
+		arena := make([]graph.Dist, rows*stride)
+		for i := range arena {
+			if rng.Float64() < 0.3 {
+				arena[i] = graph.InfDist
+			} else {
+				arena[i] = graph.Dist(rng.Intn(1000))
+			}
+		}
+		offs := make([]int32, rows)
+		owners := make([]int32, rows)
+		for i := range offs {
+			offs[i] = int32(i)
+			owners[i] = int32(rng.Intn(n))
+		}
+		dst := randomRow(rng, n, 0.2)
+		nh := make([]int32, n)
+
+		wantDst := append([]graph.Dist(nil), dst...)
+		wantNH := append([]int32(nil), nh...)
+		wlo, whi, wops := MinPlusTile(wantDst, wantNH, arena, stride, offs, owners)
+
+		// Full masks (or forced-full dispatch) must reproduce the unmasked
+		// tile exactly, including the changed window.
+		masks := make([]Bitset, rows)
+		mode := trial % 3
+		for i := range masks {
+			switch mode {
+			case 0:
+				masks[i] = fullMask(n)
+			case 1:
+				masks[i] = nil // per-pivot full fallback
+			}
+		}
+		dstFull := mode == 2
+		if dstFull {
+			for i := range masks {
+				masks[i] = NewBitset(n) // empty masks, overridden by dstFull
+			}
+		}
+		rec := NewBitset(n)
+		lo, hi, ops, maskedOps := MinPlusTileMasked(dst, nh, arena, stride, offs, owners, masks, rec, dstFull)
+		if lo != wlo || hi != whi {
+			t.Fatalf("trial %d mode %d: window (%d,%d), want (%d,%d)", trial, mode, lo, hi, wlo, whi)
+		}
+		if mode != 0 && maskedOps != 0 {
+			t.Fatalf("trial %d mode %d: maskedOps %d on a full dispatch", trial, mode, maskedOps)
+		}
+		if mode != 0 && ops != wops {
+			t.Fatalf("trial %d mode %d: ops %d, want %d", trial, mode, ops, wops)
+		}
+		for i := range dst {
+			if dst[i] != wantDst[i] || nh[i] != wantNH[i] {
+				t.Fatalf("trial %d mode %d: index %d diverges", trial, mode, i)
+			}
+		}
+	}
+}
+
+// TestMinPlusTileMaskedAddChanged pins the dispatch rule that makes masked
+// tiles sound when earlier pivots improve the destination's distance *to* a
+// later pivot: once rec carries the owner bit, the later pivot must fall
+// back to a full sweep even though its own mask is sparse.
+func TestMinPlusTileMaskedAddChanged(t *testing.T) {
+	inf := graph.InfDist
+	n := 6
+	stride := n
+	// Pivot 0 (owner column 1) lowers dst[2] dramatically; pivot 1 is owned
+	// by column 2, so its add operand changed mid-tile. Its mask is empty —
+	// a masked sweep would skip everything and miss the improvement at
+	// column 4 that the full pass finds.
+	arena := []graph.Dist{
+		inf, inf, 1, inf, inf, inf, // pivot 0 row
+		inf, inf, inf, inf, 2, inf, // pivot 1 row
+	}
+	offs := []int32{0, 1}
+	owners := []int32{1, 2}
+	dst := []graph.Dist{0, 3, 50, 50, 50, 50}
+	nh := []int32{0, 1, -1, -1, -1, -1}
+
+	wantDst := append([]graph.Dist(nil), dst...)
+	wantNH := append([]int32(nil), nh...)
+	MinPlusTile(wantDst, wantNH, arena, stride, offs, owners)
+	if wantDst[4] != 6 { // 3 (to col1) + 1 (to col2) + 2
+		t.Fatalf("oracle wrong: dst[4] = %d, want 6", wantDst[4])
+	}
+
+	masks := []Bitset{fullMask(n), NewBitset(n)} // pivot 1 mask empty
+	rec := NewBitset(n)
+	MinPlusTileMasked(dst, nh, arena, stride, offs, owners, masks, rec, false)
+	for i := range dst {
+		if dst[i] != wantDst[i] || nh[i] != wantNH[i] {
+			t.Fatalf("index %d: got (%d,%d), want (%d,%d)", i, dst[i], nh[i], wantDst[i], wantNH[i])
+		}
+	}
+	if !rec.Get(2) || !rec.Get(4) {
+		t.Fatalf("rec missing improved columns: %v", rec)
+	}
+}

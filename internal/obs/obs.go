@@ -60,6 +60,9 @@ const (
 	KindFaultRetry
 	// KindChange is the incorporation of one dynamic change event.
 	KindChange
+	// KindRCFrontier is a per-step marker span for the frontier-masked
+	// kernels (Value = masked relax ops performed that step).
+	KindRCFrontier
 
 	numKinds
 )
@@ -78,6 +81,7 @@ var kindNames = [numKinds]string{
 	KindRejoin:            "rejoin",
 	KindFaultRetry:        "fault-retry",
 	KindChange:            "change",
+	KindRCFrontier:        "rc-frontier",
 }
 
 // String returns the stable wire name of the kind (used by the JSONL

@@ -50,6 +50,7 @@ import (
 const (
 	decContinue = 1 << 0 // more steps needed
 	decDegraded = 1 << 1 // votes converged while ranks were down
+	decCleanFix = 1 << 2 // exact converged fixpoint: clear change frontiers
 )
 
 // QueueEvents queues dynamic events for application: they ship to every
@@ -240,6 +241,17 @@ func (r *Runner) buildDecision(decision []byte, rawDecision byte, pendingAll []b
 		// chaos-test floor.
 		flags |= decContinue
 	}
+	if rawDecision == 0 && !anyDown && !anyActivate {
+		// Exact fixpoint with every rank alive and no rejoin in flight:
+		// the change-frontier epoch closes here. Every rank clears its
+		// frontier masks at this same broadcast-decided boundary (see
+		// applyDecision), re-anchoring the masked min-plus skip rule at a
+		// provably exact state — the multi-process mirror of the engine's
+		// clear-on-convergence. A delayed boundary delivery cannot slip
+		// past this bit: its sender counted it as in flight and voted to
+		// continue, forcing rawDecision nonzero.
+		flags |= decCleanFix
+	}
 	decision[0] = flags
 }
 
@@ -291,6 +303,13 @@ func (r *Runner) applyDecision(decision []byte) (bool, error) {
 				return false, fmt.Errorf("rank 0: releasing rejoined rank %d: %w", q, err)
 			}
 		}
+	}
+	if flags&decCleanFix != 0 && r.rs != nil {
+		// Coordinator-announced exact fixpoint: every rank resets its
+		// change-frontier bitmasks at this same step boundary, so the
+		// frontier epochs — and therefore every masked-sweep decision —
+		// stay identical across all deployment shapes.
+		r.rs.ClearFrontiers()
 	}
 	more := flags&decContinue != 0
 	if !more {

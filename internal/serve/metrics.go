@@ -108,10 +108,12 @@ type serverMetrics struct {
 	base engineTotals
 
 	// Step-quality gauges, updated by onStep from StepStats.
-	imbalance *obs.Gauge
-	stepRows  *obs.Gauge
-	stepDirty *obs.Gauge
-	stepWidth *obs.Gauge
+	imbalance       *obs.Gauge
+	stepRows        *obs.Gauge
+	stepDirty       *obs.Gauge
+	stepWidth       *obs.Gauge
+	frontierDensity *obs.Gauge
+	maskedOps       *obs.Gauge
 
 	// Per-processor gauges, indexed by processor.
 	procRows     []*obs.Gauge
@@ -258,6 +260,10 @@ func newServerMetrics(s *Server, p int) *serverMetrics {
 		"Rows still carrying un-propagated content after the last RC step.", "")
 	m.stepWidth = reg.Gauge("aa_step_max_delta_width",
 		"Widest boundary delta shipped in the last RC step, in columns.", "")
+	m.frontierDensity = reg.Gauge("aa_frontier_density",
+		"Set change-frontier bits / total DV cells after the last RC step — the fraction the masked min-plus kernels' ~25% density cutover is judged against.", "")
+	m.maskedOps = reg.Gauge("aa_step_masked_ops",
+		"Relax/refine operations performed through frontier-masked sweeps in the last RC step.", "")
 
 	m.procRows = make([]*obs.Gauge, p)
 	m.procDirty = make([]*obs.Gauge, p)
@@ -281,6 +287,8 @@ func (m *serverMetrics) observeStep(st core.StepStats) {
 	m.stepRows.SetInt(int64(st.TotalRows))
 	m.stepDirty.SetInt(int64(st.DirtyRows))
 	m.stepWidth.SetInt(int64(st.MaxDeltaWidth))
+	m.frontierDensity.Set(st.FrontierDensity)
+	m.maskedOps.SetInt(st.MaskedOps)
 	for i := range m.procRows {
 		if i >= len(st.ProcRows) {
 			break

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"anytime/internal/graph"
+	"anytime/internal/kernel"
 )
 
 func unitGraph(n, m int, seed int64) *graph.Graph {
@@ -122,6 +123,37 @@ func TestMultiSourceBFSMatchesDijkstra(t *testing.T) {
 				if rows[i][j] != refRows[i][j] {
 					t.Fatalf("workers=%d source=%d dist mismatch at %d", workers, sources[i], j)
 				}
+			}
+		}
+	}
+}
+
+// The frontier-seeded core must absorb mixed-depth seeds: seeding the
+// queue with any subset of correctly-distanced vertices (src included)
+// reproduces the full single-source answer, because the SPFA-shaped loop
+// re-enqueues on every improvement rather than assuming BFS level order.
+func TestBFSFrontierMixedDepthSeeds(t *testing.T) {
+	const n = 80
+	g := unitGraph(n, 180, 47)
+	var qb queueBuf
+	ref := infRow(n)
+	BFSIntoHops(g, 0, ref, nil, nil, &qb)
+	rng := rand.New(rand.NewSource(48))
+	for trial := 0; trial < 10; trial++ {
+		frontier := kernel.NewBitset(n)
+		dist := infRow(n)
+		frontier.Set(0)
+		dist[0] = 0
+		for v := 1; v < n; v++ {
+			if rng.Intn(3) == 0 {
+				frontier.Set(v)
+				dist[v] = ref[v] // seed at its true depth
+			}
+		}
+		BFSFrontierIntoHops(g, 0, frontier, dist, nil, nil, &qb)
+		for v := 0; v < n; v++ {
+			if dist[v] != ref[v] {
+				t.Fatalf("trial %d: frontier-seeded dist[%d] = %d, want %d", trial, v, dist[v], ref[v])
 			}
 		}
 	}

@@ -7,11 +7,13 @@ import (
 	"anytime/internal/change"
 	"anytime/internal/dv"
 	"anytime/internal/graph"
+	"anytime/internal/kernel"
 )
 
 // The delta payload codec realizes dv.Delta's accounted wire size as the
-// actual bytes on the wire: each delta is a 12-byte header (owner, lo,
-// count — int32 little-endian) followed by count 4-byte distances, which
+// actual bytes on the wire: each delta is a 16-byte header (owner, lo,
+// distance count, frontier word count — int32 little-endian) followed by
+// count 4-byte distances and then the frontier words (8 bytes each), which
 // is exactly Delta.WireBytes(). A boundary-DV message's frame body is the
 // concatenation of its deltas.
 
@@ -27,16 +29,22 @@ func EncodedDeltaBytes(ds []*dv.Delta) int {
 
 // appendDeltas serializes a delta list onto dst.
 func appendDeltas(dst []byte, ds []*dv.Delta) []byte {
-	var u [4]byte
+	var u [8]byte
 	for _, d := range ds {
-		binary.LittleEndian.PutUint32(u[:], uint32(d.Owner))
-		dst = append(dst, u[:]...)
-		binary.LittleEndian.PutUint32(u[:], uint32(d.Lo))
-		dst = append(dst, u[:]...)
-		binary.LittleEndian.PutUint32(u[:], uint32(len(d.D)))
-		dst = append(dst, u[:]...)
+		binary.LittleEndian.PutUint32(u[:4], uint32(d.Owner))
+		dst = append(dst, u[:4]...)
+		binary.LittleEndian.PutUint32(u[:4], uint32(d.Lo))
+		dst = append(dst, u[:4]...)
+		binary.LittleEndian.PutUint32(u[:4], uint32(len(d.D)))
+		dst = append(dst, u[:4]...)
+		binary.LittleEndian.PutUint32(u[:4], uint32(len(d.F)))
+		dst = append(dst, u[:4]...)
 		for _, x := range d.D {
-			binary.LittleEndian.PutUint32(u[:], uint32(x))
+			binary.LittleEndian.PutUint32(u[:4], uint32(x))
+			dst = append(dst, u[:4]...)
+		}
+		for _, w := range d.F {
+			binary.LittleEndian.PutUint64(u[:], w)
 			dst = append(dst, u[:]...)
 		}
 	}
@@ -44,29 +52,42 @@ func appendDeltas(dst []byte, ds []*dv.Delta) []byte {
 }
 
 // decodeDeltas parses a frame body produced by appendDeltas. It rejects
-// truncated bodies, negative headers, and windows that do not fit an
-// int32 column range.
+// truncated bodies, negative headers, windows that do not fit an int32
+// column range, frontier sections wider than the window, and frontier
+// sections on an unaligned window (bit positions would not line up with
+// window offsets, so a masked sweep could skip live columns).
 func decodeDeltas(body []byte) ([]*dv.Delta, error) {
 	var out []*dv.Delta
 	for len(body) > 0 {
-		if len(body) < 12 {
+		if len(body) < 16 {
 			return nil, fmt.Errorf("transport: truncated delta header (%d bytes left)", len(body))
 		}
 		owner := int32(binary.LittleEndian.Uint32(body[0:]))
 		lo := int32(binary.LittleEndian.Uint32(body[4:]))
 		count := int32(binary.LittleEndian.Uint32(body[8:]))
-		body = body[12:]
+		fwords := int32(binary.LittleEndian.Uint32(body[12:]))
+		body = body[16:]
 		if owner < 0 || lo < 0 || count < 0 || int64(lo)+int64(count) > int64(1)<<31-1 {
 			return nil, fmt.Errorf("transport: invalid delta header owner=%d lo=%d count=%d", owner, lo, count)
 		}
-		if int64(len(body)) < int64(count)*4 {
-			return nil, fmt.Errorf("transport: truncated delta body (%d distances claimed, %d bytes left)", count, len(body))
+		if fwords < 0 || int64(fwords) > (int64(count)+63)>>6 || (fwords > 0 && lo&63 != 0) {
+			return nil, fmt.Errorf("transport: invalid delta frontier lo=%d count=%d fwords=%d", lo, count, fwords)
+		}
+		if int64(len(body)) < int64(count)*4+int64(fwords)*8 {
+			return nil, fmt.Errorf("transport: truncated delta body (%d distances + %d frontier words claimed, %d bytes left)", count, fwords, len(body))
 		}
 		d := &dv.Delta{Owner: owner, Lo: lo, D: make([]graph.Dist, count)}
 		for i := range d.D {
 			d.D[i] = graph.Dist(binary.LittleEndian.Uint32(body[i*4:]))
 		}
 		body = body[count*4:]
+		if fwords > 0 {
+			d.F = make(kernel.Bitset, fwords)
+			for i := range d.F {
+				d.F[i] = binary.LittleEndian.Uint64(body[i*8:])
+			}
+			body = body[fwords*8:]
+		}
 		out = append(out, d)
 	}
 	return out, nil

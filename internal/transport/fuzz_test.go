@@ -7,6 +7,7 @@ import (
 
 	"anytime/internal/dv"
 	"anytime/internal/graph"
+	"anytime/internal/kernel"
 )
 
 // FuzzDeltaCodec fuzzes the boundary-DV wire codec end to end: arbitrary
@@ -26,6 +27,8 @@ func FuzzDeltaCodec(f *testing.F) {
 		wide.D[i] = graph.Dist(i % 97)
 	}
 	seed([]*dv.Delta{wide, {Owner: 8, Lo: 511, D: []graph.Dist{graph.InfDist}}})
+	masked := &dv.Delta{Owner: 4, Lo: 64, D: make([]graph.Dist, 70), F: kernel.Bitset{0xdeadbeef, 1}} // frontier words
+	seed([]*dv.Delta{masked})
 	f.Add([]byte{0x0c, 0x00, 0x00, 0x00}) // truncated header
 	f.Add(bytes.Repeat([]byte{0xff}, 40)) // negative headers
 
@@ -44,8 +47,8 @@ func FuzzDeltaCodec(f *testing.F) {
 			t.Fatalf("EncodedDeltaBytes = %d, encoded %d", EncodedDeltaBytes(ds), len(enc))
 		}
 		for _, d := range ds {
-			if d.WireBytes() != 12+4*len(d.D) {
-				t.Fatalf("WireBytes = %d for %d distances", d.WireBytes(), len(d.D))
+			if d.WireBytes() != 16+4*len(d.D)+8*len(d.F) {
+				t.Fatalf("WireBytes = %d for %d distances + %d frontier words", d.WireBytes(), len(d.D), len(d.F))
 			}
 		}
 		// Frame the payload and verify corrupt-frame rejection: flipping a

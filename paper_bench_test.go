@@ -1,0 +1,42 @@
+// The paper-scale benchmark tier: the full n=50,000 / P=16 testbed of the
+// source paper, opt-in because one trajectory allocates a ~50,000² distance
+// matrix (~20 GB) and runs for minutes. Gated behind AA_PAPER_BENCH so
+// `go test -bench .` and the bench-json archive stay laptop-safe; run it
+// via the bench-paper Makefile target.
+package anytime_test
+
+import (
+	"os"
+	"testing"
+
+	"anytime/internal/harness"
+)
+
+func BenchmarkPaperScale(b *testing.B) {
+	if os.Getenv("AA_PAPER_BENCH") == "" {
+		b.Skip("paper-scale tier is opt-in: set AA_PAPER_BENCH=1 (make bench-paper)")
+	}
+	b.ReportAllocs()
+	var absorbWall, absorbVirt, steps float64
+	for i := 0; i < b.N; i++ {
+		r, err := harness.Paper(harness.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Series 0/1 are per-step wall/virtual ms of the absorption cascade
+		// (the measured quantity; the oracle-seeded warm start is setup).
+		for _, y := range r.Series[0].Y {
+			absorbWall += y
+		}
+		for _, y := range r.Series[1].Y {
+			absorbVirt += y
+		}
+		steps += float64(len(r.Series[0].Y))
+		for _, n := range r.Notes {
+			b.Log(n)
+		}
+	}
+	b.ReportMetric(absorbWall/float64(b.N), "absorb-ms/op")
+	b.ReportMetric(absorbVirt/float64(b.N), "virt-ms/op")
+	b.ReportMetric(steps/float64(b.N), "rc-steps/op")
+}
