@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build test vet race chaos chaos-cluster bench bench-json bench-compare bench-paper obs-check transport-check clean
+.PHONY: check build test vet race chaos chaos-cluster bench bench-json bench-compare bench-paper obs-check obs-cluster-check transport-check clean
 
-check: build test vet race transport-check chaos-cluster
+check: build test vet race transport-check chaos-cluster obs-cluster-check
 
 build:
 	$(GO) build ./...
@@ -81,6 +81,16 @@ transport-check:
 obs-check:
 	$(GO) vet ./...
 	$(GO) test -run 'ZeroAlloc|NilTracer' -count=1 ./internal/obs ./internal/core
+
+# Cluster observability gate: the rank hot path's zero-alloc telemetry
+# contract, the Prometheus text parse/merge/aggregate layer (including a
+# rank dying mid-scrape), deterministic multi-file trace merging, and the
+# acceptance test — three real OS processes each serving /metrics, scraped
+# into one well-formed merged exposition with live cross-rank series.
+obs-cluster-check:
+	$(GO) test -run 'TestRankTelemetryZeroAlloc' -count=1 ./internal/rank
+	$(GO) test -count=1 ./internal/obs
+	$(GO) test -run 'TestClusterScrapeMergedMetrics|TestRunnerTelemetrySnapshot' -count=1 ./internal/rank
 
 clean:
 	$(GO) clean ./...

@@ -15,10 +15,20 @@
 //
 //	aacluster -launch -p 3 -n 2000 -verify
 //
-// A manifest file (lines of "<rank> <host:port>", # comments) replaces
-// -peers for static deployments:
+// A manifest file (lines of "<rank> <host:port> [obs-host:port]", #
+// comments) replaces -peers for static deployments; the optional third
+// column declares the rank's observability port (equivalent to -obs):
 //
 //	aacluster -rank 2 -manifest cluster.manifest -n 50000
+//
+// Every rank can serve its own observability plane — Prometheus /metrics,
+// /trace.jsonl, and (with -pprof) /debug/pprof — on -obs. In launch mode
+// obs ports are assigned automatically and -metrics serves the *merged*
+// cluster view instead: every per-rank series re-labeled with rank="i"
+// plus computed cross-rank series (aa_cluster_ranks_up, aa_step_imbalance,
+// outage-episode counters), tolerant of ranks dying mid-scrape:
+//
+//	aacluster -launch 3 -n 2000 -metrics :9090 -trace-dir ./traces
 //
 // The calibrate mode measures the real transport's LogP parameters
 // (o, g, L) with ping-pong and burst round trips between ranks 0 and 1
@@ -29,14 +39,21 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/exec"
+	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"anytime/internal/change"
@@ -68,7 +85,14 @@ func main() {
 		calOut    = flag.String("calibrate-out", "", "rank 0: write the calibration JSON here (feed to aaexperiments -model)")
 		verify    = flag.Bool("verify", false, "rank 0: check the result against the exact oracle")
 		out       = flag.String("out", "", "rank 0: write the distance matrix (text) here")
-		metrics   = flag.String("metrics", "", "serve aa_transport_*/aa_rank_* metrics on this address (e.g. :9090)")
+		metrics   = flag.String("metrics", "", "serve metrics on this address (with -launch: the merged cluster view)")
+
+		obsFlag        = flag.String("obs", "", "serve this rank's obs plane (/metrics, /trace.jsonl) on this address (auto-assigned with -launch; manifest column 3 also sets it)")
+		pprofFlag      = flag.Bool("pprof", false, "expose /debug/pprof on the rank obs server")
+		trace          = flag.String("trace", "", "write this rank's span trace (JSONL) here, flushed periodically, on exit, and on SIGTERM")
+		traceDir       = flag.String("trace-dir", "", "with -launch: write per-rank traces into this directory (rank<i>.jsonl; merge with aatrace -merge)")
+		logFormat      = flag.String("log-format", "", "structured log format: text or json (default: no structured logs)")
+		scrapeInterval = flag.Duration("scrape-interval", 2*time.Second, "with -launch -metrics: background scrape cadence of the merged aggregator")
 
 		hbInterval   = flag.Duration("hb-interval", 0, "heartbeat interval (0 disables failure detection)")
 		hbTimeout    = flag.Duration("hb-timeout", 0, "silence after which a peer is down (default 4x -hb-interval)")
@@ -81,12 +105,16 @@ func main() {
 		supervise    = flag.Bool("supervise", false, "with -launch: relaunch a crashed rank (with -rejoin) after backoff")
 		events       = flag.Int("events", 0, "rank 0: stream a dynamic vertex batch of this size into the run")
 	)
-	flag.Parse()
+	flag.CommandLine.Parse(normalizeArgs(os.Args[1:]))
 
 	if *launch {
-		os.Exit(launchMesh(*procs, *calibrate, *supervise, *hbInterval))
+		os.Exit(launchMesh(launchOpts{
+			p: *procs, calibrate: *calibrate, supervise: *supervise,
+			hbInterval: *hbInterval, metrics: *metrics,
+			traceDir: *traceDir, scrape: *scrapeInterval,
+		}))
 	}
-	peers, err := loadPeers(*peersFlag, *manifest)
+	peers, manifestObs, err := loadPeers(*peersFlag, *manifest)
 	if err != nil {
 		fatal(err)
 	}
@@ -104,9 +132,55 @@ func main() {
 		fatal(fmt.Errorf("joining mesh: %w", err))
 	}
 	defer tr.Close()
+
+	var logger *slog.Logger
+	if *logFormat != "" {
+		if logger, err = obs.NewLogger(os.Stderr, *logFormat); err != nil {
+			fatal(err)
+		}
+	}
+	obsAddr := *obsFlag
+	if obsAddr == "" && *rankID < len(manifestObs) {
+		obsAddr = manifestObs[*rankID]
+	}
+	if obsAddr == "" {
+		obsAddr = *metrics // pre-obs-plane spelling of the same thing
+	}
+	var tracer *obs.Tracer
+	if *trace != "" || obsAddr != "" {
+		tracer = obs.NewTracer(0)
+	}
+	flushTrace := func() {
+		if *trace == "" {
+			return
+		}
+		if err := obs.WriteJSONLFile(*trace, tracer.Spans()); err != nil {
+			fmt.Fprintf(os.Stderr, "aacluster: trace flush: %v\n", err)
+		}
+	}
+	if *trace != "" {
+		// The supervised-shutdown contract: a SIGTERM (what the launch
+		// parent forwards on Ctrl-C) still finalizes the trace atomically.
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+		go func() {
+			<-sig
+			flushTrace()
+			os.Exit(143)
+		}()
+	}
 	var reg *obs.Registry
-	if *metrics != "" {
-		reg = serveMetrics(*metrics, tr)
+	if obsAddr != "" {
+		reg = obs.NewRegistry()
+		transport.RegisterMetrics(reg, tr, "tcp")
+		srv, err := rank.ServeObs(obsAddr, reg, tracer, *pprofFlag)
+		if err != nil {
+			fatal(fmt.Errorf("obs server: %w", err))
+		}
+		defer srv.Close()
+		if logger != nil {
+			logger.Info("obs server up", "rank", tr.Rank(), "addr", srv.Addr())
+		}
 	}
 
 	if *calibrate {
@@ -136,6 +210,14 @@ func main() {
 		Graph: g, Seed: *seed, Workers: *workers, TileSize: *tile, MaxSteps: *steps,
 		ShardDir: *shardDir, ShardEvery: *shardEvery,
 		MinSteps: *minSteps, StepThrottle: *stepThrottle, RejoinWait: *rejoinWait,
+		Obs: tracer, Log: logger,
+	}
+	if *trace != "" {
+		cfg.StepHook = func(tm rank.Telemetry) {
+			if tm.Step%32 == 0 {
+				flushTrace()
+			}
+		}
 	}
 	start := time.Now()
 	var r *rank.Runner
@@ -160,6 +242,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	flushTrace()
 	elapsed := time.Since(start)
 	st, ts := r.Stats(), tr.Stats()
 	fmt.Printf("rank %d/%d: converged in %d steps, %v (setup %v); ia=%d relax=%d reships=%d events=%d; sent %d msgs / %d B, recv %d msgs / %d B, reconnects=%d retries=%d\n",
@@ -213,67 +296,178 @@ func main() {
 	}
 }
 
-// launchMesh reserves P localhost ports and re-execs this binary once per
-// rank, forwarding every non-launch flag. With supervise, a rank that dies
-// mid-run is relaunched after a backoff with -rejoin, re-entering the mesh
-// through the liveness plane (which supervision therefore forces on). It
-// returns the exit code.
-func launchMesh(p int, calibrate, supervise bool, hbInterval time.Duration) int {
-	if p < 2 {
+// normalizeArgs lets "-launch 3" mean "-launch -p=3": a bare positive
+// integer right after -launch is rewritten into the -p flag.
+func normalizeArgs(args []string) []string {
+	out := make([]string, 0, len(args)+1)
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		out = append(out, a)
+		if (a == "-launch" || a == "--launch") && i+1 < len(args) {
+			if n, err := strconv.Atoi(args[i+1]); err == nil && n > 0 {
+				out = append(out, "-p="+strconv.Itoa(n))
+				i++
+			}
+		}
+	}
+	return out
+}
+
+// launchOpts is the launch-parent configuration carved out of the flags.
+type launchOpts struct {
+	p          int
+	calibrate  bool
+	supervise  bool
+	hbInterval time.Duration
+	metrics    string        // merged-aggregator listen address ("" disables)
+	traceDir   string        // per-rank trace directory ("" disables)
+	scrape     time.Duration // background aggregator scrape cadence
+}
+
+// launchMesh reserves P mesh ports plus P obs ports and re-execs this
+// binary once per rank, forwarding every non-launch flag and giving each
+// child its own -obs address. With supervise, a rank that dies mid-run is
+// relaunched after a backoff with -rejoin, re-entering the mesh through
+// the liveness plane (which supervision therefore forces on). With
+// metrics, the parent runs the cluster aggregator: it scrapes every live
+// rank, re-labels series with rank="i", and serves one merged /metrics
+// with the computed cross-rank series. SIGINT/SIGTERM is forwarded to the
+// children so their trace exporters finalize. It returns the exit code.
+func launchMesh(o launchOpts) int {
+	if o.p < 2 {
 		fmt.Fprintln(os.Stderr, "aacluster: -launch needs -p >= 2")
 		return 2
 	}
-	if calibrate {
-		p = maxInt(p, 2)
+	if o.calibrate {
+		o.p = maxInt(o.p, 2)
 	}
-	addrs, err := freePorts(p)
+	ports, err := freePorts(2 * o.p)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "aacluster: %v\n", err)
 		return 1
 	}
+	addrs, obsAddrs := ports[:o.p], ports[o.p:]
 	exe, err := os.Executable()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "aacluster: %v\n", err)
 		return 1
 	}
-	// Forward everything except the launch/supervision-mode flags.
+	if o.traceDir != "" {
+		if err := os.MkdirAll(o.traceDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "aacluster: %v\n", err)
+			return 1
+		}
+	}
+	// Forward everything except the launch/supervision-mode flags and the
+	// obs settings the parent assigns per rank.
 	var passthrough []string
 	skip := map[string]bool{
 		"launch": true, "p": true, "rank": true, "peers": true, "manifest": true,
 		"metrics": true, "supervise": true, "rejoin": true,
+		"obs": true, "trace": true, "trace-dir": true, "scrape-interval": true,
 	}
 	flag.Visit(func(f *flag.Flag) {
 		if !skip[f.Name] {
 			passthrough = append(passthrough, "-"+f.Name+"="+f.Value.String())
 		}
 	})
-	if supervise && hbInterval <= 0 {
+	if o.supervise && o.hbInterval <= 0 {
 		// A rejoin needs failure detection on every rank; default it on.
 		passthrough = append(passthrough, "-hb-interval=500ms")
 	}
-	spawn := func(r int, rejoin bool) (*exec.Cmd, error) {
+	var (
+		liveMu   sync.Mutex
+		live     = map[int]*exec.Cmd{}
+		shutdown atomic.Bool
+	)
+	spawn := func(r, attempt int, rejoin bool) (*exec.Cmd, error) {
 		args := append([]string{
 			"-rank=" + strconv.Itoa(r),
 			"-peers=" + strings.Join(addrs, ","),
+			"-obs=" + obsAddrs[r],
 		}, passthrough...)
+		if o.traceDir != "" {
+			// Relaunched generations get distinct files so aatrace -merge
+			// sees the pre-kill and post-rejoin segments side by side.
+			name := fmt.Sprintf("rank%d.jsonl", r)
+			if attempt > 0 {
+				name = fmt.Sprintf("rank%d.rejoin%d.jsonl", r, attempt)
+			}
+			args = append(args, "-trace="+filepath.Join(o.traceDir, name))
+		}
 		if rejoin {
 			args = append(args, "-rejoin")
 		}
 		cmd := exec.Command(exe, args...)
 		cmd.Stdout = prefixWriter(fmt.Sprintf("[rank %d] ", r), os.Stdout)
 		cmd.Stderr = prefixWriter(fmt.Sprintf("[rank %d] ", r), os.Stderr)
-		return cmd, cmd.Start()
+		if err := cmd.Start(); err != nil {
+			return nil, err
+		}
+		liveMu.Lock()
+		live[r] = cmd
+		liveMu.Unlock()
+		return cmd, nil
 	}
 	type exit struct {
 		rank int
 		err  error
 	}
-	exits := make(chan exit, p)
+	exits := make(chan exit, o.p)
 	watch := func(r int, cmd *exec.Cmd) {
-		go func() { exits <- exit{r, cmd.Wait()} }()
+		go func() {
+			err := cmd.Wait()
+			liveMu.Lock()
+			if live[r] == cmd {
+				delete(live, r)
+			}
+			liveMu.Unlock()
+			exits <- exit{r, err}
+		}()
 	}
-	for r := 0; r < p; r++ {
-		cmd, err := spawn(r, false)
+
+	// Forward a shutdown signal to every child: their trace exporters
+	// flush on SIGTERM, so Ctrl-C on the parent still finalizes traces.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, os.Interrupt)
+	defer signal.Stop(sigs)
+	go func() {
+		<-sigs
+		shutdown.Store(true)
+		liveMu.Lock()
+		for _, cmd := range live {
+			cmd.Process.Signal(syscall.SIGTERM)
+		}
+		liveMu.Unlock()
+	}()
+
+	if o.metrics != "" {
+		agg := obs.NewHTTPAggregator(obsAddrs, 2*time.Second)
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", agg)
+		ln, err := net.Listen("tcp", o.metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aacluster: merged metrics server: %v\n", err)
+			return 1
+		}
+		defer ln.Close()
+		go http.Serve(ln, mux)
+		if o.scrape > 0 {
+			// Keep scraping in the background so outage episodes are
+			// tracked even while no external scraper is attached.
+			ticker := time.NewTicker(o.scrape)
+			defer ticker.Stop()
+			go func() {
+				for range ticker.C {
+					agg.Scrape(context.Background())
+				}
+			}()
+		}
+		fmt.Printf("aacluster: merged cluster metrics on http://%s/metrics (%d ranks)\n", ln.Addr(), o.p)
+	}
+
+	for r := 0; r < o.p; r++ {
+		cmd, err := spawn(r, 0, false)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "aacluster: starting rank %d: %v\n", r, err)
 			return 1
@@ -281,18 +475,18 @@ func launchMesh(p int, calibrate, supervise bool, hbInterval time.Duration) int 
 		watch(r, cmd)
 	}
 	const maxRestarts = 3
-	restarts := make([]int, p)
-	code, running := 0, p
+	restarts := make([]int, o.p)
+	code, running := 0, o.p
 	for running > 0 {
 		e := <-exits
 		// Rank 0 coordinates votes and rejoins; its death ends the run.
-		if e.err != nil && supervise && e.rank != 0 && restarts[e.rank] < maxRestarts {
+		if e.err != nil && o.supervise && !shutdown.Load() && e.rank != 0 && restarts[e.rank] < maxRestarts {
 			restarts[e.rank]++
 			backoff := time.Duration(restarts[e.rank]) * 500 * time.Millisecond
 			fmt.Fprintf(os.Stderr, "aacluster: rank %d died (%v); relaunching with -rejoin in %v (attempt %d/%d)\n",
 				e.rank, e.err, backoff, restarts[e.rank], maxRestarts)
 			time.Sleep(backoff)
-			cmd, err := spawn(e.rank, true)
+			cmd, err := spawn(e.rank, restarts[e.rank], true)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "aacluster: relaunching rank %d: %v\n", e.rank, err)
 				code = 1
@@ -302,7 +496,7 @@ func launchMesh(p int, calibrate, supervise bool, hbInterval time.Duration) int 
 			watch(e.rank, cmd)
 			continue
 		}
-		if e.err != nil {
+		if e.err != nil && !shutdown.Load() {
 			fmt.Fprintf(os.Stderr, "aacluster: rank %d: %v\n", e.rank, e.err)
 			code = 1
 		}
@@ -330,26 +524,31 @@ func demoBatch(n, k int, seed int64) change.Event {
 	return change.Event{Batch: b}
 }
 
-func loadPeers(inline, manifestPath string) ([]transport.Peer, error) {
+// loadPeers resolves the mesh membership from -peers or a manifest file.
+// Manifest lines are "<rank> <host:port>" with an optional third column
+// declaring the rank's observability address; the second return value maps
+// rank -> obs address ("" where undeclared).
+func loadPeers(inline, manifestPath string) ([]transport.Peer, []string, error) {
 	if inline != "" && manifestPath != "" {
-		return nil, fmt.Errorf("use -peers or -manifest, not both")
+		return nil, nil, fmt.Errorf("use -peers or -manifest, not both")
 	}
 	if inline != "" {
 		var peers []transport.Peer
 		for i, addr := range strings.Split(inline, ",") {
 			peers = append(peers, transport.Peer{Rank: i, Addr: strings.TrimSpace(addr)})
 		}
-		return peers, nil
+		return peers, nil, nil
 	}
 	if manifestPath == "" {
-		return nil, fmt.Errorf("no mesh: pass -peers or -manifest (or -launch)")
+		return nil, nil, fmt.Errorf("no mesh: pass -peers or -manifest (or -launch)")
 	}
 	f, err := os.Open(manifestPath)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer f.Close()
 	var peers []transport.Peer
+	var obsAddrs []string
 	sc := bufio.NewScanner(f)
 	for line := 1; sc.Scan(); line++ {
 		text := strings.TrimSpace(sc.Text())
@@ -357,19 +556,25 @@ func loadPeers(inline, manifestPath string) ([]transport.Peer, error) {
 			continue
 		}
 		fields := strings.Fields(text)
-		if len(fields) != 2 {
-			return nil, fmt.Errorf("%s:%d: want \"<rank> <host:port>\", got %q", manifestPath, line, text)
+		if len(fields) != 2 && len(fields) != 3 {
+			return nil, nil, fmt.Errorf("%s:%d: want \"<rank> <host:port> [obs-host:port]\", got %q", manifestPath, line, text)
 		}
 		r, err := strconv.Atoi(fields[0])
 		if err != nil {
-			return nil, fmt.Errorf("%s:%d: bad rank: %w", manifestPath, line, err)
+			return nil, nil, fmt.Errorf("%s:%d: bad rank: %w", manifestPath, line, err)
 		}
 		peers = append(peers, transport.Peer{Rank: r, Addr: fields[1]})
+		for r >= len(obsAddrs) {
+			obsAddrs = append(obsAddrs, "")
+		}
+		if len(fields) == 3 {
+			obsAddrs[r] = fields[2]
+		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return peers, nil
+	return peers, obsAddrs, nil
 }
 
 func buildGraph(n, m int, seed int64) (*graph.Graph, error) {
@@ -417,22 +622,6 @@ func writeDistances(path string, dist [][]graph.Dist) error {
 		return err
 	}
 	return f.Close()
-}
-
-func serveMetrics(addr string, tr transport.Transport) *obs.Registry {
-	reg := obs.NewRegistry()
-	transport.RegisterMetrics(reg, tr, "tcp")
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		reg.WriteTo(w)
-	})
-	go func() {
-		if err := http.ListenAndServe(addr, mux); err != nil {
-			fmt.Fprintf(os.Stderr, "aacluster: metrics server: %v\n", err)
-		}
-	}()
-	return reg
 }
 
 func freePorts(n int) ([]string, error) {

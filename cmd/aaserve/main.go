@@ -51,6 +51,7 @@ func main() {
 		ckpt    = flag.String("checkpoint", "", "checkpoint path (restored at start if present, written on shutdown)")
 		traceF  = flag.String("trace", "", "record phase-level spans and write them (JSONL) to this file on shutdown; convert with aatrace")
 		pprofF  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		logFmt  = flag.String("log-format", "", "structured driver logs: text or json (default: no structured logs)")
 	)
 	flag.Parse()
 	fail := func(err error) {
@@ -72,12 +73,18 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	srv, err := anytime.NewServer(e, anytime.ServeConfig{
+	cfg := anytime.ServeConfig{
 		PublishEvery:   *publish,
 		QueueCapacity:  *queue,
 		TopKIndex:      *topkIdx,
 		CheckpointPath: *ckpt,
-	})
+	}
+	if *logFmt != "" {
+		if cfg.Log, err = obs.NewLogger(os.Stderr, *logFmt); err != nil {
+			fail(err)
+		}
+	}
+	srv, err := anytime.NewServer(e, cfg)
 	if err != nil {
 		fail(err)
 	}
@@ -126,15 +133,9 @@ func main() {
 		fmt.Printf("aaserve: checkpoint written to %s\n", *ckpt)
 	}
 	if tracer != nil {
-		f, err := os.Create(*traceF)
-		if err != nil {
-			fail(err)
-		}
-		if err := obs.WriteJSONL(f, tracer.Spans()); err != nil {
-			f.Close()
-			fail(err)
-		}
-		if err := f.Close(); err != nil {
+		// Atomic finalize (temp file + fsync + rename): a reader never
+		// observes a half-written trace, even if shutdown is interrupted.
+		if err := obs.WriteJSONLFile(*traceF, tracer.Spans()); err != nil {
 			fail(err)
 		}
 		fmt.Printf("aaserve: %d spans written to %s (%d dropped by the ring)\n",

@@ -13,6 +13,14 @@
 // The -clock flag picks which time base the Chrome timeline uses: "wall"
 // (real time inside the engine) or "virtual" (the simulated LogP cluster
 // time — the paper's cost model). Summaries always show both.
+//
+// Merge mode stitches N per-rank trace files (aacluster -trace-dir) into
+// one step-aligned distributed timeline, one lane per rank. Ranks' clocks
+// are aligned on their shared RC-step markers — the BSP step discipline
+// guarantees rc-step span starts coincide across ranks — so a
+// SIGKILL -> degraded -> rejoin sequence reads as one coherent timeline:
+//
+//	aatrace -merge -chrome cluster.json traces/rank0.jsonl traces/rank1.jsonl traces/rank2.jsonl
 package main
 
 import (
@@ -31,60 +39,106 @@ func main() {
 	var (
 		chrome = flag.String("chrome", "", "write a Chrome trace-event JSON file to this path")
 		clock  = flag.String("clock", "wall", "Chrome timeline time base: wall or virtual")
+		merge  = flag.Bool("merge", false, "merge N per-rank trace files into one step-aligned timeline, one lane per rank")
 	)
 	flag.Parse()
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "aatrace: %v\n", err)
 		os.Exit(1)
 	}
+	virtual := false
+	switch *clock {
+	case "wall":
+	case "virtual":
+		virtual = true
+	default:
+		fail(fmt.Errorf("unknown -clock %q (want wall or virtual)", *clock))
+	}
 
-	var in io.Reader = os.Stdin
-	name := "stdin"
-	if flag.NArg() > 1 {
-		fail(fmt.Errorf("at most one input file (got %d)", flag.NArg()))
-	}
-	if flag.NArg() == 1 {
-		f, err := os.Open(flag.Arg(0))
-		if err != nil {
-			fail(err)
+	var spans []obs.Span
+	byRank := false
+	if *merge {
+		if flag.NArg() < 1 {
+			fail(fmt.Errorf("-merge needs at least one per-rank trace file"))
 		}
-		defer f.Close()
-		in, name = f, flag.Arg(0)
-	}
-	spans, err := obs.ReadJSONL(in)
-	if err != nil {
-		fail(fmt.Errorf("reading %s: %w", name, err))
-	}
-	if len(spans) == 0 {
-		fail(fmt.Errorf("%s holds no spans", name))
+		files := make([][]obs.Span, 0, flag.NArg())
+		for _, path := range flag.Args() {
+			fs, err := readSpans(path)
+			if err != nil {
+				fail(err)
+			}
+			files = append(files, fs)
+		}
+		spans = obs.MergeTraces(files)
+		byRank = true
+		if len(spans) == 0 {
+			fail(fmt.Errorf("no spans across %d files", flag.NArg()))
+		}
+	} else {
+		var in io.Reader = os.Stdin
+		name := "stdin"
+		if flag.NArg() > 1 {
+			fail(fmt.Errorf("at most one input file without -merge (got %d)", flag.NArg()))
+		}
+		if flag.NArg() == 1 {
+			f, err := os.Open(flag.Arg(0))
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			in, name = f, flag.Arg(0)
+		}
+		var err error
+		spans, err = obs.ReadJSONL(in)
+		if err != nil {
+			fail(fmt.Errorf("reading %s: %w", name, err))
+		}
+		if len(spans) == 0 {
+			fail(fmt.Errorf("%s holds no spans", name))
+		}
 	}
 
 	if *chrome != "" {
-		virtual := false
-		switch *clock {
-		case "wall":
-		case "virtual":
-			virtual = true
-		default:
-			fail(fmt.Errorf("unknown -clock %q (want wall or virtual)", *clock))
-		}
 		f, err := os.Create(*chrome)
 		if err != nil {
 			fail(err)
 		}
-		if err := obs.WriteChromeTrace(f, spans, virtual); err != nil {
+		if byRank {
+			err = obs.WriteChromeTraceByRank(f, spans, virtual)
+		} else {
+			err = obs.WriteChromeTrace(f, spans, virtual)
+		}
+		if err != nil {
 			f.Close()
 			fail(err)
 		}
 		if err := f.Close(); err != nil {
 			fail(err)
 		}
-		fmt.Printf("aatrace: %d spans -> %s (%s clock); open in chrome://tracing or ui.perfetto.dev\n",
-			len(spans), *chrome, *clock)
+		lanes := "processor"
+		if byRank {
+			lanes = "rank"
+		}
+		fmt.Printf("aatrace: %d spans -> %s (%s clock, one lane per %s); open in chrome://tracing or ui.perfetto.dev\n",
+			len(spans), *chrome, *clock, lanes)
 		return
 	}
 
 	summarize(spans)
+}
+
+// readSpans loads one JSONL trace file.
+func readSpans(path string) ([]obs.Span, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	spans, err := obs.ReadJSONL(f)
+	if err != nil {
+		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	return spans, nil
 }
 
 // kindAgg aggregates one span kind.

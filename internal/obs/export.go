@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"time"
 )
 
@@ -14,6 +15,7 @@ import (
 type spanJSON struct {
 	Kind    string `json:"kind"`
 	Proc    int32  `json:"proc"`
+	Rank    int32  `json:"rank,omitempty"`
 	Step    int32  `json:"step"`
 	Wall    int64  `json:"wall_ns"`
 	WallDur int64  `json:"wall_dur_ns"`
@@ -30,6 +32,7 @@ func WriteJSONL(w io.Writer, spans []Span) error {
 		if err := enc.Encode(spanJSON{
 			Kind:    s.Kind.String(),
 			Proc:    s.Proc,
+			Rank:    s.Rank,
 			Step:    s.Step,
 			Wall:    int64(s.Wall),
 			WallDur: int64(s.WallDur),
@@ -67,6 +70,7 @@ func ReadJSONL(r io.Reader) ([]Span, error) {
 		out = append(out, Span{
 			Kind:    k,
 			Proc:    sj.Proc,
+			Rank:    sj.Rank,
 			Step:    sj.Step,
 			Wall:    time.Duration(sj.Wall),
 			WallDur: time.Duration(sj.WallDur),
@@ -130,6 +134,95 @@ func WriteChromeTrace(w io.Writer, spans []Span, virtualClock bool) error {
 			}
 		}
 		if err := enc.Encode(ev); err != nil { // Encode appends the newline
+			return err
+		}
+	}
+	if _, err := bw.WriteString("]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteJSONLFile writes the spans as JSONL to path atomically: the full
+// file is staged at path+".tmp", fsynced, and renamed into place, mirroring
+// the checkpoint/shard writers. A reader (or a supervisor collecting traces
+// after SIGKILL) therefore always sees either the previous complete trace
+// or the new one, never a torn file. Safe to call repeatedly — each call
+// replaces the file with the full span set, so periodic flushing bounds
+// how much a hard kill can lose without risking partial lines.
+func WriteJSONLFile(path string, spans []Span) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := WriteJSONL(f, spans); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// WriteChromeTraceByRank renders spans as a Chrome trace-event JSON array
+// with one process lane per rank: pid = Rank+1 (named "rank N" via
+// process_name metadata), tid = Proc+1 within the rank, so a merged
+// multi-rank trace (see MergeTraces) reads as N aligned lanes in
+// chrome://tracing or Perfetto. Clock semantics match WriteChromeTrace.
+func WriteChromeTraceByRank(w io.Writer, spans []Span, virtualClock bool) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("[\n"); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(bw)
+	first := true
+	emit := func(ev chromeEvent) error {
+		if !first {
+			if _, err := bw.WriteString(","); err != nil {
+				return err
+			}
+		}
+		first = false
+		return enc.Encode(ev) // Encode appends the newline
+	}
+	seen := map[int32]bool{}
+	for _, s := range spans {
+		if !seen[s.Rank] {
+			seen[s.Rank] = true
+			if err := emit(chromeEvent{
+				Name:  "process_name",
+				Phase: "M",
+				PID:   int(s.Rank) + 1,
+				Args:  map[string]any{"name": fmt.Sprintf("rank %d", s.Rank)},
+			}); err != nil {
+				return err
+			}
+		}
+		ts, dur := s.Wall, s.WallDur
+		if virtualClock {
+			ts, dur = s.Virt, s.VirtDur
+		}
+		if err := emit(chromeEvent{
+			Name:  s.Kind.String(),
+			Phase: "X",
+			TS:    float64(ts) / float64(time.Microsecond),
+			Dur:   float64(dur) / float64(time.Microsecond),
+			PID:   int(s.Rank) + 1,
+			TID:   int(s.Proc) + 1,
+			Args: map[string]any{
+				"step":  s.Step,
+				"value": s.Value,
+			},
+		}); err != nil {
 			return err
 		}
 	}

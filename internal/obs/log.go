@@ -1,0 +1,30 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// Log formats accepted by NewLogger (the -log-format flag values).
+const (
+	LogText = "text"
+	LogJSON = "json"
+)
+
+// NewLogger builds the structured logger the cluster binaries share:
+// log/slog with either a human-readable text handler or a JSON handler
+// (one object per line, machine-ingestable alongside the metrics plane).
+// Components attach their correlation attributes — rank, step, episode —
+// via logger.With, so a cluster-wide grep for `rank=2 episode=1` (or the
+// JSON equivalent) reconstructs one outage from N process logs.
+func NewLogger(w io.Writer, format string) (*slog.Logger, error) {
+	switch format {
+	case LogText, "":
+		return slog.New(slog.NewTextHandler(w, nil)), nil
+	case LogJSON:
+		return slog.New(slog.NewJSONHandler(w, nil)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want %s or %s)", format, LogText, LogJSON)
+	}
+}

@@ -63,6 +63,10 @@ const (
 	// KindRCFrontier is a per-step marker span for the frontier-masked
 	// kernels (Value = masked relax ops performed that step).
 	KindRCFrontier
+	// KindRCExchange is one rank's blocking boundary exchange of an RC step
+	// in the multi-process runtime: the wait for every peer's deltas and
+	// step-end markers (Value = messages received).
+	KindRCExchange
 
 	numKinds
 )
@@ -82,6 +86,7 @@ var kindNames = [numKinds]string{
 	KindFaultRetry:        "fault-retry",
 	KindChange:            "change",
 	KindRCFrontier:        "rc-frontier",
+	KindRCExchange:        "rc-exchange",
 }
 
 // String returns the stable wire name of the kind (used by the JSONL
@@ -106,9 +111,15 @@ func KindFromString(s string) (Kind, bool) {
 // Span is one recorded phase occurrence. Wall offsets are relative to the
 // tracer's epoch (its creation time); Virt offsets are the simulated LogP
 // cluster clock. Engine-wide spans use Proc == -1.
+//
+// Rank is the OS-process rank in the multi-process runtime (0 in the
+// in-process engine, where process == rank 0). Together with Step it is
+// the distributed-trace correlation key: cmd/aatrace aligns per-rank
+// trace files on matching (Rank, Step) rc-step spans.
 type Span struct {
 	Kind    Kind
 	Proc    int32 // processor, or -1 for engine-wide spans
+	Rank    int32 // OS-process rank in the multi-process runtime
 	Step    int32 // RC step counter at emission
 	Wall    time.Duration
 	WallDur time.Duration

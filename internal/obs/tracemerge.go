@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// MergeTraces merges per-rank JSONL traces (one span slice per file) into a
+// single timeline. Each rank's tracer has its own wall epoch (process start),
+// so raw Wall offsets are mutually meaningless; the BSP step discipline gives
+// the alignment instead: every rank emits one rc-step span per RC step, and
+// step K ends at the same barrier on every rank. MergeTraces therefore
+// shifts each file so its rc-step anchors line up with the anchors already
+// merged, anchored on the smallest shared step — which is exactly what makes
+// a SIGKILL→degraded→rejoin episode read as one timeline: the rejoined
+// process's trace (fresh epoch, step counter restored from the rejoin-go
+// payload) lands at the survivor ranks' wall position for that step.
+//
+// The result is deterministic in content, not argument order: input files
+// are processed in a canonical order derived from their spans (earliest
+// anchor step, then lowest rank), and the merged output is sorted by
+// (Wall, Rank, Proc, Step, Kind) with the timeline normalized to start at
+// zero. Files with no rc-step anchor (a rank killed before its first step
+// completed) merge unshifted relative to the normalized origin.
+func MergeTraces(files [][]Span) []Span {
+	type traceFile struct {
+		spans   []Span
+		anchors map[int32]time.Duration // step -> earliest rc-step span start
+		minStep int32
+		minRank int32
+	}
+	tfs := make([]traceFile, 0, len(files))
+	for _, spans := range files {
+		if len(spans) == 0 {
+			continue
+		}
+		tf := traceFile{spans: spans, anchors: map[int32]time.Duration{}, minStep: math.MaxInt32, minRank: math.MaxInt32}
+		for _, s := range spans {
+			if s.Rank < tf.minRank {
+				tf.minRank = s.Rank
+			}
+			if s.Kind != KindRCStep {
+				continue
+			}
+			if w, ok := tf.anchors[s.Step]; !ok || s.Wall < w {
+				tf.anchors[s.Step] = s.Wall
+			}
+			if s.Step < tf.minStep {
+				tf.minStep = s.Step
+			}
+		}
+		tfs = append(tfs, tf)
+	}
+	sort.SliceStable(tfs, func(i, j int) bool {
+		if tfs[i].minStep != tfs[j].minStep {
+			return tfs[i].minStep < tfs[j].minStep
+		}
+		return tfs[i].minRank < tfs[j].minRank
+	})
+
+	merged := map[int32]time.Duration{} // step -> merged-timeline anchor
+	var out []Span
+	for _, tf := range tfs {
+		// Align on the smallest step this file shares with the merged
+		// anchors; the first file (and anchorless files) shift by zero.
+		var offset time.Duration
+		bestStep := int32(math.MaxInt32)
+		for step := range tf.anchors {
+			if _, ok := merged[step]; ok && step < bestStep {
+				bestStep = step
+			}
+		}
+		if bestStep != math.MaxInt32 {
+			offset = merged[bestStep] - tf.anchors[bestStep]
+		}
+		for step, w := range tf.anchors {
+			if _, ok := merged[step]; !ok {
+				merged[step] = w + offset
+			}
+		}
+		for _, s := range tf.spans {
+			s.Wall += offset
+			out = append(out, s)
+		}
+	}
+
+	// Normalize the merged timeline to start at zero and fix a canonical
+	// span order so repeated merges of the same traces are byte-identical.
+	var min time.Duration = math.MaxInt64
+	for _, s := range out {
+		if s.Wall < min {
+			min = s.Wall
+		}
+	}
+	for i := range out {
+		out[i].Wall -= min
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Wall != b.Wall {
+			return a.Wall < b.Wall
+		}
+		if a.Rank != b.Rank {
+			return a.Rank < b.Rank
+		}
+		if a.Proc != b.Proc {
+			return a.Proc < b.Proc
+		}
+		if a.Step != b.Step {
+			return a.Step < b.Step
+		}
+		return a.Kind < b.Kind
+	})
+	return out
+}

@@ -105,6 +105,10 @@ func (r *Runner) drainLiveness() {
 				r.rejoinDeadline = time.Now().Add(r.cfg.RejoinWait)
 			}
 			r.span(obs.KindCrash, ev.Rank, 0)
+			if r.slog != nil {
+				r.slog.Warn("peer down", "rank", r.t.Rank(), "peer", ev.Rank,
+					"step", r.stats.Steps, "episode", r.outages+1)
+			}
 		case transport.LiveRejoin:
 			// Activation already handled in applyDecision (stats + marks);
 			// the event is the transport echoing it back.
@@ -118,7 +122,8 @@ func (r *Runner) span(kind obs.Kind, proc int, value int64) {
 	if !tr.Enabled() {
 		return
 	}
-	tr.Record(obs.Span{Kind: kind, Proc: int32(proc), Step: int32(r.stats.Steps), Wall: tr.Now(), Value: value})
+	tr.Record(obs.Span{Kind: kind, Proc: int32(proc), Rank: int32(r.t.Rank()),
+		Step: int32(r.stats.Steps), Wall: tr.Now(), Value: value})
 }
 
 // voteConvergence is the "no more updates in any processor" allreduce,
@@ -271,9 +276,14 @@ func (r *Runner) applyDecision(decision []byte) (bool, error) {
 	}
 	if flags&decDegraded != 0 && !r.degraded {
 		r.degraded = true
+		r.outages++
 		r.stats.DegradedConvergences++
 		r.downSeen = r.DownProcs()
 		r.span(obs.KindCrash, -1, int64(len(r.downSeen)))
+		if r.slog != nil {
+			r.slog.Warn("degraded convergence", "rank", r.t.Rank(), "step", r.stats.Steps,
+				"episode", r.outages, "down", fmt.Sprint(r.downSeen))
+		}
 	}
 	var activated []int
 	for q := 0; q < P; q++ {
@@ -289,6 +299,10 @@ func (r *Runner) applyDecision(decision []byte) (bool, error) {
 		r.stats.Rejoins++
 		r.rejoinsN.Add(1)
 		r.span(obs.KindRejoin, q, 0)
+		if r.slog != nil {
+			r.slog.Info("peer rejoined", "rank", r.t.Rank(), "peer", q,
+				"step", r.stats.Steps, "episode", r.outages)
+		}
 	}
 	if !anyDown && len(activated) > 0 {
 		r.degraded = false
@@ -384,7 +398,11 @@ func (r *Runner) writeShard() {
 	path := r.shardPath()
 	tmp := path + ".tmp"
 	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
-		return // shard is an optimization; the IA fallback covers a miss
+		// The shard is an optimization; the IA fallback covers a miss.
+		if r.slog != nil {
+			r.slog.Warn("shard write failed", "rank", r.t.Rank(), "step", r.stats.Steps, "err", err)
+		}
+		return
 	}
 	_ = os.Rename(tmp, path)
 }
@@ -440,11 +458,19 @@ func Rejoin(t transport.Transport, cfg Config) (*Runner, error) {
 		return nil, fmt.Errorf("rank %d: malformed rejoin payload (%d bytes)", t.Rank(), len(payload))
 	}
 	wantSum := getU64(payload)
+	coordSteps := getU64(payload[8:])
 	journal, err := transport.DecodeEvents(payload[16:])
 	if err != nil {
 		return nil, fmt.Errorf("rank %d: rejoin journal: %w", t.Rank(), err)
 	}
 	r := newRunner(t, cfg, g, part)
+	// Adopt the coordinator's step counter: the rejoiner's span step IDs,
+	// step-reporter gossip, and shard headers line up with the survivors',
+	// so a merged trace reads the outage as one timeline.
+	r.stats.Steps = int(coordSteps)
+	if r.stepper != nil {
+		r.stepper.MarkStep(int64(r.stats.Steps))
+	}
 	if err := r.log.Replay(g, part, journal); err != nil {
 		return nil, fmt.Errorf("rank %d: %w", t.Rank(), err)
 	}
@@ -482,5 +508,9 @@ func Rejoin(t transport.Transport, cfg Config) (*Runner, error) {
 	r.rs.MarkAllShipAll()
 	r.rejoinsN.Add(1)
 	r.span(obs.KindRejoin, t.Rank(), 1)
+	if r.slog != nil {
+		r.slog.Info("rejoined computation", "rank", t.Rank(), "step", r.stats.Steps,
+			"shard_restored", !fresh, "journal_events", len(journal))
+	}
 	return r, nil
 }

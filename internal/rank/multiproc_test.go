@@ -6,13 +6,16 @@ import (
 	"net"
 	"os"
 	"os/exec"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 
 	"anytime/internal/graph"
+	"anytime/internal/obs"
 	"anytime/internal/transport"
 )
 
@@ -87,6 +90,38 @@ func childMain() int {
 		StepThrottle: envDur("AA_STEP_THROTTLE"),
 		RejoinWait:   envDur("AA_REJOIN_WAIT"),
 	}
+	// Observability plane (mirrors what aacluster wires for launched
+	// ranks): a tracer behind AA_TRACE with periodic + final atomic JSONL
+	// flushes, a per-rank obs HTTP server behind AA_OBS_ADDR, and
+	// structured logs behind AA_LOG_FORMAT.
+	var tracer *obs.Tracer
+	tracePath := os.Getenv("AA_TRACE")
+	obsAddr := os.Getenv("AA_OBS_ADDR")
+	if tracePath != "" || obsAddr != "" {
+		tracer = obs.NewTracer(0)
+		cfg.Obs = tracer
+	}
+	if tracePath != "" {
+		cfg.StepHook = func(tm Telemetry) {
+			if tm.Step%16 == 0 {
+				obs.WriteJSONLFile(tracePath, tracer.Spans())
+			}
+		}
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+		go func() {
+			<-sig
+			obs.WriteJSONLFile(tracePath, tracer.Spans())
+			os.Exit(143)
+		}()
+	}
+	if format := os.Getenv("AA_LOG_FORMAT"); format != "" {
+		logger, err := obs.NewLogger(os.Stderr, format)
+		if err != nil {
+			return fail(err)
+		}
+		cfg.Log = logger
+	}
 	var r *Runner
 	if rejoining {
 		r, err = Rejoin(tr, cfg)
@@ -96,6 +131,16 @@ func childMain() int {
 	if err != nil {
 		return fail(err)
 	}
+	if obsAddr != "" {
+		reg := obs.NewRegistry()
+		RegisterMetrics(reg, r)
+		transport.RegisterMetrics(reg, tr, "tcp")
+		srv, err := ServeObs(obsAddr, reg, tracer, os.Getenv("AA_PPROF") == "1")
+		if err != nil {
+			return fail(fmt.Errorf("obs server: %w", err))
+		}
+		defer srv.Close()
+	}
 	if rankID == 0 && !rejoining && os.Getenv("AA_EVENTS") == "1" {
 		if err := r.QueueEvents(testEvents(n)...); err != nil {
 			return fail(err)
@@ -103,6 +148,11 @@ func childMain() int {
 	}
 	if _, err := r.Run(); err != nil {
 		return fail(err)
+	}
+	if tracePath != "" {
+		if err := obs.WriteJSONLFile(tracePath, tracer.Spans()); err != nil {
+			return fail(fmt.Errorf("trace flush: %w", err))
+		}
 	}
 	dist, err := r.GatherDistances()
 	if err != nil {

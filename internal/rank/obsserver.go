@@ -1,0 +1,57 @@
+package rank
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"anytime/internal/obs"
+)
+
+// ObsServer is one rank's local observability export: /metrics (Prometheus
+// text), /trace.jsonl (the tracer's retained spans), and optionally
+// /debug/pprof. Every rank process serves its own on the obs port declared
+// in the mesh manifest; the aacluster aggregator scrapes and merges them.
+type ObsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeObs starts the export server on addr (":0" picks a free port; Addr
+// reports the bound address). reg and tracer may be nil — the matching
+// endpoints then serve empty bodies, keeping scrape loops simple.
+func ServeObs(addr string, reg *obs.Registry, tracer *obs.Tracer, enablePprof bool) (*ObsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if reg != nil {
+			reg.WriteTo(w)
+		}
+	})
+	mux.HandleFunc("/trace.jsonl", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/jsonl")
+		if tracer != nil {
+			obs.WriteJSONL(w, tracer.Spans())
+		}
+	})
+	if enablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	s := &ObsServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (host:port).
+func (s *ObsServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *ObsServer) Close() error { return s.srv.Close() }

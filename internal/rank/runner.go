@@ -13,6 +13,8 @@ package rank
 
 import (
 	"fmt"
+	"log/slog"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -66,8 +68,19 @@ type Config struct {
 	// convergence). Only rank 0's clock is consulted, so every rank stops
 	// on the same decision.
 	RejoinWait time.Duration
-	// Obs records crash/rejoin spans on this tracer (nil-safe).
+	// Obs records crash/rejoin spans on this tracer (nil-safe). When set,
+	// Step also records per-phase spans (ship, exchange, relax, whole
+	// step), each stamped with this rank and the RC step ID — the raw
+	// material of the cluster-merged distributed trace.
 	Obs *obs.Tracer
+	// Log receives structured liveness/step events (peer deaths, degraded
+	// entries, rejoins, shard failures) with rank/step/episode attributes;
+	// nil disables logging.
+	Log *slog.Logger
+	// StepHook, when set, is invoked at the end of every Step with the
+	// fresh telemetry snapshot — the periodic trace-flush and test hook.
+	// It runs on the step loop; keep it cheap.
+	StepHook func(Telemetry)
 }
 
 func (c Config) withDefaults() Config {
@@ -135,6 +148,17 @@ type Runner struct {
 	// rejoinsN mirrors Stats.Rejoins for concurrent readers (the metrics
 	// scrape goroutine must not touch stats).
 	rejoinsN atomic.Int64
+
+	// Observability plane: the optional step reporter gossips this rank's
+	// RC step to peers (heartbeat piggyback over TCP); telem is the
+	// scrape-safe snapshot refreshed each step under tmu.
+	stepper       transport.StepReporter
+	slog          *slog.Logger
+	busyTotal     time.Duration
+	degradedSteps int
+	outages       int
+	tmu           sync.Mutex
+	telem         Telemetry
 }
 
 // New runs the DD and IA phases for this process's rank: partition the
@@ -183,8 +207,10 @@ func newRunner(t transport.Transport, cfg Config, g *graph.Graph, part *graph.Pa
 	r := &Runner{t: t, cfg: cfg, g: g, part: part,
 		log:  core.NewEventLog(t.Size()),
 		down: make([]bool, t.Size()),
+		slog: cfg.Log,
 	}
 	r.live, _ = transport.AsLiveness(t)
+	r.stepper, _ = transport.AsStepReporter(t)
 	return r
 }
 
@@ -260,8 +286,15 @@ func partChecksum(p *graph.Partition) uint64 {
 // recovery shard, and vote on convergence. It returns true while more
 // steps are needed.
 func (r *Runner) Step() (bool, error) {
+	tr := r.cfg.Obs
+	rank := int32(r.t.Rank())
+	stepID := int32(r.stats.Steps)
+	stepW := tr.Now()
+	stepStart := time.Now()
+
 	groups, _ := r.rs.ShipDeltas()
 	var out []transport.Message
+	shipBytes := 0
 	for q, deltas := range groups {
 		if len(deltas) == 0 {
 			continue
@@ -273,10 +306,12 @@ func (r *Runner) Step() (bool, error) {
 			// MarkRejoinShipAll re-ships everything the rank missed.
 			continue
 		}
+		n := transport.EncodedDeltaBytes(deltas)
+		shipBytes += n
 		out = append(out, transport.Message{
 			To:      q,
 			Tag:     transport.TagBoundaryDV,
-			Bytes:   transport.EncodedDeltaBytes(deltas),
+			Bytes:   n,
 			Payload: deltas,
 		})
 	}
@@ -284,9 +319,21 @@ func (r *Runner) Step() (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	shipDur := time.Since(stepStart)
+	if tr.Enabled() {
+		tr.Record(obs.Span{Kind: obs.KindRCShip, Proc: rank, Rank: rank, Step: stepID,
+			Wall: stepW, WallDur: shipDur, Value: int64(shipBytes)})
+	}
+
+	exW := tr.Now()
+	exStart := time.Now()
 	in, err := r.t.Exchange(out)
 	if err != nil {
 		return false, fmt.Errorf("rank %d: exchange: %w", r.t.Rank(), err)
+	}
+	if tr.Enabled() {
+		tr.Record(obs.Span{Kind: obs.KindRCExchange, Proc: rank, Rank: rank, Step: stepID,
+			Wall: exW, WallDur: time.Since(exStart), Value: int64(len(in))})
 	}
 	ext := r.carry
 	r.carry = nil
@@ -301,7 +348,16 @@ func (r *Runner) Step() (bool, error) {
 			}
 		}
 	}
-	r.stats.RelaxOps += r.rs.RelaxPhase(ext)
+
+	relaxW := tr.Now()
+	relaxStart := time.Now()
+	ops := r.rs.RelaxPhase(ext)
+	r.stats.RelaxOps += ops
+	relaxDur := time.Since(relaxStart)
+	if tr.Enabled() {
+		tr.Record(obs.Span{Kind: obs.KindRCRelax, Proc: rank, Rank: rank, Step: stepID,
+			Wall: relaxW, WallDur: relaxDur, Value: ops})
+	}
 	if failed := r.t.TakeFailed(); len(failed) > 0 {
 		r.stats.Reships += len(failed)
 		r.rs.ReMarkFailed(failed)
@@ -315,10 +371,21 @@ func (r *Runner) Step() (bool, error) {
 		r.stats.EventsApplied += len(events)
 	}
 	r.stats.Steps++
+	if r.stepper != nil {
+		r.stepper.MarkStep(int64(r.stats.Steps))
+	}
 	r.writeShard()
 	more, err := r.voteConvergence()
 	if err != nil {
 		return false, err
+	}
+	if tr.Enabled() {
+		tr.Record(obs.Span{Kind: obs.KindRCStep, Proc: rank, Rank: rank, Step: stepID,
+			Wall: stepW, WallDur: time.Since(stepStart), Value: ops})
+	}
+	r.updateTelemetry(shipDur+relaxDur, time.Since(stepStart))
+	if hook := r.cfg.StepHook; hook != nil {
+		hook(r.Telemetry())
 	}
 	if r.cfg.StepThrottle > 0 {
 		time.Sleep(r.cfg.StepThrottle)

@@ -191,6 +191,10 @@ func (s *Server) maybeCheckpoint(e *core.Engine) {
 	}
 	s.sinceCheckpoint = 0
 	s.counters.CheckpointsWritten.Add(1)
+	if l := s.cfg.Log; l != nil {
+		l.Info("checkpoint written", "path", s.cfg.CheckpointPath,
+			"step", int(e.Metrics().RCSteps))
+	}
 }
 
 // restart recovers from a failed step: the engine is rebuilt from the last
@@ -235,12 +239,20 @@ func (s *Server) restart(cause error) error {
 	s.counters.EngineRestarts.Add(1)
 	ne.SetStepHook(s.onStep)
 	s.publish()
+	if l := s.cfg.Log; l != nil {
+		l.Warn("engine restarted from checkpoint", "cause", cause.Error(),
+			"checkpoint", path, "events_lost", lost,
+			"restored_step", int(ne.Metrics().RCSteps))
+	}
 	return nil
 }
 
 // die is the unrecoverable path: record the error, stop admission, and let
 // reads keep serving the last published View.
 func (s *Server) die(err error) {
+	if l := s.cfg.Log; l != nil {
+		l.Error("driver died; serving last published view read-only", "cause", err.Error())
+	}
 	s.mu.Lock()
 	s.closed = true
 	s.dead = true

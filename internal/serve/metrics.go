@@ -111,6 +111,9 @@ type serverMetrics struct {
 	imbalance       *obs.Gauge
 	stepRows        *obs.Gauge
 	stepDirty       *obs.Gauge
+	stepConverged   *obs.Gauge
+	stepDirtyFrac   *obs.Gauge
+	stepBoundGap    *obs.Gauge
 	stepWidth       *obs.Gauge
 	frontierDensity *obs.Gauge
 	maskedOps       *obs.Gauge
@@ -258,6 +261,12 @@ func newServerMetrics(s *Server, p int) *serverMetrics {
 		"DV rows across all processors after the last RC step.", "")
 	m.stepDirty = reg.Gauge("aa_step_dirty_rows",
 		"Rows still carrying un-propagated content after the last RC step.", "")
+	m.stepConverged = reg.Gauge("aa_step_converged_rows",
+		"Rows with no un-propagated content after the last RC step.", "")
+	m.stepDirtyFrac = reg.Gauge("aa_step_dirty_fraction",
+		"DirtyRows/TotalRows after the last RC step — the row-granular convergence gap of the anytime solution.", "")
+	m.stepBoundGap = reg.Gauge("aa_step_bound_gap",
+		"Fraction of all DV cells still inside a change frontier after the last RC step — 0 at an exact fixpoint.", "")
 	m.stepWidth = reg.Gauge("aa_step_max_delta_width",
 		"Widest boundary delta shipped in the last RC step, in columns.", "")
 	m.frontierDensity = reg.Gauge("aa_frontier_density",
@@ -286,6 +295,13 @@ func (m *serverMetrics) observeStep(st core.StepStats) {
 	m.imbalance.Set(st.Imbalance)
 	m.stepRows.SetInt(int64(st.TotalRows))
 	m.stepDirty.SetInt(int64(st.DirtyRows))
+	m.stepConverged.SetInt(int64(st.TotalRows - st.DirtyRows))
+	if st.TotalRows > 0 {
+		m.stepDirtyFrac.Set(float64(st.DirtyRows) / float64(st.TotalRows))
+	} else {
+		m.stepDirtyFrac.Set(0)
+	}
+	m.stepBoundGap.Set(st.FrontierDensity)
 	m.stepWidth.SetInt(int64(st.MaxDeltaWidth))
 	m.frontierDensity.Set(st.FrontierDensity)
 	m.maskedOps.SetInt(st.MaskedOps)

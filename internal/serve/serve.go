@@ -21,6 +21,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -72,6 +73,10 @@ type Config struct {
 	// StepDelay inserts an artificial pause after every RC step —
 	// a throttle for demos and for deterministic backpressure tests.
 	StepDelay time.Duration
+	// Log, when set, receives structured driver lifecycle events (engine
+	// restarts, driver death, checkpoints) with step/version attributes.
+	// Nil disables logging; the driver hot path never touches it then.
+	Log *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -108,7 +113,7 @@ type Server struct {
 	cond    *sync.Cond
 	pending []stream.Event // admitted, not yet handed to the engine
 	closed  bool
-	dead    bool // driver died unrecoverably (closeErr holds the cause)
+	dead    bool           // driver died unrecoverably (closeErr holds the cause)
 	admitN  int            // vertex count after all admitted events apply
 	deleted map[int32]bool // vertices deleted (engine past + admitted)
 

@@ -222,12 +222,12 @@ func TestAdmitValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	bad := [][]stream.Event{
-		{{Kind: stream.AddVertex, U: n + 5}},                    // non-dense ID
-		{{Kind: stream.AddEdge, U: 1, V: 1, W: 1}},              // self-loop
-		{{Kind: stream.AddEdge, U: 0, V: 10 * n, W: 1}},         // out of range
-		{{Kind: stream.AddEdge, U: 0, V: 1, W: 0}},              // non-positive weight
-		{{Kind: stream.DelVertex, U: -1}},                       // negative
-		{{Kind: stream.Kind(99), U: 0}},                         // unknown kind
+		{{Kind: stream.AddVertex, U: n + 5}},                                                     // non-dense ID
+		{{Kind: stream.AddEdge, U: 1, V: 1, W: 1}},                                               // self-loop
+		{{Kind: stream.AddEdge, U: 0, V: 10 * n, W: 1}},                                          // out of range
+		{{Kind: stream.AddEdge, U: 0, V: 1, W: 0}},                                               // non-positive weight
+		{{Kind: stream.DelVertex, U: -1}},                                                        // negative
+		{{Kind: stream.Kind(99), U: 0}},                                                          // unknown kind
 		{{Kind: stream.AddVertex, U: n}, {Kind: stream.AddEdge, U: int32(n), V: int32(n), W: 1}}, // valid then invalid: must reject both
 	}
 	for i, evs := range bad {

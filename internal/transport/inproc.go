@@ -23,6 +23,8 @@ type Hub struct {
 	pending []bool
 	events  [][]LivenessEvent // per-rank observation queues
 	goCh    []chan []byte     // per-rank rejoin-go channels
+
+	steps []int64 // per-rank step table (the inproc StepReporter plane)
 }
 
 type hubMsg struct {
@@ -39,6 +41,7 @@ func NewHub(n int) *Hub {
 		pending: make([]bool, n),
 		events:  make([][]LivenessEvent, n),
 		goCh:    make([]chan []byte, n),
+		steps:   make([]int64, n),
 	}
 	for i := range h.live {
 		h.live[i] = true
@@ -186,6 +189,25 @@ func (t *Inproc) Rank() int { return t.rank }
 
 // Size implements Transport.
 func (t *Inproc) Size() int { return t.hub.Size() }
+
+// MarkStep implements StepReporter: in-process, the shared hub table *is*
+// the gossip (peers see the step immediately instead of after a heartbeat
+// interval — strictly fresher than TCP, same observational contract).
+func (t *Inproc) MarkStep(step int64) {
+	t.hub.mu.Lock()
+	t.hub.steps[t.rank] = step
+	t.hub.mu.Unlock()
+}
+
+// PeerStep implements StepReporter.
+func (t *Inproc) PeerStep(q int) int64 {
+	if q < 0 || q >= t.hub.Size() {
+		return 0
+	}
+	t.hub.mu.Lock()
+	defer t.hub.mu.Unlock()
+	return t.hub.steps[q]
+}
 
 // Exchange implements Transport: deposit, barrier (all traffic in), sort
 // and collect, barrier (all collected before the next step's deposits).

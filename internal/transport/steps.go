@@ -1,0 +1,38 @@
+package transport
+
+// The step-ID plane: cross-rank observability needs to know how far each
+// peer has progressed through recombination without adding traffic. Both
+// backends piggyback the reporter on machinery they already have — the TCP
+// mesh stamps the sender's current RC step into the (previously unused)
+// Seq field of every heartbeat frame, and the in-process hub keeps a
+// shared step table — so a rank's metrics endpoint can export its peers'
+// step positions (aa_rank_peer_step) and the cluster aggregator can
+// compute step skew across real processes. Step IDs are observational
+// only: nothing in the BSP collectives or the liveness protocol reads
+// them.
+
+// StepReporter is the optional step-observability surface of a Transport
+// backend, discovered by type assertion like Liveness.
+type StepReporter interface {
+	// MarkStep records this rank's current RC step; the backend gossips it
+	// to peers on its own schedule (TCP: the next heartbeat round).
+	MarkStep(step int64)
+	// PeerStep returns the most recent step heard from rank q (own step
+	// for q == Rank(); 0 before anything was heard).
+	PeerStep(q int) int64
+}
+
+// AsStepReporter discovers the step surface of a transport, unwrapping the
+// fault layer like AsLiveness.
+func AsStepReporter(t Transport) (StepReporter, bool) {
+	for {
+		if sr, ok := t.(StepReporter); ok {
+			return sr, true
+		}
+		if l, ok := t.(*Lossy); ok {
+			t = l.inner
+			continue
+		}
+		return nil, false
+	}
+}

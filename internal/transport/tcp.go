@@ -124,7 +124,8 @@ type TCP struct {
 	wg     sync.WaitGroup
 
 	hbStop   chan struct{}
-	hbPaused atomic.Bool // test hook: stop sending heartbeats, keep receiving
+	hbPaused atomic.Bool  // test hook: stop sending heartbeats, keep receiving
+	step     atomic.Int64 // this rank's RC step, gossiped in heartbeat Seq
 
 	lmu    sync.Mutex
 	events []LivenessEvent
@@ -145,6 +146,7 @@ type tcpLink struct {
 
 	state     atomic.Int32 // linkActive / linkDown / linkPending (transitions under rmu)
 	lastHeard atomic.Int64 // UnixNano of the last frame from this peer
+	peerStep  atomic.Int64 // last RC step heard in this peer's heartbeats
 
 	rmu   sync.Mutex
 	rcond *sync.Cond
@@ -377,6 +379,22 @@ func (t *TCP) HeartbeatAge(q int) time.Duration {
 	return time.Since(time.Unix(0, last))
 }
 
+// MarkStep implements StepReporter: the step rides the Seq field of every
+// subsequent heartbeat frame, so peers learn it within one heartbeat
+// interval at zero extra traffic.
+func (t *TCP) MarkStep(step int64) { t.step.Store(step) }
+
+// PeerStep implements StepReporter.
+func (t *TCP) PeerStep(q int) int64 {
+	if q == t.rank {
+		return t.step.Load()
+	}
+	if q < 0 || q >= len(t.links) || t.links[q] == nil {
+		return 0
+	}
+	return t.links[q].peerStep.Load()
+}
+
 // SendRejoinGo implements Liveness: release an activated rejoiner into the
 // step loop with the opaque go payload.
 func (t *TCP) SendRejoinGo(q int, payload []byte) error {
@@ -426,7 +444,9 @@ func (t *TCP) startHeartbeat() {
 // sendHeartbeat writes one keepalive frame; a failed write just drops the
 // connection (the reader's repair path or the peer's timeout takes over).
 func (l *tcpLink) sendHeartbeat(q int) {
-	hb := appendFrame(nil, frame{Tag: tagHeartbeat, From: l.t.rank, To: q})
+	// Seq carries the sender's RC step (unused otherwise on heartbeats):
+	// free step-ID gossip for the observability plane.
+	hb := appendFrame(nil, frame{Tag: tagHeartbeat, From: l.t.rank, To: q, Seq: uint32(l.t.step.Load())})
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.conn == nil {
@@ -696,6 +716,7 @@ func (l *tcpLink) readLoop(conn net.Conn, gen int) {
 		l.lastHeard.Store(time.Now().UnixNano())
 		switch f.Tag {
 		case tagHeartbeat:
+			l.peerStep.Store(int64(f.Seq))
 			continue
 		case tagRejoinGo:
 			if l.t.goCh != nil {
